@@ -1,0 +1,50 @@
+// Sequence-length ablation (paper §3.3 motivation: long-sequence training):
+// total layer time for softmax vs linear vs Performer attention as the
+// sequence grows.  The paper argues softmax attention's O(N^2) softmax on
+// the TPC makes long sequences disproportionately expensive — the crossover
+// and the widening gap are the quantitative form of that claim.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  core::TextTable table({"Seq len", "softmax (ms)", "linear (ms)",
+                         "performer (ms)", "softmax/linear"});
+
+  for (const std::int64_t seq : {256, 512, 1024, 2048, 4096}) {
+    std::string cell[3];
+    double ms[3] = {0, 0, 0};
+    int i = 0;
+    for (const auto kind : {nn::AttentionKind::kSoftmax, nn::AttentionKind::kLinear,
+                            nn::AttentionKind::kPerformer}) {
+      core::LayerExperiment exp;
+      exp.seq_len = seq;
+      // Keep tokens per batch constant so total work is comparable.
+      exp.batch = 128 * 2048 / seq;
+      exp.attention.kind = kind;
+      try {
+        ms[i] = core::run_layer_profile(exp, cfg).summary.makespan.ms();
+        cell[i] = core::TextTable::num(ms[i]);
+      } catch (const sim::ResourceExhausted&) {
+        // The O(N^2) attention matrix no longer fits the 32 GB HBM — the
+        // hard form of the paper's long-sequence motivation.
+        cell[i] = "OOM";
+      }
+      ++i;
+    }
+    table.add_row({std::to_string(seq), cell[0], cell[1], cell[2],
+                   ms[1] > 0 && ms[0] > 0
+                       ? core::TextTable::num(ms[0] / ms[1], 1) + "x"
+                       : "-"});
+  }
+
+  std::puts("Ablation: attention mechanism vs sequence length");
+  std::puts("(constant token count; paper §3.3: long sequences exacerbate");
+  std::puts(" the softmax-on-TPC bottleneck)");
+  std::fputs(table.to_string().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Extended attention-mechanism comparison at the paper's layer scale:
+// besides the three mechanisms the paper profiles (softmax, Linear
+// Transformer, Performer), this covers the two efficient-attention families
+// its introduction cites — low-rank (Linformer) and sparse (block-local) —
+// answering the natural follow-up: how would those have fared on Gaudi?
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/table.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  struct Case {
+    const char* name;
+    nn::AttentionKind kind;
+  };
+  const Case cases[] = {
+      {"softmax (Vaswani)", nn::AttentionKind::kSoftmax},
+      {"linear (Katharopoulos)", nn::AttentionKind::kLinear},
+      {"performer (Choromanski)", nn::AttentionKind::kPerformer},
+      {"linformer k=256 (Wang)", nn::AttentionKind::kLinformer},
+      {"local w=256 (Child)", nn::AttentionKind::kLocal},
+  };
+
+  core::TextTable table({"Mechanism", "Total (ms)", "MME busy (ms)",
+                         "TPC busy (ms)", "MME idle", "vs softmax"});
+  double softmax_s = 0.0;
+  for (const Case& c : cases) {
+    core::LayerExperiment exp;
+    exp.attention.kind = c.kind;
+    const auto profile = core::run_layer_profile(exp, cfg);
+    const auto& s = profile.summary;
+    if (c.kind == nn::AttentionKind::kSoftmax) softmax_s = s.makespan.seconds();
+    table.add_row(
+        {c.name, core::TextTable::num(s.makespan.ms()),
+         core::TextTable::num(s.mme_busy.ms()), core::TextTable::num(s.tpc_busy.ms()),
+         core::TextTable::num(s.mme_idle_fraction * 100.0, 0) + "%",
+         core::TextTable::num(softmax_s / s.makespan.seconds(), 1) + "x"});
+  }
+  std::puts("Attention mechanisms, paper layer config (seq 2048, batch 128,");
+  std::puts("6 heads x 64):");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nEvery mechanism that replaces the O(N^2) TPC softmax with");
+  std::puts("matmul-dominated structure recovers MME utilization — the");
+  std::puts("paper's insight #3 generalized across the efficient-attention");
+  std::puts("families its introduction surveys.");
+  return 0;
+}

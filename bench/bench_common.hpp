@@ -1,0 +1,33 @@
+// Shared helpers for the paper-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/advisor.hpp"
+#include "core/analysis.hpp"
+#include "core/experiments.hpp"
+
+namespace gaudi::bench {
+
+/// Prints the standard per-figure report: summary, ASCII timeline, advisor
+/// findings; optionally dumps a Chrome trace next to the binary.
+inline void print_profile(const std::string& title,
+                          const core::TraceSummary& summary,
+                          const graph::Trace& trace,
+                          const std::string& chrome_trace_path = "") {
+  std::fputs(core::to_report(summary, title).c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(trace.ascii_timeline().c_str(), stdout);
+  std::fputs("\n", stdout);
+  core::AdvisorInput advisor_in;
+  advisor_in.summary = summary;
+  std::fputs(core::format_findings(core::advise(advisor_in)).c_str(), stdout);
+  if (!chrome_trace_path.empty()) {
+    trace.write_chrome_json(chrome_trace_path);
+    std::printf("chrome trace written to %s\n", chrome_trace_path.c_str());
+  }
+  std::fputs("\n", stdout);
+}
+
+}  // namespace gaudi::bench

@@ -1,0 +1,47 @@
+// Autoregressive decode latency — the inference regime the trained models
+// of Figs 8-9 get deployed into.  Each generated token runs batch-1-row
+// GEMMs (the MME packing floor) plus a cache-append and a softmax over the
+// growing context: a very different engine balance from training, and a
+// preview of why inference-oriented accelerators chase exactly this case.
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "core/table.hpp"
+#include "graph/runtime.hpp"
+#include "nn/decode.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  nn::DecodeConfig model = nn::DecodeConfig::gpt2_paper();
+  model.batch = 8;
+
+  core::TextTable table({"Context", "Step latency", "Tokens/s", "MME busy",
+                         "TPC busy", "TPC share"});
+  for (const std::int64_t ctx : {256, 512, 1024, 2048, 4096}) {
+    graph::Graph g;
+    const nn::DecodeStepGraph step = nn::build_gpt_decode_step(g, model, ctx);
+    (void)step;
+    graph::Runtime rt(cfg);
+    graph::RunOptions opts;
+    opts.mode = tpc::ExecMode::kTiming;
+    const auto result = rt.run(g, {}, opts);
+    const auto s = core::summarize(result.trace);
+    const double tpc_share =
+        s.tpc_busy.seconds() / (s.tpc_busy.seconds() + s.mme_busy.seconds());
+    table.add_row(
+        {std::to_string(ctx), sim::to_string(s.makespan),
+         core::TextTable::num(static_cast<double>(model.batch) /
+                                  s.makespan.seconds(), 0),
+         sim::to_string(s.mme_busy), sim::to_string(s.tpc_busy),
+         core::TextTable::num(tpc_share * 100.0, 0) + "%"});
+  }
+
+  std::puts("GPT decode step (batch 8, 2 layers, 8 heads x 64, vocab 50257):");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nTraining (Fig 8) runs the MME at 72% utilization; decode");
+  std::puts("inverts the balance — single-row GEMMs bottom out at the MME's");
+  std::puts("packing floor while cache reads and softmax keep the TPC busy.");
+  return 0;
+}

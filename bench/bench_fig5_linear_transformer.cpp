@@ -1,0 +1,31 @@
+// Figure 5 reproduction: Linear Transformer (phi(x) = elu(x) + 1) at the
+// same scale as Fig 4.
+//
+// Paper claims to reproduce: total ~30 ms, ~6x faster than softmax
+// attention, and "not many blank areas in the MME operating area".
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  core::LayerExperiment softmax_exp;
+  softmax_exp.attention.kind = nn::AttentionKind::kSoftmax;
+  const core::LayerProfile softmax_profile =
+      core::run_layer_profile(softmax_exp, cfg);
+
+  core::LayerExperiment linear_exp;
+  linear_exp.attention.kind = nn::AttentionKind::kLinear;
+  linear_exp.attention.feature_map = nn::Activation::kElu;
+  const core::LayerProfile profile = core::run_layer_profile(linear_exp, cfg);
+
+  bench::print_profile("Fig 5: Transformer layer, linear attention (elu+1)",
+                       profile.summary, profile.trace,
+                       "fig5_linear_transformer.trace.json");
+  std::printf("speedup vs softmax attention: %.1fx (paper: ~6x)\n",
+              softmax_profile.summary.makespan.seconds() /
+                  profile.summary.makespan.seconds());
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Figure 8 reproduction: end-to-end GPT (GPT2LMHead-style) training-step
+// trace at the paper's §3.4 configuration: seq 2048, batch 8, 2 layers, 8
+// heads, head size 64, BookCorpus-like input.
+//
+// Paper claims to reproduce: many blank areas in the MME row (MME idle) with
+// an obviously busy TPC — unbalanced workload and no MME/TPC overlap.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  const nn::LmConfig model_cfg = nn::LmConfig::gpt2_paper();
+  const core::LlmProfile profile =
+      core::run_llm_profile(model_cfg, graph::SchedulePolicy::kBarrier, cfg);
+
+  std::printf("model: GPT-2-style, %zu parameters, %zu graph nodes\n",
+              profile.param_count, profile.node_count);
+  std::printf("peak HBM: %.2f GB of 32 GB\n\n",
+              static_cast<double>(profile.hbm_peak_bytes) / (1024.0 * 1024 * 1024));
+  bench::print_profile("Fig 8: GPT end-to-end training step", profile.summary,
+                       profile.trace, "fig8_gpt.trace.json");
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 9 reproduction: end-to-end BERT (BertForMaskedLM-style) training
+// step at the paper's §3.4 configuration.
+//
+// Paper claims to reproduce: same observations as Fig 8 — MME idle gaps,
+// busy TPC, unbalanced workload with no overlap.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  const nn::LmConfig model_cfg = nn::LmConfig::bert_paper();
+  const core::LlmProfile profile =
+      core::run_llm_profile(model_cfg, graph::SchedulePolicy::kBarrier, cfg);
+
+  std::printf("model: BERT-style, %zu parameters, %zu graph nodes\n",
+              profile.param_count, profile.node_count);
+  std::printf("peak HBM: %.2f GB of 32 GB\n\n",
+              static_cast<double>(profile.hbm_peak_bytes) / (1024.0 * 1024 * 1024));
+  bench::print_profile("Fig 9: BERT end-to-end training step", profile.summary,
+                       profile.trace, "fig9_bert.trace.json");
+  return 0;
+}

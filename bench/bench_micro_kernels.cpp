@@ -1,0 +1,119 @@
+// Kernel-level microbenchmarks (google-benchmark): simulated throughput of
+// the TPC kernel library and the MME cost model, plus host-side simulator
+// overhead.  These back the Table 2 analysis with per-kernel numbers: the
+// reported counters are *simulated* device throughput (bytes/s or FLOP/s of
+// the modelled hardware), while the wall-clock column measures the simulator
+// itself.
+#include <benchmark/benchmark.h>
+
+#include "mme/mme.hpp"
+#include "sim/chip_config.hpp"
+#include "tensor/tensor.hpp"
+#include "tpc/cluster.hpp"
+#include "tpc/kernels.hpp"
+
+namespace {
+
+using namespace gaudi;
+
+const sim::ChipConfig& chip() {
+  static const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+  return cfg;
+}
+
+tpc::RunResult run_timing(const tpc::Kernel& kernel) {
+  const tpc::TpcCluster cluster(chip().tpc);
+  return cluster.run(kernel, tpc::ExecMode::kTiming);
+}
+
+void report_simulated(benchmark::State& state, const tpc::RunResult& r,
+                      std::int64_t bytes_touched) {
+  state.counters["sim_ms"] = r.duration.ms();
+  if (r.flops > 0) {
+    state.counters["sim_tflops"] = r.tflops();
+  }
+  if (bytes_touched > 0) {
+    state.counters["sim_GBps"] =
+        static_cast<double>(bytes_touched) / r.duration.seconds() * 1e-9;
+  }
+}
+
+void BM_TpcUnary(benchmark::State& state) {
+  const auto kind = static_cast<tpc::UnaryKind>(state.range(0));
+  const std::int64_t n = state.range(1);
+  const tensor::Tensor in = tensor::Tensor::phantom(tensor::Shape{{n}});
+  const tensor::Tensor out = tensor::Tensor::phantom(tensor::Shape{{n}});
+  tpc::RunResult r;
+  for (auto _ : state) {
+    r = run_timing(tpc::UnaryEwKernel(kind, in, out));
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  report_simulated(state, r, 2 * n * 4);
+  state.SetLabel(tpc::unary_kind_name(kind));
+}
+BENCHMARK(BM_TpcUnary)
+    ->Args({static_cast<int>(tpc::UnaryKind::kRelu), 1 << 24})
+    ->Args({static_cast<int>(tpc::UnaryKind::kExp), 1 << 24})
+    ->Args({static_cast<int>(tpc::UnaryKind::kGelu), 1 << 24})
+    ->Args({static_cast<int>(tpc::UnaryKind::kSqrt), 1 << 24});
+
+void BM_TpcSoftmax(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const std::int64_t cols = state.range(1);
+  const tensor::Tensor in = tensor::Tensor::phantom(tensor::Shape{{rows, cols}});
+  const tensor::Tensor out = tensor::Tensor::phantom(tensor::Shape{{rows, cols}});
+  tpc::RunResult r;
+  for (auto _ : state) {
+    r = run_timing(tpc::SoftmaxKernel(in, out));
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  report_simulated(state, r, 2 * rows * cols * 4);
+}
+BENCHMARK(BM_TpcSoftmax)->Args({4096, 512})->Args({4096, 2048})->Args({4096, 8192});
+
+void BM_TpcMatmul(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  const tensor::Shape shape{{8, s, s}};
+  const tensor::Tensor a = tensor::Tensor::phantom(shape);
+  const tensor::Tensor b = tensor::Tensor::phantom(shape);
+  const tensor::Tensor c = tensor::Tensor::phantom(shape);
+  tpc::RunResult r;
+  for (auto _ : state) {
+    r = run_timing(tpc::BatchedMatMulTpcKernel(a, b, c));
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  report_simulated(state, r, 0);
+}
+BENCHMARK(BM_TpcMatmul)->Arg(128)->Arg(512)->Arg(2048);
+
+void BM_MmeGemm(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  const mme::MmeEngine engine(chip().mme);
+  mme::MmeRunResult r;
+  for (auto _ : state) {
+    r = engine.cost(mme::GemmShape{8, s, s, s});
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["sim_ms"] = r.duration.ms();
+  state.counters["sim_tflops"] = r.tflops();
+}
+BENCHMARK(BM_MmeGemm)->Arg(128)->Arg(512)->Arg(2048)->Arg(4096);
+
+// Host-side cost of *functional* kernel execution (the simulator itself).
+void BM_FunctionalSoftmaxHostCost(benchmark::State& state) {
+  const std::int64_t rows = state.range(0);
+  const tensor::Tensor in =
+      tensor::Tensor::uniform(tensor::Shape{{rows, 256}}, sim::CounterRng{1});
+  const tensor::Tensor out = tensor::Tensor::zeros(tensor::Shape{{rows, 256}});
+  const tpc::TpcCluster cluster(chip().tpc);
+  for (auto _ : state) {
+    const auto r = cluster.run(tpc::SoftmaxKernel(in, out), tpc::ExecMode::kFunctional);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(state.iterations() * rows * 256);
+}
+BENCHMARK(BM_FunctionalSoftmaxHostCost)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

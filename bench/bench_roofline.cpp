@@ -1,0 +1,37 @@
+// Roofline decomposition of the paper's key profiles: which ops are
+// memory-bound vs compute-bound, and how far below their roof they run.
+// The "in-depth" companion to Figures 4 and 8: softmax and the other TPC
+// ops sit deep in the memory-bound region; the attention and LM-head GEMMs
+// ride the MME compute roof.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/roofline.hpp"
+
+int main() {
+  using namespace gaudi;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  std::printf("machine balance: MME %.1f FLOP/B, TPC %.1f FLOP/B (HBM %.0f GB/s)\n\n",
+              core::machine_balance(cfg, graph::Engine::kMme),
+              core::machine_balance(cfg, graph::Engine::kTpc),
+              cfg.memory.hbm_bandwidth_bytes_per_s * 1e-9);
+
+  {
+    core::LayerExperiment exp;  // Fig 4 config
+    exp.attention.kind = nn::AttentionKind::kSoftmax;
+    const auto profile = core::run_layer_profile(exp, cfg);
+    std::puts("Transformer layer, softmax attention (Fig 4):");
+    std::fputs(core::format_roofline(core::roofline(profile.trace, cfg), 10).c_str(),
+               stdout);
+    std::puts("");
+  }
+  {
+    const auto profile = core::run_llm_profile(
+        nn::LmConfig::gpt2_paper(), graph::SchedulePolicy::kBarrier, cfg);
+    std::puts("GPT training step (Fig 8), heaviest ops:");
+    std::fputs(core::format_roofline(core::roofline(profile.trace, cfg), 12).c_str(),
+               stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table 1 reproduction: operation -> compute-engine mapping via the graph
+// compiler.  Expected: only torch.matmul maps to the MME; every other
+// operation — including linear ones like scalar * tensor — maps to the TPC.
+#include <cstdio>
+
+#include "core/experiments.hpp"
+
+int main() {
+  using namespace gaudi;
+  const auto rows = core::run_op_mapping_probe();
+  std::puts("Table 1: Operation-Hardware Mapping via the graph compiler");
+  std::fputs(core::format_op_mapping(rows).c_str(), stdout);
+
+  int mme = 0;
+  for (const auto& r : rows) mme += r.engine == graph::Engine::kMme ? 1 : 0;
+  std::printf("\n%d of %zu probed operations map to the MME "
+              "(paper: only matrix multiplication does)\n",
+              mme, rows.size());
+  return 0;
+}

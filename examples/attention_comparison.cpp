@@ -1,0 +1,53 @@
+// Attention-mechanism shoot-out: softmax vs Linear-Transformer vs Performer
+// attention on the paper's Transformer-layer configuration, swept over
+// sequence length — the practical decision the paper's §3.3 informs.
+//
+//   $ ./attention_comparison [max_seq]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/experiments.hpp"
+#include "core/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaudi;
+  const std::int64_t max_seq = argc > 1 ? std::atoll(argv[1]) : 2048;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  std::puts("Transformer layer (batch x seq = 262144 tokens, 6 heads x 64):");
+  core::TextTable table({"Seq", "softmax", "linear(elu)", "performer",
+                         "best mechanism"});
+  for (std::int64_t seq = 256; seq <= max_seq; seq *= 2) {
+    double ms[3];
+    const char* names[3] = {"softmax", "linear", "performer"};
+    int i = 0;
+    for (const auto kind : {nn::AttentionKind::kSoftmax, nn::AttentionKind::kLinear,
+                            nn::AttentionKind::kPerformer}) {
+      core::LayerExperiment exp;
+      exp.seq_len = seq;
+      exp.batch = 128 * 2048 / seq;
+      exp.attention.kind = kind;
+      try {
+        ms[i] = core::run_layer_profile(exp, cfg).summary.makespan.ms();
+      } catch (const sim::ResourceExhausted&) {
+        ms[i] = -1.0;  // does not fit HBM
+      }
+      ++i;
+    }
+    int best = 0;
+    for (int j = 1; j < 3; ++j) {
+      if (ms[j] > 0 && (ms[best] < 0 || ms[j] < ms[best])) best = j;
+    }
+    auto cell = [&](int j) {
+      return ms[j] < 0 ? std::string("OOM")
+                       : core::TextTable::num(ms[j]) + " ms";
+    };
+    table.add_row({std::to_string(seq), cell(0), cell(1), cell(2), names[best]});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\nWhy: softmax lives on the TPC (reduction-heavy, ~2.2 TFLOPS);");
+  std::puts("linearized attention converts the same math into MME matmuls");
+  std::puts("(~14.6 TFLOPS peak) — the paper's central observation.");
+  return 0;
+}

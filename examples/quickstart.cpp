@@ -1,0 +1,61 @@
+// Quickstart: build a small computation graph, run it functionally on the
+// simulated Gaudi, and read back both the numerical result and the hardware
+// trace — the five-minute tour of the public API.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "core/analysis.hpp"
+#include "graph/runtime.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace gaudi;
+
+  // 1. Describe the computation as a graph (the SynapseAI-style IR).
+  //    y = softmax(x @ w + b)
+  graph::Graph g;
+  const graph::ValueId x = g.input(tensor::Shape{{32, 64}}, tensor::DType::F32, "x");
+  const graph::ValueId w = g.param(tensor::Shape{{64, 64}}, "w");
+  const graph::ValueId b = g.param(tensor::Shape{{64}}, "b");
+  const graph::ValueId y = g.softmax(g.matmul_bias(x, w, b), "softmax");
+  g.mark_output(y);
+
+  // 2. Provide input data (deterministic counter-based RNG).
+  const sim::CounterRng rng(2024);
+  std::unordered_map<graph::ValueId, tensor::Tensor> feeds;
+  feeds.emplace(x, tensor::Tensor::uniform(tensor::Shape{{32, 64}}, rng.stream(1),
+                                           -1.0f, 1.0f));
+  feeds.emplace(w, tensor::Tensor::normal(tensor::Shape{{64, 64}}, rng.stream(2),
+                                          0.05f));
+  feeds.emplace(b, tensor::Tensor::zeros(tensor::Shape{{64}}));
+
+  // 3. Run on the HLS-1 chip model.  Functional mode computes real numerics
+  //    AND simulated timing; the scheduler policy controls MME/TPC overlap.
+  graph::Runtime runtime(sim::ChipConfig::hls1());
+  graph::RunOptions opts;
+  opts.mode = tpc::ExecMode::kFunctional;
+  opts.policy = graph::SchedulePolicy::kBarrier;  // what the paper observed
+  const graph::ProfileResult result = runtime.run(g, feeds, opts);
+
+  // 4. Numerics: softmax rows sum to 1.
+  const tensor::Tensor out = result.outputs.at(y);
+  double row0 = 0.0;
+  for (int j = 0; j < 64; ++j) row0 += out.f32()[static_cast<std::size_t>(j)];
+  std::printf("output shape %s, row 0 sums to %.6f\n",
+              out.shape().to_string().c_str(), row0);
+
+  // 5. Performance: where did the time go?
+  const core::TraceSummary summary = core::summarize(result.trace);
+  std::fputs(core::to_report(summary, "quickstart graph").c_str(), stdout);
+  std::fputs(result.trace.ascii_timeline(80).c_str(), stdout);
+
+  // 6. The headline of the underlying paper, in one contrast: the matmul ran
+  //    on the MME, everything else (bias fused aside) on the TPC.
+  for (const auto& e : result.trace.events()) {
+    std::printf("  %-22s on %s for %s\n", e.name.c_str(),
+                std::string(graph::engine_name(e.engine)).c_str(),
+                sim::to_string(e.duration()).c_str());
+  }
+  return 0;
+}

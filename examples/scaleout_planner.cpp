@@ -1,0 +1,96 @@
+// Scale-out planning: given a model, which parallelism strategy uses the
+// HLS-1's eight Gaudi processors best?  Profiles the single-chip training
+// step, then projects data-parallel (with and without comm overlap) and
+// pipeline-parallel (sweeping microbatches) configurations and recommends
+// one — the capacity-planning workflow the simulator enables without
+// touching hardware.
+//
+//   $ ./scaleout_planner [gpt2|bert]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/experiments.hpp"
+#include "core/table.hpp"
+#include "scaleout/data_parallel.hpp"
+#include "scaleout/pipeline.hpp"
+#include "scaleout/tensor_parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gaudi;
+  const bool bert = argc > 1 && std::strcmp(argv[1], "bert") == 0;
+  const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+
+  const nn::LmConfig model_cfg =
+      bert ? nn::LmConfig::bert_paper() : nn::LmConfig::gpt2_paper();
+  const core::LlmProfile profile =
+      core::run_llm_profile(model_cfg, graph::SchedulePolicy::kBarrier, cfg);
+  const std::size_t grad_bytes = profile.param_count * 4;
+  const std::size_t act_bytes =
+      static_cast<std::size_t>(model_cfg.tokens() * model_cfg.d_model() * 4);
+
+  std::printf("%s: single-chip step %s (%zu params, peak HBM %.1f GB)\n\n",
+              nn::lm_arch_name(model_cfg.arch),
+              sim::to_string(profile.summary.makespan).c_str(),
+              profile.param_count,
+              static_cast<double>(profile.hbm_peak_bytes) / (1 << 30));
+
+  struct Plan {
+    std::string name;
+    double tokens_per_s;
+  };
+  std::vector<Plan> plans;
+
+  // Data-parallel candidates.
+  for (const bool overlap : {false, true}) {
+    scaleout::DataParallelConfig dp;
+    dp.chips = 8;
+    dp.overlap_comm = overlap;
+    const auto step = scaleout::data_parallel_step(
+        dp, profile.summary.makespan, grad_bytes, model_cfg.tokens());
+    plans.push_back({std::string("data-parallel x8") +
+                         (overlap ? " + bucketed overlap" : ""),
+                     step.tokens_per_second});
+  }
+
+  // Tensor-parallel candidate (Megatron-style sharding).
+  {
+    scaleout::TensorParallelConfig tp;
+    tp.shards = 8;
+    const auto step = scaleout::tensor_parallel_step(
+        tp, profile.summary.makespan, model_cfg.n_layers, act_bytes,
+        model_cfg.tokens());
+    plans.push_back({"tensor-parallel x8 (Megatron)", step.tokens_per_second});
+  }
+
+  // Pipeline candidates.
+  for (const std::uint32_t m : {8u, 16u, 64u}) {
+    scaleout::PipelineConfig pp;
+    pp.stages = 8;
+    pp.microbatches = m;
+    const auto step = scaleout::pipeline_step(pp, profile.summary.makespan,
+                                              act_bytes, model_cfg.tokens());
+    plans.push_back({"pipeline x8, " + std::to_string(m) + " microbatches",
+                     step.tokens_per_second});
+  }
+
+  core::TextTable table({"Strategy", "Tokens/s", "vs best"});
+  double best = 0.0;
+  std::string best_name;
+  for (const auto& p : plans) {
+    if (p.tokens_per_s > best) {
+      best = p.tokens_per_s;
+      best_name = p.name;
+    }
+  }
+  for (const auto& p : plans) {
+    table.add_row({p.name, core::TextTable::num(p.tokens_per_s, 0),
+                   core::TextTable::num(p.tokens_per_s / best * 100.0, 1) + "%"});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nrecommendation: %s (%.0f tokens/s)\n", best_name.c_str(), best);
+  std::puts("note: data parallelism also multiplies the global batch; pipeline");
+  std::puts("parallelism keeps it fixed but divides per-chip memory — at these");
+  std::puts("model sizes (well under 32 GB) data parallelism wins.");
+  return 0;
+}

@@ -1,0 +1,99 @@
+#include "core/advisor.hpp"
+
+#include <sstream>
+
+namespace gaudi::core {
+
+namespace {
+
+std::string pct(double f) {
+  return std::to_string(static_cast<int>(f * 100.0 + 0.5)) + "%";
+}
+
+}  // namespace
+
+std::vector<Finding> advise(const AdvisorInput& input) {
+  const TraceSummary& s = input.summary;
+  std::vector<Finding> findings;
+
+  if (input.overlap_makespan && s.makespan > sim::SimTime::zero()) {
+    const double gain =
+        1.0 - input.overlap_makespan->seconds() / s.makespan.seconds();
+    if (gain > 0.10) {
+      findings.push_back(Finding{
+          Severity::kCritical, "Graph compiler misses cross-engine overlap",
+          "An independence-aware schedule of the same graph is " + pct(gain) +
+              " faster (" + sim::to_string(*input.overlap_makespan) + " vs " +
+              sim::to_string(s.makespan) +
+              "). Provide all source code so the Graph Compiler can analyze it "
+              "thoroughly and generate a good mapping and schedule of MME and "
+              "TPC.",
+          1});
+    }
+  }
+
+  if (s.host_busy > sim::SimTime::zero()) {
+    findings.push_back(Finding{
+        Severity::kWarning, "JIT recompilation stall",
+        "The run spent " + sim::to_string(s.host_busy) +
+            " in graph-compiler recompilation triggered by an op without "
+            "first-class backend support. Use very basic operations provided "
+            "by Torch and avoid high-level abstractions for good mapping and "
+            "scheduling.",
+        2});
+  }
+
+  if (s.mme_idle_fraction > 0.30 && s.tpc_busy > s.mme_busy) {
+    findings.push_back(Finding{
+        Severity::kCritical, "MME idle while TPC is the bottleneck",
+        "The MME is idle " + pct(s.mme_idle_fraction) + " of the run (" +
+            std::to_string(s.mme_gap_count) + " gaps, longest " +
+            sim::to_string(s.mme_longest_gap) +
+            ") while the TPC works. Restructure the model so most "
+            "calculations become matrix multiplications to exploit the MME's "
+            "computational capability.",
+        3});
+  }
+
+  if (s.softmax_share_of_tpc > 0.50) {
+    findings.push_back(Finding{
+        Severity::kWarning, "Softmax dominates TPC time",
+        "Softmax accounts for " + pct(s.softmax_share_of_tpc) +
+            " of TPC busy time; its exponential and reduction operations are "
+            "ill-suited to the SIMD TPC. Consider linearized attention, which "
+            "maps the bulk of self-attention onto the MME.",
+        3});
+  }
+
+  if (s.engine_imbalance > 0.5 && s.makespan > sim::SimTime::zero()) {
+    findings.push_back(Finding{
+        Severity::kInfo, "Unbalanced MME/TPC workload",
+        "Engine busy times differ by " + pct(s.engine_imbalance) +
+            " (MME " + sim::to_string(s.mme_busy) + ", TPC " +
+            sim::to_string(s.tpc_busy) +
+            "); the slower engine bounds throughput when the schedule cannot "
+            "overlap them.",
+        3});
+  }
+
+  return findings;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  if (findings.empty()) {
+    os << "advisor: no findings — engines are balanced and overlapped.\n";
+    return os.str();
+  }
+  for (const auto& f : findings) {
+    const char* sev = f.severity == Severity::kCritical ? "CRITICAL"
+                      : f.severity == Severity::kWarning ? "WARNING"
+                                                         : "INFO";
+    os << "[" << sev << "] " << f.title;
+    if (f.insight > 0) os << "  (paper insight #" << f.insight << ")";
+    os << "\n    " << f.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gaudi::core

@@ -1,0 +1,39 @@
+// Automated performance advisor implementing the paper's §4 takeaways.
+//
+// Given a profile, it emits the findings a Gaudi performance engineer would
+// write down: unbalanced MME/TPC workloads, softmax-on-TPC bottlenecks,
+// recompilation stalls from unsupported ops, and missed overlap between
+// independent branches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "graph/trace.hpp"
+
+namespace gaudi::core {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kCritical };
+
+struct Finding {
+  Severity severity = Severity::kInfo;
+  std::string title;
+  std::string detail;
+  /// Which of the paper's three insights (§4) this instantiates (1-3), or 0.
+  int insight = 0;
+};
+
+struct AdvisorInput {
+  TraceSummary summary;
+  /// Makespan of the same graph under the overlap scheduler, if measured;
+  /// enables the missed-overlap finding (Insight 1).
+  std::optional<sim::SimTime> overlap_makespan;
+};
+
+[[nodiscard]] std::vector<Finding> advise(const AdvisorInput& input);
+
+[[nodiscard]] std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace gaudi::core

@@ -1,0 +1,64 @@
+#include "core/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gaudi::core {
+
+using graph::Engine;
+
+TraceSummary summarize(const graph::Trace& trace) {
+  TraceSummary s;
+  s.makespan = trace.makespan();
+  s.mme_busy = trace.busy(Engine::kMme);
+  s.tpc_busy = trace.busy(Engine::kTpc);
+  s.dma_busy = trace.busy(Engine::kDma);
+  s.host_busy = trace.busy(Engine::kHost);
+  s.mme_utilization = trace.utilization(Engine::kMme);
+  s.tpc_utilization = trace.utilization(Engine::kTpc);
+  s.mme_idle_fraction = 1.0 - s.mme_utilization;
+
+  const auto gaps = trace.gaps(Engine::kMme);
+  s.mme_gap_count = gaps.size();
+  for (const auto& g : gaps) {
+    s.mme_longest_gap = std::max(s.mme_longest_gap, g.duration());
+  }
+
+  s.softmax_share_of_tpc = trace.share_of_engine("softmax", Engine::kTpc);
+  s.exp_share_of_tpc = trace.share_of_engine("exp", Engine::kTpc) +
+                       trace.share_of_engine("offset", Engine::kTpc) +
+                       trace.share_of_engine("pre_scale", Engine::kTpc);
+
+  const double m = s.mme_busy.seconds();
+  const double t = s.tpc_busy.seconds();
+  const double mx = std::max(m, t);
+  s.engine_imbalance = mx > 0.0 ? std::abs(m - t) / mx : 0.0;
+  return s;
+}
+
+std::string to_report(const TraceSummary& s, const std::string& title) {
+  std::ostringstream os;
+  os << "== " << title << " ==\n";
+  os << "  total time       : " << sim::to_string(s.makespan) << "\n";
+  os << "  MME busy         : " << sim::to_string(s.mme_busy) << "  ("
+     << static_cast<int>(s.mme_utilization * 100.0 + 0.5) << "% util, "
+     << static_cast<int>(s.mme_idle_fraction * 100.0 + 0.5) << "% idle, "
+     << s.mme_gap_count << " gaps, longest "
+     << sim::to_string(s.mme_longest_gap) << ")\n";
+  os << "  TPC busy         : " << sim::to_string(s.tpc_busy) << "  ("
+     << static_cast<int>(s.tpc_utilization * 100.0 + 0.5) << "% util)\n";
+  os << "  DMA busy         : " << sim::to_string(s.dma_busy) << "\n";
+  if (s.host_busy > sim::SimTime::zero()) {
+    os << "  compiler stalls  : " << sim::to_string(s.host_busy) << "\n";
+  }
+  os << "  softmax / TPC    : "
+     << static_cast<int>(s.softmax_share_of_tpc * 100.0 + 0.5) << "%\n";
+  os << "  exp-ops / TPC    : "
+     << static_cast<int>(s.exp_share_of_tpc * 100.0 + 0.5) << "%\n";
+  os << "  engine imbalance : "
+     << static_cast<int>(s.engine_imbalance * 100.0 + 0.5) << "%\n";
+  return os.str();
+}
+
+}  // namespace gaudi::core

@@ -1,0 +1,33 @@
+// Trace reductions: the quantitative reading of the paper's figures.
+#pragma once
+
+#include <string>
+
+#include "graph/trace.hpp"
+
+namespace gaudi::core {
+
+/// The numbers a reader extracts from one of the paper's profiler figures.
+struct TraceSummary {
+  sim::SimTime makespan{};
+  sim::SimTime mme_busy{};
+  sim::SimTime tpc_busy{};
+  sim::SimTime dma_busy{};
+  sim::SimTime host_busy{};          ///< compiler stalls
+  double mme_utilization = 0.0;
+  double tpc_utilization = 0.0;
+  double mme_idle_fraction = 0.0;    ///< the "blank areas in the MME row"
+  std::size_t mme_gap_count = 0;
+  sim::SimTime mme_longest_gap{};
+  double softmax_share_of_tpc = 0.0; ///< softmax ops / TPC busy time
+  double exp_share_of_tpc = 0.0;     ///< exponential ops / TPC busy time
+  /// | MME busy − TPC busy | / max(...): 0 = balanced, →1 = one-sided.
+  double engine_imbalance = 0.0;
+};
+
+[[nodiscard]] TraceSummary summarize(const graph::Trace& trace);
+
+/// Multi-line human-readable report of a summary.
+[[nodiscard]] std::string to_report(const TraceSummary& s, const std::string& title);
+
+}  // namespace gaudi::core

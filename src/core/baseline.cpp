@@ -1,0 +1,100 @@
+#include "core/baseline.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace gaudi::core {
+
+Baseline baseline_from(const TraceSummary& summary) {
+  Baseline b;
+  b.metrics["makespan_ms"] = summary.makespan.ms();
+  b.metrics["mme_busy_ms"] = summary.mme_busy.ms();
+  b.metrics["tpc_busy_ms"] = summary.tpc_busy.ms();
+  b.metrics["dma_busy_ms"] = summary.dma_busy.ms();
+  b.metrics["mme_idle_fraction"] = summary.mme_idle_fraction;
+  b.metrics["softmax_share_of_tpc"] = summary.softmax_share_of_tpc;
+  b.metrics["engine_imbalance"] = summary.engine_imbalance;
+  return b;
+}
+
+std::string to_string(const Baseline& b) {
+  std::ostringstream os;
+  os.precision(12);
+  for (const auto& [key, value] : b.metrics) {
+    os << key << " = " << value << "\n";
+  }
+  return os.str();
+}
+
+Baseline parse_baseline(const std::string& text) {
+  Baseline b;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    GAUDI_CHECK(eq != std::string::npos,
+                "baseline line " + std::to_string(line_no) + " lacks '='");
+    std::string key = line.substr(0, eq);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    GAUDI_CHECK(!key.empty(), "baseline line " + std::to_string(line_no) +
+                                  " has an empty key");
+    try {
+      b.metrics[key] = std::stod(line.substr(eq + 1));
+    } catch (const std::exception&) {
+      throw sim::InvalidArgument("baseline line " + std::to_string(line_no) +
+                                 " has a non-numeric value");
+    }
+  }
+  return b;
+}
+
+void save_baseline(const Baseline& b, const std::string& path) {
+  std::ofstream f(path);
+  GAUDI_CHECK(f.good(), "cannot open baseline file for writing: " + path);
+  f << to_string(b);
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::ifstream f(path);
+  GAUDI_CHECK(f.good(), "cannot open baseline file: " + path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return parse_baseline(os.str());
+}
+
+std::vector<Drift> compare(const Baseline& baseline, const Baseline& current,
+                           double tolerance) {
+  std::vector<Drift> drifts;
+  auto note = [&](const std::string& key, double base, double cur) {
+    constexpr double kEps = 1e-12;
+    const double rel = std::abs(cur - base) / std::max(std::abs(base), kEps);
+    if (rel > tolerance) {
+      drifts.push_back(Drift{key, base, cur, rel});
+    }
+  };
+  for (const auto& [key, base] : baseline.metrics) {
+    const auto it = current.metrics.find(key);
+    if (it == current.metrics.end()) {
+      drifts.push_back(
+          Drift{key, base, 0.0, std::numeric_limits<double>::infinity()});
+    } else {
+      note(key, base, it->second);
+    }
+  }
+  for (const auto& [key, cur] : current.metrics) {
+    if (!baseline.has(key)) {
+      drifts.push_back(
+          Drift{key, 0.0, cur, std::numeric_limits<double>::infinity()});
+    }
+  }
+  return drifts;
+}
+
+}  // namespace gaudi::core

@@ -1,0 +1,48 @@
+// Performance-regression baselines.
+//
+// A Baseline captures the headline metrics of a profile in a stable
+// key=value text format; `compare` flags metrics that drifted beyond a
+// tolerance.  Intended for CI: record a baseline once, fail the build when
+// a simulator or model change shifts a reproduced figure unexpectedly.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+
+namespace gaudi::core {
+
+struct Baseline {
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] bool has(const std::string& key) const {
+    return metrics.count(key) > 0;
+  }
+};
+
+/// Headline metrics of a trace summary (times in ms, fractions in [0,1]).
+[[nodiscard]] Baseline baseline_from(const TraceSummary& summary);
+
+/// Stable text serialization: one "key = value" per line, sorted by key.
+[[nodiscard]] std::string to_string(const Baseline& b);
+[[nodiscard]] Baseline parse_baseline(const std::string& text);
+
+void save_baseline(const Baseline& b, const std::string& path);
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+struct Drift {
+  std::string metric;
+  double baseline = 0.0;
+  double current = 0.0;
+  double relative = 0.0;  ///< |current - baseline| / max(|baseline|, eps)
+};
+
+/// Metrics whose relative drift exceeds `tolerance`.  Metrics present in
+/// only one side are reported with relative = infinity.
+[[nodiscard]] std::vector<Drift> compare(const Baseline& baseline,
+                                         const Baseline& current,
+                                         double tolerance = 0.05);
+
+}  // namespace gaudi::core

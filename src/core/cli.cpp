@@ -1,0 +1,279 @@
+#include "core/cli.hpp"
+
+#include <sstream>
+
+#include "core/advisor.hpp"
+#include "core/experiments.hpp"
+#include "core/html_report.hpp"
+#include "core/table.hpp"
+#include "graph/printer.hpp"
+#include "graph/runtime.hpp"
+#include "nn/optimizer.hpp"
+#include "sim/error.hpp"
+
+namespace gaudi::core {
+
+namespace {
+
+constexpr const char* kUsage = R"(gaudisim — Gaudi-class accelerator simulator (SC-W 2023 reproduction)
+
+usage: gaudisim_cli <command> [options]
+
+commands:
+  op-mapping                     print the operation->engine table (Table 1)
+  mme-vs-tpc [--sizes a,b,c]     MME vs TPC batched matmul (Table 2)
+  profile-layer [options]        profile one Transformer layer (Figs 4-7)
+      --attention softmax|linear|performer|linformer|local   (softmax)
+      --feature-map relu|leaky_relu|gelu|glu|elu             (elu)
+      --seq N --batch B --heads H --head-dim D --ffn F
+      --policy barrier|overlap   scheduler policy             (barrier)
+      --fuse                     enable element-wise fusion
+      --trace FILE               write a Chrome trace
+      --html FILE                write a self-contained HTML report
+  profile-model [options]        profile an LLM training step (Figs 8-9)
+      --arch gpt2|bert           (gpt2)
+      --seq N --batch B --layers L
+      --optimizer none|sgd|sgd_momentum|adam                  (none)
+      --policy barrier|overlap --fuse --trace FILE
+      --dot FILE                 write the graph as Graphviz DOT
+  help                           this text
+)";
+
+nn::AttentionKind parse_attention(const std::string& s) {
+  if (s == "softmax") return nn::AttentionKind::kSoftmax;
+  if (s == "linear") return nn::AttentionKind::kLinear;
+  if (s == "performer") return nn::AttentionKind::kPerformer;
+  if (s == "linformer") return nn::AttentionKind::kLinformer;
+  if (s == "local") return nn::AttentionKind::kLocal;
+  throw sim::InvalidArgument("unknown attention mechanism: " + s);
+}
+
+nn::Activation parse_activation(const std::string& s) {
+  if (s == "relu") return nn::Activation::kRelu;
+  if (s == "leaky_relu") return nn::Activation::kLeakyRelu;
+  if (s == "gelu") return nn::Activation::kGelu;
+  if (s == "glu") return nn::Activation::kGlu;
+  if (s == "elu") return nn::Activation::kElu;
+  throw sim::InvalidArgument("unknown feature map: " + s);
+}
+
+graph::SchedulePolicy parse_policy(const std::string& s) {
+  if (s == "barrier") return graph::SchedulePolicy::kBarrier;
+  if (s == "overlap") return graph::SchedulePolicy::kOverlap;
+  throw sim::InvalidArgument("unknown scheduler policy: " + s);
+}
+
+void check_unused(const ArgParser& args) {
+  const auto unused = args.unused();
+  if (!unused.empty()) {
+    throw sim::InvalidArgument("unknown option: --" + unused.front());
+  }
+}
+
+void print_profile(std::ostream& out, const std::string& title,
+                   const graph::ProfileResult& result,
+                   const std::string& trace_path,
+                   const std::string& html_path = "") {
+  const TraceSummary summary = summarize(result.trace);
+  out << to_report(summary, title);
+  out << result.trace.ascii_timeline(90);
+  out << "peak HBM: "
+      << TextTable::num(static_cast<double>(result.hbm_peak_bytes) / (1 << 30), 2)
+      << " GB of 32 GB\n";
+  AdvisorInput in;
+  in.summary = summary;
+  out << format_findings(advise(in));
+  if (!trace_path.empty()) {
+    result.trace.write_chrome_json(trace_path);
+    out << "chrome trace written to " << trace_path << "\n";
+  }
+  if (!html_path.empty()) {
+    write_html_report(html_path, title, result.trace, sim::ChipConfig::hls1());
+    out << "HTML report written to " << html_path << "\n";
+  }
+}
+
+int cmd_op_mapping(std::ostream& out) {
+  out << format_op_mapping(run_op_mapping_probe());
+  return 0;
+}
+
+int cmd_mme_vs_tpc(ArgParser& args, std::ostream& out) {
+  std::vector<std::int64_t> sizes;
+  std::stringstream ss(args.get("sizes", "128,256,512,1024,2048"));
+  for (std::string part; std::getline(ss, part, ',');) {
+    sizes.push_back(std::stoll(part));
+  }
+  check_unused(args);
+  out << format_mme_vs_tpc(run_mme_vs_tpc(sim::ChipConfig::hls1(), sizes));
+  return 0;
+}
+
+int cmd_profile_layer(ArgParser& args, std::ostream& out) {
+  LayerExperiment exp;
+  exp.attention.kind = parse_attention(args.get("attention", "softmax"));
+  exp.attention.feature_map = parse_activation(args.get("feature-map", "elu"));
+  exp.seq_len = args.get_int("seq", exp.seq_len);
+  exp.batch = args.get_int("batch", exp.batch);
+  exp.heads = args.get_int("heads", exp.heads);
+  exp.head_dim = args.get_int("head-dim", exp.head_dim);
+  exp.ffn_dim = args.get_int("ffn", exp.ffn_dim);
+  exp.policy = parse_policy(args.get("policy", "barrier"));
+  const bool fuse = args.has("fuse");
+  const std::string trace_path = args.get("trace", "");
+  const std::string html_path = args.get("html", "");
+  check_unused(args);
+
+  // Rebuild the layer graph here so fusion can be applied.
+  graph::Graph g;
+  nn::ParamStore params(0x1A1E);
+  nn::TransformerLayerConfig layer_cfg;
+  layer_cfg.d_model = exp.heads * exp.head_dim;
+  layer_cfg.heads = exp.heads;
+  layer_cfg.head_dim = exp.head_dim;
+  layer_cfg.attention = exp.attention;
+  layer_cfg.ffn_dim = exp.ffn_dim;
+  nn::TransformerLayer layer(g, params, layer_cfg, "layer");
+  const graph::ValueId x =
+      g.input(tensor::Shape{{exp.batch * exp.seq_len, layer_cfg.d_model}},
+              tensor::DType::F32, "x");
+  g.mark_output(layer(g, params, x, exp.batch, exp.seq_len));
+
+  graph::Runtime rt(sim::ChipConfig::hls1());
+  graph::RunOptions opts;
+  opts.mode = tpc::ExecMode::kTiming;
+  opts.policy = exp.policy;
+  opts.fuse_elementwise = fuse;
+  print_profile(out,
+                std::string("layer / ") +
+                    nn::attention_kind_name(exp.attention.kind),
+                rt.run(g, {}, opts), trace_path, html_path);
+  return 0;
+}
+
+int cmd_profile_model(ArgParser& args, std::ostream& out) {
+  const std::string arch = args.get("arch", "gpt2");
+  nn::LmConfig cfg = arch == "bert" ? nn::LmConfig::bert_paper()
+                     : arch == "gpt2"
+                         ? nn::LmConfig::gpt2_paper()
+                         : throw sim::InvalidArgument("unknown arch: " + arch);
+  cfg.seq_len = args.get_int("seq", cfg.seq_len);
+  cfg.batch = args.get_int("batch", cfg.batch);
+  cfg.n_layers = args.get_int("layers", cfg.n_layers);
+  const graph::SchedulePolicy policy = parse_policy(args.get("policy", "barrier"));
+  const bool fuse = args.has("fuse");
+  const std::string optimizer = args.get("optimizer", "none");
+  const std::string trace_path = args.get("trace", "");
+  const std::string dot_path = args.get("dot", "");
+  const std::string html_path = args.get("html", "");
+  check_unused(args);
+
+  graph::Graph g;
+  const nn::LanguageModel model = nn::build_language_model(g, cfg);
+  if (optimizer != "none") {
+    nn::OptimizerConfig ocfg;
+    if (optimizer == "sgd") {
+      ocfg.kind = nn::OptimizerKind::kSgd;
+    } else if (optimizer == "sgd_momentum") {
+      ocfg.kind = nn::OptimizerKind::kSgdMomentum;
+    } else if (optimizer == "adam") {
+      ocfg.kind = nn::OptimizerKind::kAdam;
+    } else {
+      throw sim::InvalidArgument("unknown optimizer: " + optimizer);
+    }
+    (void)nn::append_optimizer(g, model, ocfg);
+  }
+
+  if (!dot_path.empty()) {
+    graph::write_dot(g, dot_path);
+    out << "graph DOT written to " << dot_path << "\n";
+  }
+
+  graph::Runtime rt(sim::ChipConfig::hls1());
+  graph::RunOptions opts;
+  opts.mode = tpc::ExecMode::kTiming;
+  opts.policy = policy;
+  opts.fuse_elementwise = fuse;
+  out << "model: " << nn::lm_arch_name(cfg.arch) << ", "
+      << model.param_count(g) << " parameters, " << g.num_nodes()
+      << " graph nodes\n";
+  print_profile(out, std::string(nn::lm_arch_name(cfg.arch)) + " training step",
+                rt.run(g, {}, opts), trace_path, html_path);
+  return 0;
+}
+
+}  // namespace
+
+ArgParser::ArgParser(std::vector<std::string> args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    GAUDI_CHECK(a.size() > 2 && a.rfind("--", 0) == 0,
+                "expected an option starting with --, got '" + a + "'");
+    const std::string key = a.substr(2);
+    if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      kv_[key] = args[++i];
+    } else {
+      kv_[key] = "";  // boolean flag
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return false;
+  read_[key] = true;
+  return true;
+}
+
+std::string ArgParser::get(const std::string& key, const std::string& fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  read_[key] = true;
+  return it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& key, std::int64_t fallback) const {
+  const auto it = kv_.find(key);
+  if (it == kv_.end()) return fallback;
+  read_[key] = true;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw sim::InvalidArgument("option --" + key + " expects an integer, got '" +
+                               it->second + "'");
+  }
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> result;
+  for (const auto& [key, value] : kv_) {
+    if (!read_.count(key)) result.push_back(key);
+  }
+  return result;
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out) {
+  try {
+    if (args.size() < 2 || args[1] == "help" || args[1] == "--help") {
+      out << kUsage;
+      return args.size() < 2 ? 1 : 0;
+    }
+    const std::string& command = args[1];
+    ArgParser parser(std::vector<std::string>(args.begin() + 2, args.end()));
+    if (command == "op-mapping") {
+      const auto unused = parser.unused();
+      GAUDI_CHECK(unused.empty(), "op-mapping takes no options");
+      return cmd_op_mapping(out);
+    }
+    if (command == "mme-vs-tpc") return cmd_mme_vs_tpc(parser, out);
+    if (command == "profile-layer") return cmd_profile_layer(parser, out);
+    if (command == "profile-model") return cmd_profile_model(parser, out);
+    out << "unknown command: " << command << "\n\n" << kUsage;
+    return 1;
+  } catch (const sim::Error& e) {
+    out << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace gaudi::core

@@ -1,0 +1,42 @@
+// Command-line front-end logic for the gaudisim tool.
+//
+// Kept in the library (rather than the tool's main) so the parsing and
+// command dispatch are unit-testable; `tools/gaudisim_cli.cpp` is a thin
+// wrapper.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gaudi::core {
+
+/// Minimal --flag / --key value parser.
+class ArgParser {
+ public:
+  /// Parses `args` (excluding argv[0] and the subcommand).  Throws
+  /// sim::InvalidArgument on a malformed list (missing value, unknown-style
+  /// token).
+  explicit ArgParser(std::vector<std::string> args);
+
+  [[nodiscard]] bool has(const std::string& key) const;
+  [[nodiscard]] std::string get(const std::string& key,
+                                const std::string& fallback) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t fallback) const;
+  /// Keys that were provided but never read — surfaced as errors so typos
+  /// fail loudly.
+  [[nodiscard]] std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  mutable std::map<std::string, bool> read_;
+};
+
+/// Executes the CLI: `args` is the full argv list (argv[0] included).
+/// Output goes to `out`; returns the process exit code.
+int run_cli(const std::vector<std::string>& args, std::ostream& out);
+
+}  // namespace gaudi::core

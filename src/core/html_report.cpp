@@ -1,0 +1,182 @@
+#include "core/html_report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "core/advisor.hpp"
+#include "core/analysis.hpp"
+#include "core/roofline.hpp"
+#include "core/table.hpp"
+#include "sim/error.hpp"
+
+namespace {
+std::string TextTableNum(double v) { return gaudi::core::TextTable::num(v); }
+}  // namespace
+
+namespace gaudi::core {
+
+namespace {
+
+using graph::Engine;
+
+void html_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '<': os << "&lt;"; break;
+      case '>': os << "&gt;"; break;
+      case '&': os << "&amp;"; break;
+      case '"': os << "&quot;"; break;
+      default: os << c;
+    }
+  }
+}
+
+const char* engine_fill(Engine e) {
+  switch (e) {
+    case Engine::kMme: return "#4e79a7";
+    case Engine::kTpc: return "#f28e2b";
+    case Engine::kDma: return "#59a14f";
+    case Engine::kHost: return "#e15759";
+    case Engine::kNone: return "#bab0ac";
+  }
+  return "#000";
+}
+
+void emit_timeline_svg(std::ostream& os, const graph::Trace& trace) {
+  constexpr std::array<Engine, 4> kRows{Engine::kMme, Engine::kTpc, Engine::kDma,
+                                        Engine::kHost};
+  constexpr int kWidth = 1100;
+  constexpr int kRowHeight = 34;
+  constexpr int kLabelWidth = 56;
+  const double span_ps = static_cast<double>(trace.makespan().ps());
+  if (span_ps <= 0) {
+    os << "<p>(empty trace)</p>\n";
+    return;
+  }
+  const double scale = (kWidth - kLabelWidth - 10) / span_ps;
+
+  os << "<svg viewBox=\"0 0 " << kWidth << " " << kRows.size() * kRowHeight + 24
+     << "\" xmlns=\"http://www.w3.org/2000/svg\" "
+        "style=\"width:100%;font-family:monospace\">\n";
+  for (std::size_t r = 0; r < kRows.size(); ++r) {
+    const int y = static_cast<int>(r) * kRowHeight;
+    os << "<text x=\"0\" y=\"" << y + 20 << "\" font-size=\"13\">"
+       << graph::engine_name(kRows[r]) << "</text>\n";
+    os << "<rect x=\"" << kLabelWidth << "\" y=\"" << y + 4 << "\" width=\""
+       << kWidth - kLabelWidth - 10 << "\" height=\"" << kRowHeight - 8
+       << "\" fill=\"#f4f4f4\"/>\n";
+  }
+  for (const auto& e : trace.events()) {
+    const auto row_it = std::find(kRows.begin(), kRows.end(), e.engine);
+    if (row_it == kRows.end()) continue;
+    const int y = static_cast<int>(row_it - kRows.begin()) * kRowHeight;
+    const double x = kLabelWidth + static_cast<double>(e.start.ps()) * scale;
+    const double w = std::max(0.5, static_cast<double>(e.duration().ps()) * scale);
+    os << "<rect x=\"" << x << "\" y=\"" << y + 4 << "\" width=\"" << w
+       << "\" height=\"" << kRowHeight - 8 << "\" fill=\"" << engine_fill(e.engine)
+       << "\"><title>";
+    html_escape(os, e.name);
+    os << " — " << sim::to_string(e.duration()) << " (start "
+       << sim::to_string(e.start) << ")</title></rect>\n";
+  }
+  os << "<text x=\"" << kLabelWidth << "\" y=\""
+     << kRows.size() * kRowHeight + 16 << "\" font-size=\"12\">0</text>\n";
+  os << "<text x=\"" << kWidth - 90 << "\" y=\""
+     << kRows.size() * kRowHeight + 16 << "\" font-size=\"12\">"
+     << sim::to_string(trace.makespan()) << "</text>\n";
+  os << "</svg>\n";
+}
+
+void emit_summary_table(std::ostream& os, const TraceSummary& s) {
+  auto row = [&](const char* k, const std::string& v) {
+    os << "<tr><td>" << k << "</td><td>" << v << "</td></tr>\n";
+  };
+  auto pct = [](double f) {
+    return std::to_string(static_cast<int>(f * 100.0 + 0.5)) + "%";
+  };
+  os << "<table>\n";
+  row("total time", sim::to_string(s.makespan));
+  row("MME busy", sim::to_string(s.mme_busy) + " (" + pct(s.mme_utilization) +
+                      " util, " + std::to_string(s.mme_gap_count) + " gaps)");
+  row("TPC busy", sim::to_string(s.tpc_busy) + " (" + pct(s.tpc_utilization) +
+                      " util)");
+  row("DMA busy", sim::to_string(s.dma_busy));
+  if (s.host_busy > sim::SimTime::zero()) {
+    row("compiler stalls", sim::to_string(s.host_busy));
+  }
+  row("softmax / TPC", pct(s.softmax_share_of_tpc));
+  row("engine imbalance", pct(s.engine_imbalance));
+  os << "</table>\n";
+}
+
+void emit_roofline_table(std::ostream& os,
+                         const std::vector<RooflinePoint>& points) {
+  os << "<table>\n<tr><th>op</th><th>engine</th><th>time</th><th>FLOP/B</th>"
+        "<th>achieved TFLOPS</th><th>roof TFLOPS</th><th>bound</th></tr>\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(16, points.size()); ++i) {
+    const auto& p = points[i];
+    os << "<tr><td>";
+    html_escape(os, p.name);
+    os << "</td><td>" << graph::engine_name(p.engine) << "</td><td>"
+       << sim::to_string(p.time) << "</td><td>" << TextTableNum(p.intensity)
+       << "</td><td>" << TextTableNum(p.achieved_tflops) << "</td><td>"
+       << TextTableNum(p.roof_tflops) << "</td><td>"
+       << (p.memory_bound ? "memory" : "compute") << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
+}  // namespace
+
+std::string html_report(const std::string& title, const graph::Trace& trace,
+                        const sim::ChipConfig& cfg) {
+  const TraceSummary summary = summarize(trace);
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html>\n<head>\n<meta charset=\"utf-8\">\n<title>";
+  html_escape(os, title);
+  os << "</title>\n<style>\n"
+        "body{font-family:sans-serif;max-width:1150px;margin:24px auto;"
+        "padding:0 12px;color:#222}\n"
+        "table{border-collapse:collapse;margin:12px 0}\n"
+        "td,th{border:1px solid #ccc;padding:4px 10px;font-size:14px;"
+        "text-align:left}\n"
+        "h1{font-size:22px}h2{font-size:17px;margin-top:28px}\n"
+        ".finding{border-left:4px solid #e15759;background:#fdf3f3;"
+        "padding:8px 12px;margin:8px 0;font-size:14px}\n"
+        "</style>\n</head>\n<body>\n<h1>";
+  html_escape(os, title);
+  os << "</h1>\n<h2>Timeline</h2>\n";
+  emit_timeline_svg(os, trace);
+  os << "<h2>Summary</h2>\n";
+  emit_summary_table(os, summary);
+
+  AdvisorInput in;
+  in.summary = summary;
+  const auto findings = advise(in);
+  if (!findings.empty()) {
+    os << "<h2>Advisor findings</h2>\n";
+    for (const auto& f : findings) {
+      os << "<div class=\"finding\"><b>";
+      html_escape(os, f.title);
+      os << "</b><br>";
+      html_escape(os, f.detail);
+      os << "</div>\n";
+    }
+  }
+
+  os << "<h2>Roofline (heaviest ops)</h2>\n";
+  emit_roofline_table(os, roofline(trace, cfg));
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+void write_html_report(const std::string& path, const std::string& title,
+                       const graph::Trace& trace, const sim::ChipConfig& cfg) {
+  std::ofstream f(path);
+  GAUDI_CHECK(f.good(), "cannot open HTML report file: " + path);
+  f << html_report(title, trace, cfg);
+}
+
+}  // namespace gaudi::core

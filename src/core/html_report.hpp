@@ -1,0 +1,23 @@
+// Self-contained HTML profile reports.
+//
+// One file, no external assets: an SVG timeline (the paper's figures,
+// interactive — hover for op names and durations), the summary metrics, the
+// advisor findings and the per-op roofline table.  The visual counterpart
+// of the ASCII timeline for sharing results.
+#pragma once
+
+#include <string>
+
+#include "graph/trace.hpp"
+#include "sim/chip_config.hpp"
+
+namespace gaudi::core {
+
+[[nodiscard]] std::string html_report(const std::string& title,
+                                      const graph::Trace& trace,
+                                      const sim::ChipConfig& cfg);
+
+void write_html_report(const std::string& path, const std::string& title,
+                       const graph::Trace& trace, const sim::ChipConfig& cfg);
+
+}  // namespace gaudi::core

@@ -1,0 +1,89 @@
+#include "core/roofline.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/table.hpp"
+#include "sim/error.hpp"
+
+namespace gaudi::core {
+
+double machine_balance(const sim::ChipConfig& cfg, graph::Engine engine) {
+  const double bw = cfg.memory.hbm_bandwidth_bytes_per_s;
+  switch (engine) {
+    case graph::Engine::kMme:
+      return cfg.mme.peak_flops() / bw;
+    case graph::Engine::kTpc:
+      return cfg.tpc.cluster_peak_flops() / bw;
+    default:
+      throw sim::InvalidArgument("machine balance defined for compute engines");
+  }
+}
+
+std::vector<RooflinePoint> roofline(const graph::Trace& trace,
+                                    const sim::ChipConfig& cfg) {
+  struct Acc {
+    sim::SimTime time{};
+    std::uint64_t flops = 0;
+    std::size_t bytes = 0;
+  };
+  std::map<std::pair<std::string, graph::Engine>, Acc> by_op;
+  for (const auto& e : trace.events()) {
+    if (e.engine != graph::Engine::kMme && e.engine != graph::Engine::kTpc) {
+      continue;
+    }
+    Acc& acc = by_op[{e.name, e.engine}];
+    acc.time += e.duration();
+    acc.flops += e.flops;
+    acc.bytes += e.bytes;
+  }
+
+  std::vector<RooflinePoint> points;
+  points.reserve(by_op.size());
+  for (const auto& [key, acc] : by_op) {
+    RooflinePoint p;
+    p.name = key.first;
+    p.engine = key.second;
+    p.time = acc.time;
+    p.flops = acc.flops;
+    p.bytes = acc.bytes;
+    if (acc.bytes > 0) {
+      p.intensity = static_cast<double>(acc.flops) / static_cast<double>(acc.bytes);
+    }
+    const double peak = key.second == graph::Engine::kMme
+                            ? cfg.mme.peak_flops()
+                            : cfg.tpc.cluster_peak_flops();
+    p.roof_tflops =
+        std::min(peak, p.intensity * cfg.memory.hbm_bandwidth_bytes_per_s) * 1e-12;
+    p.memory_bound = p.intensity < machine_balance(cfg, key.second);
+    if (p.time > sim::SimTime::zero()) {
+      p.achieved_tflops =
+          static_cast<double>(acc.flops) / p.time.seconds() * 1e-12;
+    }
+    if (p.roof_tflops > 0.0) {
+      p.roof_fraction = p.achieved_tflops / p.roof_tflops;
+    }
+    points.push_back(std::move(p));
+  }
+  std::sort(points.begin(), points.end(),
+            [](const RooflinePoint& a, const RooflinePoint& b) {
+              return a.time > b.time;
+            });
+  return points;
+}
+
+std::string format_roofline(const std::vector<RooflinePoint>& points,
+                            std::size_t top_n) {
+  TextTable table({"Op", "Engine", "Time (ms)", "FLOP/B", "Achieved TFLOPS",
+                   "Roof TFLOPS", "Bound"});
+  for (std::size_t i = 0; i < std::min(top_n, points.size()); ++i) {
+    const auto& p = points[i];
+    table.add_row({p.name, std::string(graph::engine_name(p.engine)),
+                   TextTable::num(p.time.ms()), TextTable::num(p.intensity, 1),
+                   TextTable::num(p.achieved_tflops), TextTable::num(p.roof_tflops),
+                   p.memory_bound ? "memory" : "compute"});
+  }
+  return table.to_string();
+}
+
+}  // namespace gaudi::core

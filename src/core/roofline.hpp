@@ -1,0 +1,45 @@
+// Roofline analysis of a hardware trace.
+//
+// For every compute op the trace records FLOPs and global-memory traffic;
+// against each engine's peak throughput and the HBM bandwidth this yields
+// the classic roofline classification: is an op compute-bound or
+// memory-bound, and how close does it run to its bound?  This quantifies
+// the paper's qualitative reading — softmax and the element-wise ops are
+// low-intensity TPC work, matmuls are high-intensity MME work — and makes
+// insight #3 ("turn your computation into matmuls") measurable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/trace.hpp"
+#include "sim/chip_config.hpp"
+
+namespace gaudi::core {
+
+struct RooflinePoint {
+  std::string name;
+  graph::Engine engine = graph::Engine::kNone;
+  sim::SimTime time{};                  ///< aggregated over same-name events
+  std::uint64_t flops = 0;
+  std::size_t bytes = 0;
+  double intensity = 0.0;               ///< FLOP per byte of global traffic
+  double achieved_tflops = 0.0;
+  double roof_tflops = 0.0;             ///< min(peak, intensity * bandwidth)
+  bool memory_bound = false;            ///< intensity below machine balance
+  double roof_fraction = 0.0;           ///< achieved / roof
+};
+
+/// Aggregates the trace by (name, engine) and classifies each op.
+[[nodiscard]] std::vector<RooflinePoint> roofline(const graph::Trace& trace,
+                                                  const sim::ChipConfig& cfg);
+
+/// Machine balance (FLOP/byte) of an engine against HBM bandwidth.
+[[nodiscard]] double machine_balance(const sim::ChipConfig& cfg,
+                                     graph::Engine engine);
+
+/// Table sorted by time, heaviest first.
+[[nodiscard]] std::string format_roofline(const std::vector<RooflinePoint>& points,
+                                          std::size_t top_n = 16);
+
+}  // namespace gaudi::core

@@ -1,0 +1,60 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace gaudi::core {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  GAUDI_CHECK(!header_.empty(), "table needs at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  GAUDI_CHECK(cells.size() == header_.size(),
+              "table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c] << std::string(width[c] - row[c].size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  auto emit_rule = [&]() {
+    os << "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << "+";
+    }
+    os << "\n";
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+}  // namespace gaudi::core

@@ -1,0 +1,25 @@
+// Minimal fixed-width text table renderer for experiment reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gaudi::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gaudi::core

@@ -1,0 +1,301 @@
+#include "graph/autodiff.hpp"
+
+#include <unordered_set>
+
+namespace gaudi::graph {
+
+namespace {
+
+/// Book-keeping for reverse accumulation.  The seed gradient (d loss/d loss
+/// = 1) is kept *implicit* until an op actually needs it as a tensor; fused
+/// terminal losses (cross-entropy-mean) absorb it into their grad op.
+class GradMap {
+ public:
+  explicit GradMap(Graph& g) : g_(&g) {}
+
+  void seed(ValueId v) { implicit_one_.insert(v); }
+
+  [[nodiscard]] bool has(ValueId v) const {
+    return grads_.count(v) > 0 || implicit_one_.count(v) > 0;
+  }
+  [[nodiscard]] bool is_implicit_one(ValueId v) const {
+    return implicit_one_.count(v) > 0;
+  }
+
+  /// Returns the gradient tensor value, materializing an implicit 1.
+  [[nodiscard]] ValueId get(ValueId v) {
+    if (auto it = grads_.find(v); it != grads_.end()) return it->second;
+    GAUDI_CHECK(implicit_one_.count(v) > 0, "no gradient recorded for value");
+    const ValueId one = g_->fill(g_->value(v).shape, 1.0f, "grad_seed");
+    implicit_one_.erase(v);
+    grads_.emplace(v, one);
+    return one;
+  }
+
+  void accumulate(ValueId v, ValueId grad) {
+    auto it = grads_.find(v);
+    if (it == grads_.end()) {
+      grads_.emplace(v, grad);
+    } else {
+      it->second = g_->add(it->second, grad, "grad_accum");
+    }
+  }
+
+ private:
+  Graph* g_;
+  std::unordered_map<ValueId, ValueId> grads_;
+  std::unordered_set<ValueId> implicit_one_;
+};
+
+[[noreturn]] void unsupported(const Node& n) {
+  throw sim::InvalidArgument("autodiff: no gradient rule for op '" +
+                             std::string(op_kind_name(n.kind)) + "' (node '" +
+                             n.label + "')");
+}
+
+}  // namespace
+
+BackwardResult build_backward(Graph& g, ValueId loss,
+                              std::span<const ValueId> wrt) {
+  GAUDI_CHECK(g.value(loss).shape.numel() == 1,
+              "autodiff: loss must be a scalar value");
+  const auto num_forward_nodes = static_cast<NodeId>(g.num_nodes());
+
+  GradMap grads(g);
+  grads.seed(loss);
+
+  for (NodeId nid = num_forward_nodes - 1; nid >= 0; --nid) {
+    // Copy what we need: adding grad nodes may reallocate the node vector.
+    const Node n = g.node(nid);
+
+    bool any_output_grad = false;
+    for (ValueId v : n.outputs) any_output_grad = any_output_grad || grads.has(v);
+    if (!any_output_grad) continue;
+
+    auto gy = [&](std::size_t i = 0) { return grads.get(n.outputs[i]); };
+    auto acc = [&](std::size_t input_idx, ValueId grad) {
+      grads.accumulate(n.inputs[input_idx], grad);
+    };
+
+    switch (n.kind) {
+      case OpKind::kMatMul: {
+        const ValueId a = n.inputs[0];
+        const ValueId b = n.inputs[1];
+        const bool ta = n.attrs.trans_a;
+        const bool tb = n.attrs.trans_b;
+        const bool a_batched = g.value(a).shape.rank() > 2;
+        const bool b_batched = g.value(b).shape.rank() > 2;
+        const ValueId gyv = gy();
+        ValueId da;
+        if (!ta) {
+          da = g.matmul(gyv, b, false, !tb, n.label + ".dA");
+        } else if (b_batched || !a_batched) {
+          da = g.matmul(b, gyv, tb, true, n.label + ".dA");
+        } else {
+          // ta with batched A and shared B: keep the batched operand first
+          // (dA_b = (dC_b op_b(B)^T)^T), since only the right matmul operand
+          // may be unbatched.
+          da = g.transpose(g.matmul(gyv, b, false, !tb, n.label + ".dA_t"),
+                           n.label + ".dA");
+        }
+        acc(0, da);
+
+        ValueId db;
+        if (a_batched && !b_batched) {
+          // Shared right operand: dB sums over the batch.  Flattening the
+          // batch and row dims into one contraction axis performs the
+          // reduction inside a single MME product:
+          //   dB = sum_b op_a(A_b)^T gy_b = flat(op_a(A))^T flat(gy).
+          const tensor::Shape a_shape = g.value(a).shape;
+          const tensor::Shape gy_shape = g.value(gyv).shape;
+          const std::int64_t k_dim =
+              ta ? a_shape[a_shape.rank() - 2] : a_shape[a_shape.rank() - 1];
+          const std::int64_t n_dim = gy_shape[gy_shape.rank() - 1];
+          const ValueId a_rows =
+              ta ? g.transpose(a, n.label + ".dB_at") : a;
+          const ValueId a_flat = g.reshape(
+              a_rows, tensor::Shape{{g.value(a_rows).shape.numel() / k_dim, k_dim}},
+              n.label + ".dB_aflat");
+          const ValueId gy_flat = g.reshape(
+              gyv, tensor::Shape{{gy_shape.numel() / n_dim, n_dim}},
+              n.label + ".dB_gflat");
+          db = g.matmul(a_flat, gy_flat, true, false, n.label + ".dB");
+          if (tb) db = g.transpose(db, n.label + ".dB_t");
+        } else {
+          db = tb ? g.matmul(gyv, a, true, ta, n.label + ".dB")
+                  : g.matmul(a, gyv, !ta, false, n.label + ".dB");
+        }
+        acc(1, db);
+        if (n.inputs.size() == 3) {
+          acc(2, g.add_op(OpKind::kColumnSum, {gyv}, {}, n.label + ".dbias")[0]);
+        }
+        break;
+      }
+      case OpKind::kAdd:
+        acc(0, gy());
+        acc(1, gy());
+        break;
+      case OpKind::kSub:
+        acc(0, gy());
+        acc(1, g.unary(tpc::UnaryKind::kNeg, gy(), 1.0f, n.label + ".dB"));
+        break;
+      case OpKind::kMul:
+        acc(0, g.mul(gy(), n.inputs[1], n.label + ".dA"));
+        acc(1, g.mul(gy(), n.inputs[0], n.label + ".dB"));
+        break;
+      case OpKind::kDiv: {
+        const ValueId t = g.div(gy(), n.inputs[1], n.label + ".dA");
+        acc(0, t);
+        const ValueId tb2 = g.mul(t, n.outputs[0], n.label + ".t");
+        acc(1, g.unary(tpc::UnaryKind::kNeg, tb2, 1.0f, n.label + ".dB"));
+        break;
+      }
+      case OpKind::kAddScalar:
+      case OpKind::kSubScalar:
+        acc(0, gy());
+        break;
+      case OpKind::kRsubScalar:
+        acc(0, g.unary(tpc::UnaryKind::kNeg, gy(), 1.0f, n.label + ".dx"));
+        break;
+      case OpKind::kMulScalar:
+        acc(0, g.mul_scalar(gy(), n.attrs.scalar, n.label + ".dx"));
+        break;
+      case OpKind::kUnary: {
+        OpAttrs attrs;
+        attrs.unary = n.attrs.unary;
+        attrs.alpha = n.attrs.alpha;
+        acc(0, g.add_op(OpKind::kUnaryGrad, {n.inputs[0], gy()}, attrs,
+                        n.label + ".dx")[0]);
+        break;
+      }
+      case OpKind::kGlu:
+        acc(0, g.add_op(OpKind::kGluGrad, {n.inputs[0], gy()}, {},
+                        n.label + ".dx")[0]);
+        break;
+      case OpKind::kDropout: {
+        // Inverted dropout's backward reapplies the identical mask, which
+        // the counter-based RNG regenerates from the same seed.
+        OpAttrs attrs;
+        attrs.p = n.attrs.p;
+        attrs.seed = n.attrs.seed;
+        acc(0, g.add_op(OpKind::kDropout, {gy()}, attrs, n.label + ".dx")[0]);
+        break;
+      }
+      case OpKind::kSoftmax:
+        acc(0, g.add_op(OpKind::kSoftmaxGrad, {n.outputs[0], gy()}, {},
+                        n.label + ".dx")[0]);
+        break;
+      case OpKind::kLayerNorm: {
+        GAUDI_CHECK(grads.has(n.outputs[0]),
+                    "autodiff: layernorm y gradient missing");
+        const ValueId gyv = gy(0);
+        acc(0, g.add_op(OpKind::kLayerNormInputGrad,
+                        {n.inputs[0], n.inputs[1], n.outputs[1], n.outputs[2], gyv},
+                        {}, n.label + ".dx")[0]);
+        const auto dparams = g.add_op(
+            OpKind::kLayerNormParamGrad,
+            {n.inputs[0], n.outputs[1], n.outputs[2], gyv}, {}, n.label + ".dparam");
+        acc(1, dparams[0]);
+        acc(2, dparams[1]);
+        break;
+      }
+      case OpKind::kReduceSum: {
+        const std::int64_t d =
+            g.value(n.inputs[0]).shape[g.value(n.inputs[0]).shape.rank() - 1];
+        acc(0, g.broadcast_last(gy(), d, n.label + ".dx"));
+        break;
+      }
+      case OpKind::kReduceMean: {
+        const std::int64_t d =
+            g.value(n.inputs[0]).shape[g.value(n.inputs[0]).shape.rank() - 1];
+        const ValueId b = g.broadcast_last(gy(), d, n.label + ".dx_b");
+        acc(0, g.mul_scalar(b, 1.0f / static_cast<float>(d), n.label + ".dx"));
+        break;
+      }
+      case OpKind::kBroadcastLast:
+        acc(0, g.reduce_sum(gy(), n.label + ".dx"));
+        break;
+      case OpKind::kAddRowvec:
+        acc(0, gy());
+        acc(1, g.add_op(OpKind::kColumnSum, {gy()}, {}, n.label + ".dbias")[0]);
+        break;
+      case OpKind::kMulRowvec: {
+        acc(0, g.add_op(OpKind::kMulRowvec, {gy(), n.inputs[1]}, {},
+                        n.label + ".dx")[0]);
+        const ValueId t = g.mul(gy(), n.inputs[0], n.label + ".t");
+        acc(1, g.add_op(OpKind::kColumnSum, {t}, {}, n.label + ".dvec")[0]);
+        break;
+      }
+      case OpKind::kFill:
+        break;  // no inputs
+      case OpKind::kTranspose:
+        acc(0, g.transpose(gy(), n.label + ".dx"));
+        break;
+      case OpKind::kSwapAxes12:
+        acc(0, g.swap_axes12(gy(), n.label + ".dx"));
+        break;
+      case OpKind::kAddMask2D: {
+        acc(0, gy());
+        // The broadcast operand only needs a gradient when it is learned
+        // (e.g. position embeddings); constant masks (causal) are inputs.
+        if (g.value(n.inputs[1]).role == ValueRole::kParam) {
+          const tensor::Shape& ms = g.value(n.inputs[1]).shape;
+          const tensor::Shape& xs = g.value(n.inputs[0]).shape;
+          const std::int64_t batch = xs.numel() / ms.numel();
+          const ValueId flat = g.reshape(
+              gy(), tensor::Shape{{batch, ms.numel()}}, n.label + ".dmask_flat");
+          const ValueId summed =
+              g.add_op(OpKind::kColumnSum, {flat}, {}, n.label + ".dmask_sum")[0];
+          acc(1, g.reshape(summed, ms, n.label + ".dmask"));
+        }
+        break;
+      }
+      case OpKind::kReshape:
+        acc(0, g.reshape(gy(), g.value(n.inputs[0]).shape, n.label + ".dx"));
+        break;
+      case OpKind::kCast:
+        acc(0, g.cast(gy(), g.value(n.inputs[0]).dtype, n.label + ".dx"));
+        break;
+      case OpKind::kConcatRows: {
+        const tensor::Shape& sa = g.value(n.inputs[0]).shape;
+        const std::int64_t rows_a = sa[sa.rank() - 2];
+        const tensor::Shape& sb = g.value(n.inputs[1]).shape;
+        const std::int64_t rows_b = sb[sb.rank() - 2];
+        const ValueId gyv = gy();
+        acc(0, g.slice_rows(gyv, 0, rows_a, n.label + ".dA"));
+        acc(1, g.slice_rows(gyv, rows_a, rows_b, n.label + ".dB"));
+        break;
+      }
+      case OpKind::kEmbedding: {
+        OpAttrs attrs;
+        attrs.dim = g.value(n.inputs[0]).shape[0];  // vocab size
+        acc(0, g.add_op(OpKind::kEmbeddingGrad, {n.inputs[1], gy()}, attrs,
+                        n.label + ".dtable")[0]);
+        break;
+      }
+      case OpKind::kCrossEntropyMean: {
+        GAUDI_CHECK(grads.is_implicit_one(n.outputs[0]),
+                    "autodiff: cross_entropy_mean must be the terminal loss "
+                    "(its incoming gradient must be the seed)");
+        OpAttrs attrs;
+        attrs.scale =
+            1.0f / static_cast<float>(g.value(n.inputs[0]).shape[0]);
+        acc(0, g.add_op(OpKind::kCrossEntropyGrad, {n.inputs[0], n.inputs[1]},
+                        attrs, n.label + ".dlogits")[0]);
+        break;
+      }
+      default:
+        unsupported(n);
+    }
+  }
+
+  BackwardResult result;
+  for (ValueId v : wrt) {
+    GAUDI_CHECK(grads.has(v), "autodiff: requested value receives no gradient: " +
+                                  g.value(v).name);
+    result.grads.emplace(v, grads.get(v));
+  }
+  return result;
+}
+
+}  // namespace gaudi::graph

@@ -1,0 +1,30 @@
+// Reverse-mode differentiation over the graph IR.
+//
+// `build_backward` appends gradient nodes to the same graph, so a training
+// step (forward + loss + backward) is a single compiled graph — matching how
+// PyTorch-on-SynapseAI hands the whole training iteration to the Graph
+// Compiler, which is the regime the paper's end-to-end profiles (Figs 8, 9)
+// run in.  Gradients flow through every op the model library emits; ops with
+// no sensible gradient (argmax-style reductions) throw.
+#pragma once
+
+#include <span>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+
+namespace gaudi::graph {
+
+struct BackwardResult {
+  /// Gradient value for each requested value id.
+  std::unordered_map<ValueId, ValueId> grads;
+};
+
+/// Appends backward nodes for scalar `loss` and returns gradients for each
+/// value in `wrt` (typically the parameter values).  The seed gradient
+/// d loss/d loss = 1 is implicit: terminal fused losses (kCrossEntropyMean)
+/// fold it into their grad op, other paths materialize a fill(1).
+[[nodiscard]] BackwardResult build_backward(Graph& g, ValueId loss,
+                                            std::span<const ValueId> wrt);
+
+}  // namespace gaudi::graph

@@ -1,0 +1,55 @@
+// Per-node execution: dispatches each graph op to its engine's model.
+//
+// TPC ops instantiate kernels from the kernel library and run them on the
+// cluster (functional or timing mode); matmuls run on the MME model.  The
+// executor produces, for every node, the simulated duration the scheduler
+// places on the engine timeline — and, in functional mode, the output
+// tensors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mme/mme.hpp"
+#include "sim/chip_config.hpp"
+#include "tensor/tensor.hpp"
+#include "tpc/cluster.hpp"
+
+namespace gaudi::graph {
+
+/// Execution outcome of one node.
+struct NodeExec {
+  Engine engine = Engine::kNone;
+  sim::SimTime duration{};
+  std::uint64_t flops = 0;
+  /// Global-memory traffic: bytes of all inputs plus outputs (for roofline
+  /// analysis); zero for metadata ops.
+  std::size_t bytes = 0;
+  /// Display label overriding the node's own (used by fused groups).
+  std::string label;
+};
+
+class NodeExecutor {
+ public:
+  NodeExecutor(const sim::ChipConfig& cfg, sim::CounterRng rng)
+      : cfg_(cfg),
+        cluster_(cfg.tpc, rng, cfg.memory.hbm_bandwidth_bytes_per_s),
+        mme_(cfg.mme) {}
+
+  /// Executes node `n`.  `tensors` is indexed by ValueId; inputs must be
+  /// present (real in functional mode, phantom in timing mode); outputs are
+  /// created by this call.
+  NodeExec run(const Graph& g, NodeId n, std::vector<tensor::Tensor>& tensors,
+               tpc::ExecMode mode) const;
+
+  [[nodiscard]] const tpc::TpcCluster& cluster() const { return cluster_; }
+  [[nodiscard]] const mme::MmeEngine& mme() const { return mme_; }
+
+ private:
+  sim::ChipConfig cfg_;
+  tpc::TpcCluster cluster_;
+  mme::MmeEngine mme_;
+};
+
+}  // namespace gaudi::graph

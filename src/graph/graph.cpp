@@ -1,0 +1,518 @@
+#include "graph/graph.hpp"
+
+#include <utility>
+
+#include "mme/mme.hpp"
+
+namespace gaudi::graph {
+
+std::string_view op_kind_name(OpKind k) {
+  switch (k) {
+    case OpKind::kMatMul: return "matmul";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kMul: return "mul";
+    case OpKind::kDiv: return "div";
+    case OpKind::kMaxEw: return "max";
+    case OpKind::kAddScalar: return "add_scalar";
+    case OpKind::kSubScalar: return "sub_scalar";
+    case OpKind::kRsubScalar: return "rsub_scalar";
+    case OpKind::kMulScalar: return "mul_scalar";
+    case OpKind::kUnary: return "unary";
+    case OpKind::kUnaryGrad: return "unary_grad";
+    case OpKind::kGlu: return "glu";
+    case OpKind::kGluGrad: return "glu_grad";
+    case OpKind::kDropout: return "dropout";
+    case OpKind::kSoftmax: return "softmax";
+    case OpKind::kSoftmaxGrad: return "softmax_grad";
+    case OpKind::kLayerNorm: return "layernorm";
+    case OpKind::kLayerNormInputGrad: return "layernorm_dx";
+    case OpKind::kLayerNormParamGrad: return "layernorm_dparam";
+    case OpKind::kReduceSum: return "reduce_sum";
+    case OpKind::kReduceMax: return "reduce_max";
+    case OpKind::kReduceMean: return "reduce_mean";
+    case OpKind::kBroadcastLast: return "broadcast_last";
+    case OpKind::kAddRowvec: return "add_rowvec";
+    case OpKind::kMulRowvec: return "mul_rowvec";
+    case OpKind::kColumnSum: return "column_sum";
+    case OpKind::kFill: return "fill";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kSwapAxes12: return "swap_axes12";
+    case OpKind::kAddMask2D: return "add_mask";
+    case OpKind::kConcatRows: return "concat_rows";
+    case OpKind::kSliceRows: return "slice_rows";
+    case OpKind::kEmbedding: return "embedding";
+    case OpKind::kEmbeddingGrad: return "embedding_grad";
+    case OpKind::kCrossEntropyMean: return "cross_entropy";
+    case OpKind::kCrossEntropyGrad: return "cross_entropy_grad";
+    case OpKind::kSgdUpdate: return "sgd_update";
+    case OpKind::kAdamUpdate: return "adam_update";
+    case OpKind::kCast: return "cast";
+    case OpKind::kReshape: return "reshape";
+  }
+  return "?";
+}
+
+std::string_view engine_name(Engine e) {
+  switch (e) {
+    case Engine::kMme: return "MME";
+    case Engine::kTpc: return "TPC";
+    case Engine::kDma: return "DMA";
+    case Engine::kHost: return "HOST";
+    case Engine::kNone: return "-";
+  }
+  return "?";
+}
+
+ValueId Graph::new_value(tensor::Shape shape, tensor::DType dtype, ValueRole role,
+                         std::string name, NodeId producer) {
+  ValueInfo info;
+  info.shape = std::move(shape);
+  info.dtype = dtype;
+  info.role = role;
+  info.name = std::move(name);
+  info.producer = producer;
+  values_.push_back(std::move(info));
+  return static_cast<ValueId>(values_.size() - 1);
+}
+
+ValueId Graph::input(tensor::Shape shape, tensor::DType dtype, std::string name) {
+  return new_value(std::move(shape), dtype, ValueRole::kInput, std::move(name), -1);
+}
+
+ValueId Graph::param(tensor::Shape shape, std::string name) {
+  return new_value(std::move(shape), tensor::DType::F32, ValueRole::kParam,
+                   std::move(name), -1);
+}
+
+void Graph::mark_output(ValueId v) {
+  GAUDI_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+              "mark_output: invalid value id");
+  values_[static_cast<std::size_t>(v)].is_output = true;
+}
+
+const ValueInfo& Graph::value(ValueId v) const {
+  GAUDI_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+              "invalid value id");
+  return values_[static_cast<std::size_t>(v)];
+}
+
+const Node& Graph::node(NodeId n) const {
+  GAUDI_CHECK(n >= 0 && n < static_cast<NodeId>(nodes_.size()), "invalid node id");
+  return nodes_[static_cast<std::size_t>(n)];
+}
+
+std::size_t Graph::param_bytes() const {
+  std::size_t total = 0;
+  for (const auto& v : values_) {
+    if (v.role == ValueRole::kParam) total += v.nbytes();
+  }
+  return total;
+}
+
+namespace {
+
+[[nodiscard]] tensor::Shape reduced_last(const tensor::Shape& s) {
+  std::vector<std::int64_t> dims(s.dims().begin(), s.dims().end());
+  dims.back() = 1;
+  return tensor::Shape{std::span<const std::int64_t>(dims)};
+}
+
+[[nodiscard]] tensor::Shape with_last(const tensor::Shape& s, std::int64_t d) {
+  std::vector<std::int64_t> dims(s.dims().begin(), s.dims().end());
+  dims.back() = d;
+  return tensor::Shape{std::span<const std::int64_t>(dims)};
+}
+
+[[nodiscard]] tensor::Shape transposed_last2(const tensor::Shape& s) {
+  std::vector<std::int64_t> dims(s.dims().begin(), s.dims().end());
+  GAUDI_CHECK(dims.size() >= 2, "transpose expects rank >= 2");
+  std::swap(dims[dims.size() - 2], dims[dims.size() - 1]);
+  return tensor::Shape{std::span<const std::int64_t>(dims)};
+}
+
+[[nodiscard]] std::int64_t rows_of(const tensor::Shape& s) {
+  return s.numel() / s[s.rank() - 1];
+}
+
+}  // namespace
+
+std::vector<ValueId> Graph::infer_outputs(OpKind kind, const OpAttrs& attrs,
+                                          const std::vector<ValueId>& inputs,
+                                          const std::string& label, NodeId node_id) {
+  auto in_shape = [&](std::size_t i) -> const tensor::Shape& {
+    GAUDI_CHECK(i < inputs.size(), "op is missing an input");
+    return value(inputs[i]).shape;
+  };
+  auto in_dtype = [&](std::size_t i) { return value(inputs[i]).dtype; };
+  auto out = [&](tensor::Shape s, tensor::DType d = tensor::DType::F32) {
+    return new_value(std::move(s), d, ValueRole::kIntermediate,
+                     label + ":" + std::to_string(node_id), node_id);
+  };
+  auto same_shape_binary = [&]() {
+    GAUDI_CHECK(inputs.size() == 2, "binary op expects two inputs");
+    GAUDI_CHECK(in_shape(0).numel() == in_shape(1).numel(),
+                "binary op element count mismatch");
+    return std::vector<ValueId>{out(in_shape(0))};
+  };
+
+  switch (kind) {
+    case OpKind::kMatMul: {
+      GAUDI_CHECK(inputs.size() == 2 || inputs.size() == 3,
+                  "matmul expects (a, b) or (a, b, bias)");
+      const mme::GemmShape gs = mme::MmeEngine::shape_of(
+          in_shape(0), in_shape(1), attrs.trans_a, attrs.trans_b);
+      const bool bf16 = in_dtype(0) == tensor::DType::BF16 &&
+                        in_dtype(1) == tensor::DType::BF16;
+      if (inputs.size() == 3) {
+        GAUDI_CHECK(in_shape(2).rank() == 1 && in_shape(2)[0] == gs.n,
+                    "matmul bias must be [n]");
+        GAUDI_CHECK(!bf16, "fused bias requires f32 operands");
+      }
+      const tensor::Shape& a = in_shape(0);
+      std::vector<std::int64_t> dims(a.dims().begin(), a.dims().end());
+      dims[dims.size() - 2] = gs.m;
+      dims[dims.size() - 1] = gs.n;
+      return {out(tensor::Shape{std::span<const std::int64_t>(dims)},
+                  bf16 ? tensor::DType::BF16 : tensor::DType::F32)};
+    }
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kDiv:
+    case OpKind::kMaxEw:
+      return same_shape_binary();
+    case OpKind::kAddScalar:
+    case OpKind::kSubScalar:
+    case OpKind::kRsubScalar:
+    case OpKind::kMulScalar:
+    case OpKind::kUnary:
+    case OpKind::kDropout:
+      GAUDI_CHECK(inputs.size() == 1, "unary-style op expects one input");
+      return {out(in_shape(0))};
+    case OpKind::kUnaryGrad:
+      GAUDI_CHECK(inputs.size() == 2, "unary grad expects (x, dy)");
+      return {out(in_shape(0))};
+    case OpKind::kGlu: {
+      GAUDI_CHECK(inputs.size() == 1, "glu expects one input");
+      const std::int64_t d2 = in_shape(0)[in_shape(0).rank() - 1];
+      GAUDI_CHECK(d2 % 2 == 0, "glu trailing dim must be even");
+      return {out(with_last(in_shape(0), d2 / 2))};
+    }
+    case OpKind::kGluGrad:
+      GAUDI_CHECK(inputs.size() == 2, "glu grad expects (x, dout)");
+      return {out(in_shape(0))};
+    case OpKind::kSoftmax:
+      GAUDI_CHECK(inputs.size() == 1, "softmax expects one input");
+      return {out(in_shape(0))};
+    case OpKind::kSoftmaxGrad:
+      GAUDI_CHECK(inputs.size() == 2, "softmax grad expects (y, dy)");
+      return {out(in_shape(0))};
+    case OpKind::kLayerNorm: {
+      GAUDI_CHECK(inputs.size() == 3, "layernorm expects (x, gamma, beta)");
+      const std::int64_t rows = rows_of(in_shape(0));
+      return {out(in_shape(0)), out(tensor::Shape{{rows}}),
+              out(tensor::Shape{{rows}})};
+    }
+    case OpKind::kLayerNormInputGrad:
+      GAUDI_CHECK(inputs.size() == 5,
+                  "layernorm dx expects (x, gamma, mean, rstd, dy)");
+      return {out(in_shape(0))};
+    case OpKind::kLayerNormParamGrad: {
+      GAUDI_CHECK(inputs.size() == 4,
+                  "layernorm dparam expects (x, mean, rstd, dy)");
+      const std::int64_t d = in_shape(0)[in_shape(0).rank() - 1];
+      return {out(tensor::Shape{{d}}), out(tensor::Shape{{d}})};
+    }
+    case OpKind::kReduceSum:
+    case OpKind::kReduceMax:
+    case OpKind::kReduceMean:
+      GAUDI_CHECK(inputs.size() == 1, "reduce expects one input");
+      return {out(reduced_last(in_shape(0)))};
+    case OpKind::kBroadcastLast: {
+      GAUDI_CHECK(inputs.size() == 1, "broadcast expects one input");
+      GAUDI_CHECK(attrs.dim > 0, "broadcast width must be set in attrs.dim");
+      GAUDI_CHECK(in_shape(0)[in_shape(0).rank() - 1] == 1,
+                  "broadcast input must be [..., 1]");
+      return {out(with_last(in_shape(0), attrs.dim))};
+    }
+    case OpKind::kAddRowvec:
+    case OpKind::kMulRowvec:
+      GAUDI_CHECK(inputs.size() == 2, "rowvec op expects (x, v)");
+      GAUDI_CHECK(in_shape(1).rank() == 1 &&
+                      in_shape(1)[0] == in_shape(0)[in_shape(0).rank() - 1],
+                  "rowvec vector must match trailing dim");
+      return {out(in_shape(0))};
+    case OpKind::kColumnSum: {
+      GAUDI_CHECK(inputs.size() == 1, "column sum expects one input");
+      const std::int64_t d = in_shape(0)[in_shape(0).rank() - 1];
+      return {out(tensor::Shape{{d}})};
+    }
+    case OpKind::kFill:
+      GAUDI_CHECK(inputs.empty(), "fill takes no inputs");
+      GAUDI_CHECK(attrs.shape.rank() >= 1, "fill requires attrs.shape");
+      return {out(attrs.shape)};
+    case OpKind::kTranspose:
+      GAUDI_CHECK(inputs.size() == 1, "transpose expects one input");
+      return {out(transposed_last2(in_shape(0)))};
+    case OpKind::kSwapAxes12: {
+      GAUDI_CHECK(inputs.size() == 1, "swap_axes12 expects one input");
+      const tensor::Shape& s = in_shape(0);
+      GAUDI_CHECK(s.rank() == 4, "swap_axes12 expects rank-4 input");
+      return {out(tensor::Shape{{s[0], s[2], s[1], s[3]}})};
+    }
+    case OpKind::kConcatRows: {
+      GAUDI_CHECK(inputs.size() == 2, "concat_rows expects two inputs");
+      const tensor::Shape& sa = in_shape(0);
+      const tensor::Shape& sb = in_shape(1);
+      GAUDI_CHECK(sa.rank() >= 2 && sa.rank() == sb.rank(),
+                  "concat_rows rank mismatch");
+      GAUDI_CHECK(sa[sa.rank() - 1] == sb[sb.rank() - 1],
+                  "concat_rows trailing dims must match");
+      GAUDI_CHECK(sa.batch_count(2) == sb.batch_count(2),
+                  "concat_rows batch dims must match");
+      std::vector<std::int64_t> dims(sa.dims().begin(), sa.dims().end());
+      dims[dims.size() - 2] += sb[sb.rank() - 2];
+      return {out(tensor::Shape{std::span<const std::int64_t>(dims)})};
+    }
+    case OpKind::kSliceRows: {
+      GAUDI_CHECK(inputs.size() == 1, "slice_rows expects one input");
+      const tensor::Shape& s = in_shape(0);
+      GAUDI_CHECK(s.rank() >= 2, "slice_rows expects rank >= 2");
+      GAUDI_CHECK(attrs.count > 0 && attrs.dim >= 0 &&
+                      attrs.dim + attrs.count <= s[s.rank() - 2],
+                  "slice_rows range out of bounds");
+      std::vector<std::int64_t> dims(s.dims().begin(), s.dims().end());
+      dims[dims.size() - 2] = attrs.count;
+      return {out(tensor::Shape{std::span<const std::int64_t>(dims)})};
+    }
+    case OpKind::kAddMask2D: {
+      GAUDI_CHECK(inputs.size() == 2, "add_mask expects (x, mask)");
+      const tensor::Shape& s = in_shape(0);
+      GAUDI_CHECK(in_shape(1).rank() == 2 &&
+                      in_shape(1)[0] == s[s.rank() - 2] &&
+                      in_shape(1)[1] == s[s.rank() - 1],
+                  "add_mask mask must match trailing dims");
+      return {out(s)};
+    }
+    case OpKind::kEmbedding: {
+      GAUDI_CHECK(inputs.size() == 2, "embedding expects (table, ids)");
+      GAUDI_CHECK(in_shape(0).rank() == 2, "embedding table must be [V, D]");
+      GAUDI_CHECK(in_dtype(1) == tensor::DType::I32, "embedding ids must be i32");
+      std::vector<std::int64_t> dims(in_shape(1).dims().begin(),
+                                     in_shape(1).dims().end());
+      dims.push_back(in_shape(0)[1]);
+      return {out(tensor::Shape{std::span<const std::int64_t>(dims)})};
+    }
+    case OpKind::kEmbeddingGrad: {
+      GAUDI_CHECK(inputs.size() == 2, "embedding grad expects (ids, dy)");
+      GAUDI_CHECK(attrs.dim > 0, "embedding grad needs vocab size in attrs.dim");
+      const std::int64_t d = in_shape(1)[in_shape(1).rank() - 1];
+      return {out(tensor::Shape{{attrs.dim, d}})};
+    }
+    case OpKind::kCrossEntropyMean:
+      GAUDI_CHECK(inputs.size() == 2, "cross entropy expects (logits, targets)");
+      GAUDI_CHECK(in_shape(0).rank() == 2, "cross entropy logits must be [N, V]");
+      GAUDI_CHECK(in_dtype(1) == tensor::DType::I32,
+                  "cross entropy targets must be i32");
+      return {out(tensor::Shape{{1}})};
+    case OpKind::kCrossEntropyGrad:
+      GAUDI_CHECK(inputs.size() == 2, "cross entropy grad expects (logits, targets)");
+      return {out(in_shape(0))};
+    case OpKind::kSgdUpdate: {
+      GAUDI_CHECK(inputs.size() == 2 || inputs.size() == 3,
+                  "sgd update expects (param, grad[, velocity])");
+      GAUDI_CHECK(in_shape(0).numel() == in_shape(1).numel(),
+                  "sgd update shape mismatch");
+      std::vector<ValueId> outs{out(in_shape(0))};
+      if (inputs.size() == 3) outs.push_back(out(in_shape(0)));  // velocity'
+      return outs;
+    }
+    case OpKind::kAdamUpdate: {
+      GAUDI_CHECK(inputs.size() == 4, "adam update expects (param, grad, m, v)");
+      for (std::size_t i = 1; i < 4; ++i) {
+        GAUDI_CHECK(in_shape(i).numel() == in_shape(0).numel(),
+                    "adam update shape mismatch");
+      }
+      return {out(in_shape(0)), out(in_shape(0)), out(in_shape(0))};
+    }
+    case OpKind::kCast: {
+      GAUDI_CHECK(inputs.size() == 1, "cast expects one input");
+      GAUDI_CHECK(tensor::is_floating(in_dtype(0)) &&
+                      tensor::is_floating(attrs.cast_to) &&
+                      in_dtype(0) != attrs.cast_to,
+                  "cast converts between distinct floating dtypes");
+      return {out(in_shape(0), attrs.cast_to)};
+    }
+    case OpKind::kReshape:
+      GAUDI_CHECK(inputs.size() == 1, "reshape expects one input");
+      GAUDI_CHECK(attrs.shape.numel() == in_shape(0).numel(),
+                  "reshape changes element count");
+      return {out(attrs.shape, in_dtype(0))};
+  }
+  throw sim::InternalError("unhandled op kind in shape inference");
+}
+
+std::vector<ValueId> Graph::add_op(OpKind kind, std::vector<ValueId> inputs,
+                                   OpAttrs attrs, std::string label) {
+  for (ValueId v : inputs) {
+    GAUDI_CHECK(v >= 0 && v < static_cast<ValueId>(values_.size()),
+                "op references an invalid value");
+  }
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  if (label.empty()) label = std::string(op_kind_name(kind));
+
+  Node n;
+  n.kind = kind;
+  n.attrs = attrs;
+  n.label = std::move(label);
+  n.inputs = inputs;
+  n.outputs = infer_outputs(kind, attrs, inputs, n.label, id);
+  for (ValueId v : inputs) {
+    values_[static_cast<std::size_t>(v)].consumers.push_back(id);
+  }
+  nodes_.push_back(std::move(n));
+  return nodes_.back().outputs;
+}
+
+// -- Convenience builders ------------------------------------------------------
+
+ValueId Graph::matmul(ValueId a, ValueId b, bool trans_a, bool trans_b,
+                      std::string label) {
+  OpAttrs attrs;
+  attrs.trans_a = trans_a;
+  attrs.trans_b = trans_b;
+  return add_op(OpKind::kMatMul, {a, b}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::matmul_bias(ValueId a, ValueId b, ValueId bias, std::string label) {
+  return add_op(OpKind::kMatMul, {a, b, bias}, {}, std::move(label))[0];
+}
+
+ValueId Graph::add(ValueId a, ValueId b, std::string label) {
+  return add_op(OpKind::kAdd, {a, b}, {}, std::move(label))[0];
+}
+ValueId Graph::sub(ValueId a, ValueId b, std::string label) {
+  return add_op(OpKind::kSub, {a, b}, {}, std::move(label))[0];
+}
+ValueId Graph::mul(ValueId a, ValueId b, std::string label) {
+  return add_op(OpKind::kMul, {a, b}, {}, std::move(label))[0];
+}
+ValueId Graph::div(ValueId a, ValueId b, std::string label) {
+  return add_op(OpKind::kDiv, {a, b}, {}, std::move(label))[0];
+}
+
+ValueId Graph::add_scalar(ValueId a, float s, std::string label) {
+  OpAttrs attrs;
+  attrs.scalar = s;
+  return add_op(OpKind::kAddScalar, {a}, attrs, std::move(label))[0];
+}
+ValueId Graph::mul_scalar(ValueId a, float s, std::string label) {
+  OpAttrs attrs;
+  attrs.scalar = s;
+  return add_op(OpKind::kMulScalar, {a}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::unary(tpc::UnaryKind kind, ValueId x, float alpha, std::string label) {
+  OpAttrs attrs;
+  attrs.unary = kind;
+  attrs.alpha = alpha;
+  if (label.empty()) label = tpc::unary_kind_name(kind);
+  return add_op(OpKind::kUnary, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::glu(ValueId x, bool requires_recompile, std::string label) {
+  OpAttrs attrs;
+  attrs.requires_recompile = requires_recompile;
+  return add_op(OpKind::kGlu, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::softmax(ValueId x, std::string label) {
+  return add_op(OpKind::kSoftmax, {x}, {}, std::move(label))[0];
+}
+
+std::vector<ValueId> Graph::layernorm(ValueId x, ValueId gamma, ValueId beta,
+                                      float eps, std::string label) {
+  OpAttrs attrs;
+  attrs.eps = eps;
+  return add_op(OpKind::kLayerNorm, {x, gamma, beta}, attrs, std::move(label));
+}
+
+ValueId Graph::reduce_sum(ValueId x, std::string label) {
+  return add_op(OpKind::kReduceSum, {x}, {}, std::move(label))[0];
+}
+ValueId Graph::reduce_mean(ValueId x, std::string label) {
+  return add_op(OpKind::kReduceMean, {x}, {}, std::move(label))[0];
+}
+
+ValueId Graph::broadcast_last(ValueId x, std::int64_t d, std::string label) {
+  OpAttrs attrs;
+  attrs.dim = d;
+  return add_op(OpKind::kBroadcastLast, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::add_rowvec(ValueId x, ValueId v, std::string label) {
+  return add_op(OpKind::kAddRowvec, {x, v}, {}, std::move(label))[0];
+}
+
+ValueId Graph::transpose(ValueId x, std::string label) {
+  return add_op(OpKind::kTranspose, {x}, {}, std::move(label))[0];
+}
+
+ValueId Graph::swap_axes12(ValueId x, std::string label) {
+  return add_op(OpKind::kSwapAxes12, {x}, {}, std::move(label))[0];
+}
+
+ValueId Graph::reshape(ValueId x, tensor::Shape new_shape, std::string label) {
+  OpAttrs attrs;
+  attrs.shape = std::move(new_shape);
+  return add_op(OpKind::kReshape, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::concat_rows(ValueId a, ValueId b, std::string label) {
+  return add_op(OpKind::kConcatRows, {a, b}, {}, std::move(label))[0];
+}
+
+ValueId Graph::slice_rows(ValueId x, std::int64_t begin, std::int64_t count,
+                          std::string label) {
+  OpAttrs attrs;
+  attrs.dim = begin;
+  attrs.count = count;
+  return add_op(OpKind::kSliceRows, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::cast(ValueId x, tensor::DType to, std::string label) {
+  OpAttrs attrs;
+  attrs.cast_to = to;
+  return add_op(OpKind::kCast, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::fill(tensor::Shape shape, float v, std::string label) {
+  OpAttrs attrs;
+  attrs.shape = std::move(shape);
+  attrs.scalar = v;
+  return add_op(OpKind::kFill, {}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::ones_like(ValueId x, std::string label) {
+  return fill(value(x).shape, 1.0f, std::move(label));
+}
+
+ValueId Graph::dropout(ValueId x, float p, std::uint64_t seed, std::string label) {
+  OpAttrs attrs;
+  attrs.p = p;
+  attrs.seed = seed;
+  return add_op(OpKind::kDropout, {x}, attrs, std::move(label))[0];
+}
+
+ValueId Graph::embedding(ValueId table, ValueId ids, std::string label) {
+  return add_op(OpKind::kEmbedding, {table, ids}, {}, std::move(label))[0];
+}
+
+ValueId Graph::cross_entropy_mean(ValueId logits, ValueId targets,
+                                  std::string label) {
+  return add_op(OpKind::kCrossEntropyMean, {logits, targets}, {},
+                std::move(label))[0];
+}
+
+}  // namespace gaudi::graph

@@ -1,0 +1,149 @@
+// Graph IR: values, nodes, and a builder with shape inference.
+//
+// A Graph is the unit SynapseAI compiles: values are tensors (inputs,
+// parameters, intermediates), nodes are ops.  Construction performs shape
+// inference and validation; execution and scheduling live in runtime.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "tensor/shape.hpp"
+
+namespace gaudi::graph {
+
+using ValueId = std::int32_t;
+using NodeId = std::int32_t;
+inline constexpr ValueId kInvalidValue = -1;
+
+/// How a value enters the graph.
+enum class ValueRole : std::uint8_t {
+  kInput,         ///< fed at run time (activations, token ids)
+  kParam,         ///< persistent parameter (weights)
+  kIntermediate,  ///< produced by a node
+};
+
+struct ValueInfo {
+  tensor::Shape shape;
+  tensor::DType dtype = tensor::DType::F32;
+  ValueRole role = ValueRole::kIntermediate;
+  std::string name;
+  NodeId producer = -1;       ///< -1 for inputs/params
+  std::vector<NodeId> consumers;
+  bool is_output = false;     ///< kept alive until the end of the run
+
+  [[nodiscard]] std::size_t nbytes() const {
+    return static_cast<std::size_t>(shape.numel()) * tensor::dtype_size(dtype);
+  }
+};
+
+struct Node {
+  OpKind kind{};
+  OpAttrs attrs{};
+  std::string label;
+  std::vector<ValueId> inputs;
+  std::vector<ValueId> outputs;
+};
+
+class Graph {
+ public:
+  // -- Value creation ---------------------------------------------------------
+
+  ValueId input(tensor::Shape shape, tensor::DType dtype = tensor::DType::F32,
+                std::string name = "input");
+  ValueId param(tensor::Shape shape, std::string name = "param");
+
+  /// Marks a value as a graph output (kept alive; returned from runs).
+  void mark_output(ValueId v);
+
+  // -- Generic op insertion ----------------------------------------------------
+
+  /// Appends a node; output shapes are inferred from the op kind and inputs.
+  /// Returns the new node's outputs.
+  std::vector<ValueId> add_op(OpKind kind, std::vector<ValueId> inputs,
+                              OpAttrs attrs = {}, std::string label = "");
+
+  // -- Convenience builders (single-output ops) --------------------------------
+
+  ValueId matmul(ValueId a, ValueId b, bool trans_a = false, bool trans_b = false,
+                 std::string label = "matmul");
+  /// Matmul with the bias add fused into the MME drain (as the graph
+  /// compiler does for Linear layers).
+  ValueId matmul_bias(ValueId a, ValueId b, ValueId bias,
+                      std::string label = "matmul_bias");
+  ValueId add(ValueId a, ValueId b, std::string label = "add");
+  ValueId sub(ValueId a, ValueId b, std::string label = "sub");
+  ValueId mul(ValueId a, ValueId b, std::string label = "mul");
+  ValueId div(ValueId a, ValueId b, std::string label = "div");
+  ValueId add_scalar(ValueId a, float s, std::string label = "add_scalar");
+  ValueId mul_scalar(ValueId a, float s, std::string label = "mul_scalar");
+  ValueId unary(tpc::UnaryKind kind, ValueId x, float alpha = 1.0f,
+                std::string label = "");
+  ValueId exp(ValueId x) { return unary(tpc::UnaryKind::kExp, x, 1.0f, "exp"); }
+  ValueId relu(ValueId x) { return unary(tpc::UnaryKind::kRelu, x, 1.0f, "relu"); }
+  ValueId gelu(ValueId x) { return unary(tpc::UnaryKind::kGelu, x, 1.0f, "gelu"); }
+  ValueId elu(ValueId x, float alpha = 1.0f) {
+    return unary(tpc::UnaryKind::kElu, x, alpha, "elu");
+  }
+  ValueId sigmoid(ValueId x) {
+    return unary(tpc::UnaryKind::kSigmoid, x, 1.0f, "sigmoid");
+  }
+  ValueId glu(ValueId x, bool requires_recompile = true,
+              std::string label = "glu");
+  ValueId softmax(ValueId x, std::string label = "softmax");
+  /// Returns {y, saved_mean, saved_rstd}.
+  std::vector<ValueId> layernorm(ValueId x, ValueId gamma, ValueId beta,
+                                 float eps = 1e-5f, std::string label = "layernorm");
+  ValueId reduce_sum(ValueId x, std::string label = "reduce_sum");
+  ValueId reduce_mean(ValueId x, std::string label = "reduce_mean");
+  ValueId broadcast_last(ValueId x, std::int64_t d,
+                         std::string label = "broadcast_last");
+  ValueId add_rowvec(ValueId x, ValueId v, std::string label = "bias_add");
+  ValueId transpose(ValueId x, std::string label = "transpose");
+  /// [A,B,C,D] -> [A,C,B,D] (multi-head head split/merge).
+  ValueId swap_axes12(ValueId x, std::string label = "swap_axes12");
+  /// Concatenate along the row (rank-2) axis: the KV-cache append.
+  ValueId concat_rows(ValueId a, ValueId b, std::string label = "concat_rows");
+  /// Slice `count` rows starting at `begin` along the row axis.
+  ValueId slice_rows(ValueId x, std::int64_t begin, std::int64_t count,
+                     std::string label = "slice_rows");
+  ValueId reshape(ValueId x, tensor::Shape new_shape, std::string label = "reshape");
+  /// Precision cast (f32 <-> bf16) on the TPC.
+  ValueId cast(ValueId x, tensor::DType to, std::string label = "cast");
+  ValueId fill(tensor::Shape shape, float value, std::string label = "fill");
+  ValueId ones_like(ValueId x, std::string label = "ones_like");
+  ValueId dropout(ValueId x, float p, std::uint64_t seed,
+                  std::string label = "dropout");
+  ValueId embedding(ValueId table, ValueId ids, std::string label = "embedding");
+  /// Mean cross-entropy over [N, V] logits and [N] i32 targets -> scalar [1].
+  ValueId cross_entropy_mean(ValueId logits, ValueId targets,
+                             std::string label = "cross_entropy");
+
+  // -- Introspection -----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<ValueInfo>& values() const { return values_; }
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const ValueInfo& value(ValueId v) const;
+  [[nodiscard]] const Node& node(NodeId n) const;
+  [[nodiscard]] std::size_t num_values() const { return values_.size(); }
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Total bytes of all parameter values.
+  [[nodiscard]] std::size_t param_bytes() const;
+
+ private:
+  ValueId new_value(tensor::Shape shape, tensor::DType dtype, ValueRole role,
+                    std::string name, NodeId producer);
+  /// Infers output ValueInfos for a node being added.
+  std::vector<ValueId> infer_outputs(OpKind kind, const OpAttrs& attrs,
+                                     const std::vector<ValueId>& inputs,
+                                     const std::string& label, NodeId node_id);
+
+  std::vector<ValueInfo> values_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace gaudi::graph

@@ -1,0 +1,101 @@
+// Operation vocabulary of the graph IR.
+//
+// This mirrors the PyTorch-on-SynapseAI operator set the paper profiles
+// (Table 1), plus the fused backward ops a training step needs.  The
+// mapping rule is the paper's central observation: *only matrix products
+// run on the MME; everything else — element-wise ops, reductions, softmax,
+// even scalar*tensor — runs on the TPC.*
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "tensor/shape.hpp"
+#include "tpc/kernels.hpp"
+
+namespace gaudi::graph {
+
+enum class OpKind : std::uint8_t {
+  // MME
+  kMatMul,
+  // Element-wise binary (TPC)
+  kAdd, kSub, kMul, kDiv, kMaxEw,
+  // Element-wise with a scalar immediate (TPC)
+  kAddScalar, kSubScalar, kRsubScalar, kMulScalar,
+  // Element-wise unary (TPC); the unary flavour lives in OpAttrs::unary
+  kUnary,
+  kUnaryGrad,
+  // Structured TPC ops
+  kGlu, kGluGrad,
+  kDropout,
+  kSoftmax, kSoftmaxGrad,
+  kLayerNorm, kLayerNormInputGrad, kLayerNormParamGrad,
+  kReduceSum, kReduceMax, kReduceMean,
+  kBroadcastLast,
+  kAddRowvec, kMulRowvec,
+  kColumnSum,
+  kFill,
+  kTranspose,
+  kSwapAxes12,
+  kAddMask2D,
+  kConcatRows,
+  kSliceRows,
+  kEmbedding, kEmbeddingGrad,
+  kCrossEntropyMean, kCrossEntropyGrad,
+  kSgdUpdate, kAdamUpdate,
+  kCast,
+  // Metadata-only (no engine time; the compiler elides it)
+  kReshape,
+};
+
+[[nodiscard]] std::string_view op_kind_name(OpKind k);
+
+/// Compute engines of the chip, as they appear in hardware traces.
+enum class Engine : std::uint8_t {
+  kMme,
+  kTpc,
+  kDma,
+  kHost,  ///< graph-compiler activity (e.g. JIT recompilation stalls)
+  kNone,  ///< metadata ops that consume no engine time
+};
+
+[[nodiscard]] std::string_view engine_name(Engine e);
+
+/// Static attributes of an op.
+struct OpAttrs {
+  tpc::UnaryKind unary = tpc::UnaryKind::kRelu;  ///< for kUnary/kUnaryGrad
+  float alpha = 1.0f;       ///< leaky slope / ELU alpha
+  float scalar = 0.0f;      ///< immediate for scalar ops
+  float eps = 1e-5f;        ///< layernorm epsilon
+  float p = 0.0f;           ///< dropout probability
+  float scale = 1.0f;       ///< cross-entropy-grad scale
+  std::uint64_t seed = 0;   ///< dropout RNG offset
+  float lr = 1e-3f;         ///< optimizer learning rate
+  float beta1 = 0.9f;       ///< Adam first-moment decay / SGD momentum
+  float beta2 = 0.999f;     ///< Adam second-moment decay
+  std::int64_t step = 1;    ///< Adam bias-correction step counter
+  std::int64_t dim = 0;     ///< broadcast width / embedding vocab / slice begin
+  std::int64_t count = 0;   ///< slice row count
+  tensor::DType cast_to = tensor::DType::F32;  ///< target dtype for kCast
+  tensor::Shape shape{};    ///< target shape for kFill / kReshape
+  bool trans_a = false;     ///< matmul operand transposes
+  bool trans_b = false;
+  /// The op lacks first-class backend support and forces a JIT recompile on
+  /// first execution (the paper's explanation of GLU's MME blank area).
+  bool requires_recompile = false;
+};
+
+/// The operation -> engine mapping (paper Table 1): matrix products to the
+/// MME, everything else to the TPC; pure-metadata ops run nowhere.
+[[nodiscard]] constexpr Engine engine_of(OpKind k) {
+  switch (k) {
+    case OpKind::kMatMul:
+      return Engine::kMme;
+    case OpKind::kReshape:
+      return Engine::kNone;
+    default:
+      return Engine::kTpc;
+  }
+}
+
+}  // namespace gaudi::graph

@@ -1,0 +1,95 @@
+#include "graph/printer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace gaudi::graph {
+
+namespace {
+
+void dot_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') os << '\\';
+    os << c;
+  }
+}
+
+const char* engine_color(Engine e) {
+  switch (e) {
+    case Engine::kMme: return "#4e79a7";   // blue
+    case Engine::kTpc: return "#f28e2b";   // orange
+    case Engine::kDma: return "#59a14f";   // green
+    case Engine::kHost: return "#e15759";  // red
+    case Engine::kNone: return "#bab0ac";  // gray
+  }
+  return "#000000";
+}
+
+}  // namespace
+
+std::string to_text(const Graph& g) {
+  std::ostringstream os;
+  os << "graph: " << g.num_nodes() << " nodes, " << g.num_values()
+     << " values, " << g.param_bytes() << " param bytes\n";
+  for (NodeId n = 0; n < static_cast<NodeId>(g.num_nodes()); ++n) {
+    const Node& node = g.node(n);
+    os << "  %" << n << " [" << engine_name(engine_of(node.kind)) << "] "
+       << node.label << " (" << op_kind_name(node.kind) << ")  ";
+    os << "(";
+    for (std::size_t i = 0; i < node.inputs.size(); ++i) {
+      if (i) os << ", ";
+      os << "v" << node.inputs[i] << g.value(node.inputs[i]).shape.to_string();
+    }
+    os << ") -> (";
+    for (std::size_t i = 0; i < node.outputs.size(); ++i) {
+      if (i) os << ", ";
+      os << "v" << node.outputs[i] << g.value(node.outputs[i]).shape.to_string();
+    }
+    os << ")\n";
+  }
+  return os.str();
+}
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "digraph gaudisim {\n  rankdir=TB;\n"
+     << "  node [shape=box, style=filled, fontname=\"monospace\"];\n";
+
+  // Graph inputs/params as distinct shapes.
+  for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
+    const ValueInfo& info = g.value(v);
+    if (info.role == ValueRole::kIntermediate) continue;
+    os << "  v" << v << " [shape="
+       << (info.role == ValueRole::kParam ? "ellipse" : "invhouse")
+       << ", fillcolor=\"#d3e0ea\", label=\"";
+    dot_escape(os, info.name);
+    os << "\\n" << info.shape.to_string() << "\"];\n";
+  }
+
+  for (NodeId n = 0; n < static_cast<NodeId>(g.num_nodes()); ++n) {
+    const Node& node = g.node(n);
+    const Engine e = engine_of(node.kind);
+    os << "  n" << n << " [fillcolor=\"" << engine_color(e) << "\", label=\"";
+    dot_escape(os, node.label);
+    os << "\\n[" << engine_name(e) << "]\"];\n";
+    for (ValueId v : node.inputs) {
+      const ValueInfo& info = g.value(v);
+      if (info.producer >= 0) {
+        os << "  n" << info.producer << " -> n" << n << " [label=\""
+           << info.shape.to_string() << "\"];\n";
+      } else {
+        os << "  v" << v << " -> n" << n << ";\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+void write_dot(const Graph& g, const std::string& path) {
+  std::ofstream f(path);
+  GAUDI_CHECK(f.good(), "cannot open dot output file: " + path);
+  f << to_dot(g);
+}
+
+}  // namespace gaudi::graph

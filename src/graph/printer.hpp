@@ -1,0 +1,23 @@
+// Graph inspection: human-readable dumps and Graphviz DOT export.
+//
+// The paper's insight #1 asks users to hand the graph compiler enough
+// visibility to schedule well; these printers give the *human* the same
+// visibility — engine coloring makes MME/TPC placement obvious at a glance.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace gaudi::graph {
+
+/// One line per node: id, engine, label, shapes.
+[[nodiscard]] std::string to_text(const Graph& g);
+
+/// Graphviz DOT: nodes colored by engine (MME blue, TPC orange, metadata
+/// gray), edges labeled with tensor shapes.  Render with `dot -Tsvg`.
+[[nodiscard]] std::string to_dot(const Graph& g);
+
+void write_dot(const Graph& g, const std::string& path);
+
+}  // namespace gaudi::graph

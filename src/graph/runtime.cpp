@@ -1,0 +1,134 @@
+#include "graph/runtime.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "graph/fusion.hpp"
+#include "tpc/cluster.hpp"
+
+namespace gaudi::graph {
+
+ProfileResult Runtime::run(const Graph& g,
+                           const std::unordered_map<ValueId, tensor::Tensor>& feeds,
+                           const RunOptions& opts) const {
+  const bool functional = opts.mode == tpc::ExecMode::kFunctional;
+
+  std::vector<tensor::Tensor> tensors(g.num_values());
+  memory::DeviceAllocator hbm(cfg_.memory);
+  std::vector<memory::Allocation> allocs(g.num_values());
+  // Remaining consumers per value; freed when it reaches zero.
+  std::vector<std::int32_t> pending(g.num_values(), 0);
+
+  // Bind inputs/params and allocate their device residency.
+  for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
+    const ValueInfo& info = g.value(v);
+    pending[static_cast<std::size_t>(v)] =
+        static_cast<std::int32_t>(info.consumers.size());
+    if (info.role == ValueRole::kIntermediate) continue;
+
+    if (functional) {
+      auto it = feeds.find(v);
+      GAUDI_CHECK(it != feeds.end(),
+                  "functional run is missing a feed for '" + info.name + "'");
+      GAUDI_CHECK(it->second.shape() == info.shape,
+                  "feed shape mismatch for '" + info.name + "'");
+      GAUDI_CHECK(it->second.dtype() == info.dtype,
+                  "feed dtype mismatch for '" + info.name + "'");
+      tensors[static_cast<std::size_t>(v)] = it->second;
+    } else {
+      tensors[static_cast<std::size_t>(v)] =
+          tensor::Tensor::phantom(info.shape, info.dtype);
+    }
+    if (opts.account_memory) {
+      allocs[static_cast<std::size_t>(v)] = hbm.allocate(info.nbytes(), info.name);
+    }
+  }
+
+  NodeExecutor executor(cfg_, sim::CounterRng{opts.seed});
+  std::vector<NodeExec> execs(g.num_nodes());
+
+  std::optional<FusionPlan> fusion;
+  if (opts.fuse_elementwise) {
+    fusion.emplace(plan_fusion(g));
+  }
+  auto is_internal = [&](ValueId v) {
+    return fusion && fusion->internal_value[static_cast<std::size_t>(v)];
+  };
+
+  auto release_if_dead = [&](ValueId v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const ValueInfo& info = g.value(v);
+    if (pending[vi] == 0 && !info.is_output &&
+        info.role == ValueRole::kIntermediate) {
+      if (opts.account_memory && allocs[vi].valid()) {
+        hbm.release(allocs[vi]);
+        allocs[vi] = memory::Allocation{};
+      }
+      if (!info.is_output) {
+        tensors[vi] = tensor::Tensor{};  // drop host storage too
+      }
+    }
+  };
+
+  for (NodeId nid = 0; nid < static_cast<NodeId>(g.num_nodes()); ++nid) {
+    const Node& n = g.node(nid);
+    // Allocate outputs (reshape aliases its input; fused-chain intermediates
+    // live in vector registers — neither takes device bytes).
+    if (opts.account_memory && n.kind != OpKind::kReshape) {
+      for (ValueId v : n.outputs) {
+        if (is_internal(v)) continue;
+        allocs[static_cast<std::size_t>(v)] =
+            hbm.allocate(g.value(v).nbytes(), g.value(v).name);
+      }
+    }
+    execs[static_cast<std::size_t>(nid)] = executor.run(g, nid, tensors, opts.mode);
+
+    if (fusion && fusion->fused(nid)) {
+      NodeExec& exec = execs[static_cast<std::size_t>(nid)];
+      if (fusion->is_group_tail(g, nid)) {
+        // The whole chain executes as one kernel; charge its cost here.
+        // Numerics were already produced by the per-op path above, so the
+        // fused kernel runs in timing mode only.
+        const FusionGroup& group =
+            fusion->groups[static_cast<std::size_t>(
+                fusion->group_of[static_cast<std::size_t>(nid)])];
+        const FusedChainKernel kernel(g, group, tensors);
+        const tpc::RunResult r =
+            executor.cluster().run(kernel, tpc::ExecMode::kTiming);
+        exec.engine = Engine::kTpc;
+        exec.duration = r.duration;
+        exec.flops = r.flops;
+        exec.label = kernel.name();
+      } else {
+        // Non-tail links contribute no separate engine time.
+        exec.engine = Engine::kNone;
+        exec.duration = sim::SimTime::zero();
+        exec.flops = 0;
+      }
+    }
+
+    for (ValueId v : n.inputs) {
+      auto& p = pending[static_cast<std::size_t>(v)];
+      GAUDI_ASSERT(p > 0, "consumer refcount underflow");
+      --p;
+      release_if_dead(v);
+    }
+    // Outputs nobody consumes (and not marked graph outputs) die immediately.
+    for (ValueId v : n.outputs) release_if_dead(v);
+  }
+
+  ProfileResult result;
+  result.trace = schedule(g, execs, cfg_, opts.policy);
+  result.makespan = result.trace.makespan();
+  result.hbm_peak_bytes = hbm.peak();
+  result.hbm_capacity_bytes = hbm.capacity();
+  result.node_execs = std::move(execs);
+  for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
+    if (g.value(v).is_output) {
+      result.outputs.emplace(v, tensors[static_cast<std::size_t>(v)]);
+    }
+  }
+  return result;
+}
+
+}  // namespace gaudi::graph

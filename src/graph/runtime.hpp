@@ -1,0 +1,63 @@
+// Graph runtime: compile-and-run with profiling, the SynapseAI analogue.
+//
+// A run executes every node (functional numerics or timing-only), accounts
+// simulated HBM occupancy with liveness-based freeing (so the paper's
+// memory-limited configurations are enforced), schedules the node durations
+// onto engine timelines under the selected policy, and returns the hardware
+// trace plus any requested outputs.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "graph/graph.hpp"
+#include "graph/scheduler.hpp"
+#include "graph/trace.hpp"
+#include "memory/device_memory.hpp"
+#include "sim/chip_config.hpp"
+
+namespace gaudi::graph {
+
+struct RunOptions {
+  tpc::ExecMode mode = tpc::ExecMode::kFunctional;
+  SchedulePolicy policy = SchedulePolicy::kBarrier;
+  std::uint64_t seed = 0x6A0D1;
+  /// Enforce the HBM capacity (throws sim::ResourceExhausted on overflow).
+  bool account_memory = true;
+  /// Apply the element-wise fusion pass: single-consumer chains of
+  /// element-wise TPC ops execute as one fused kernel, their intermediates
+  /// never touching device memory (see graph/fusion.hpp).
+  bool fuse_elementwise = false;
+};
+
+struct ProfileResult {
+  Trace trace;
+  sim::SimTime makespan{};
+  /// Graph outputs (functional mode only; phantom tensors otherwise).
+  std::unordered_map<ValueId, tensor::Tensor> outputs;
+  /// Peak simulated HBM occupancy over the run.
+  std::size_t hbm_peak_bytes = 0;
+  std::size_t hbm_capacity_bytes = 0;
+  /// Per-node execution records (indexed by NodeId).
+  std::vector<NodeExec> node_execs;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(sim::ChipConfig cfg = sim::ChipConfig::hls1()) : cfg_(cfg) {}
+
+  [[nodiscard]] const sim::ChipConfig& config() const { return cfg_; }
+
+  /// Runs `g`.  In functional mode every kInput/kParam value must appear in
+  /// `feeds`; in timing mode feeds are ignored.
+  ProfileResult run(const Graph& g,
+                    const std::unordered_map<ValueId, tensor::Tensor>& feeds,
+                    const RunOptions& opts = {}) const;
+
+ private:
+  sim::ChipConfig cfg_;
+};
+
+}  // namespace gaudi::graph

@@ -1,0 +1,138 @@
+#include "graph/scheduler.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "memory/dma.hpp"
+
+namespace gaudi::graph {
+
+const char* schedule_policy_name(SchedulePolicy p) {
+  return p == SchedulePolicy::kBarrier ? "barrier" : "overlap";
+}
+
+namespace {
+
+/// Engine availability and issue bookkeeping during list scheduling.
+struct SchedState {
+  sim::SimTime engine_free[5]{};  // indexed by Engine
+  sim::SimTime global_last_end{};
+  Engine last_issued = Engine::kNone;
+  bool recompiled = false;
+
+  sim::SimTime& free(Engine e) { return engine_free[static_cast<std::size_t>(e)]; }
+};
+
+}  // namespace
+
+Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
+               const sim::ChipConfig& cfg, SchedulePolicy policy) {
+  GAUDI_CHECK(execs.size() == g.num_nodes(),
+              "scheduler needs one NodeExec per graph node");
+
+  Trace trace;
+  SchedState st;
+
+  // When each value becomes available on its producing engine; and, after a
+  // DMA, when it becomes available to a *different* engine.
+  std::vector<sim::SimTime> value_ready(g.num_values(), sim::SimTime::zero());
+  // Engine that materialized each value (kNone for inputs/params — engines
+  // read those straight from HBM, no inter-engine DMA involved).
+  std::vector<Engine> value_engine(g.num_values(), Engine::kNone);
+  // DMA completion per (value, destination engine), deduplicated.
+  std::map<std::pair<ValueId, Engine>, sim::SimTime> dma_done;
+
+  const bool barrier = policy == SchedulePolicy::kBarrier;
+
+  auto issue = [&](Engine eng, sim::SimTime ready, sim::SimTime dur,
+                   TraceEvent ev) -> sim::SimTime {
+    sim::SimTime start = std::max(ready, st.free(eng));
+    if (barrier && st.last_issued != Engine::kNone && st.last_issued != eng) {
+      start = std::max(start, st.global_last_end);
+    }
+    const sim::SimTime end = start + dur;
+    ev.start = start;
+    ev.end = end;
+    trace.add(std::move(ev));
+    st.free(eng) = end;
+    st.global_last_end = std::max(st.global_last_end, end);
+    st.last_issued = eng;
+    return end;
+  };
+
+  for (NodeId nid = 0; nid < static_cast<NodeId>(g.num_nodes()); ++nid) {
+    const Node& n = g.node(nid);
+    const NodeExec& ex = execs[static_cast<std::size_t>(nid)];
+
+    // Metadata ops: propagate readiness, consume no engine time.
+    if (ex.engine == Engine::kNone) {
+      sim::SimTime ready = sim::SimTime::zero();
+      Engine src_engine = Engine::kNone;
+      for (ValueId v : n.inputs) {
+        ready = std::max(ready, value_ready[static_cast<std::size_t>(v)]);
+        src_engine = value_engine[static_cast<std::size_t>(v)];
+      }
+      for (ValueId v : n.outputs) {
+        value_ready[static_cast<std::size_t>(v)] = ready;
+        value_engine[static_cast<std::size_t>(v)] = src_engine;
+      }
+      continue;
+    }
+
+    // JIT recompilation stall: the graph compiler halts the device once for
+    // an op without first-class backend support (observed for GLU, §3.3).
+    if (n.attrs.requires_recompile && !st.recompiled) {
+      st.recompiled = true;
+      TraceEvent ev;
+      ev.engine = Engine::kHost;
+      ev.name = "graph_compiler.recompile(" + n.label + ")";
+      ev.node = nid;
+      issue(Engine::kHost, st.global_last_end, cfg.compiler.recompile_stall,
+            std::move(ev));
+    }
+
+    // Input readiness, inserting DMA for cross-engine edges.
+    sim::SimTime ready = sim::SimTime::zero();
+    for (ValueId v : n.inputs) {
+      const auto vi = static_cast<std::size_t>(v);
+      sim::SimTime r = value_ready[vi];
+      const Engine src = value_engine[vi];
+      if (src != Engine::kNone && src != ex.engine) {
+        const auto key = std::make_pair(v, ex.engine);
+        auto it = dma_done.find(key);
+        if (it == dma_done.end()) {
+          const std::size_t bytes = g.value(v).nbytes();
+          TraceEvent ev;
+          ev.engine = Engine::kDma;
+          ev.name = "dma:" + g.value(v).name;
+          ev.node = nid;
+          ev.bytes = bytes;
+          const sim::SimTime end =
+              issue(Engine::kDma, r, memory::dma_transfer_time(cfg.memory, bytes),
+                    std::move(ev));
+          it = dma_done.emplace(key, end).first;
+        }
+        r = it->second;
+      }
+      ready = std::max(ready, r);
+    }
+
+    TraceEvent ev;
+    ev.engine = ex.engine;
+    ev.name = ex.label.empty() ? n.label : ex.label;
+    ev.node = nid;
+    ev.flops = ex.flops;
+    ev.bytes = ex.bytes;
+    const sim::SimTime end = issue(ex.engine, ready, ex.duration, std::move(ev));
+
+    for (ValueId v : n.outputs) {
+      value_ready[static_cast<std::size_t>(v)] = end;
+      value_engine[static_cast<std::size_t>(v)] = ex.engine;
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace gaudi::graph

@@ -1,0 +1,42 @@
+// Engine-level schedulers.
+//
+// Two policies model the two compiler behaviours the paper contrasts:
+//
+//  * kBarrier — what the traces show SynapseAI doing on these graphs: ops
+//    issue in program order and every engine switch acts as a full barrier,
+//    so MME and TPC never overlap ("There is no good overlap between MME and
+//    TPC", §3.4; "Graph Compiler does not detect this independence", §3.3).
+//
+//  * kOverlap — the independence-aware schedule the paper says the compiler
+//    *should* produce: dependency-driven list scheduling with in-order issue
+//    per engine, which lets e.g. FAVOR's q′ and k′ branches overlap MME and
+//    TPC work.
+//
+// Both insert DMA transfers on MME<->TPC edges (data moves through shared
+// memory via the DMA engine, paper §2.1) and a HOST stall for ops flagged
+// `requires_recompile` (the paper's explanation of GLU's blank area).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "graph/graph.hpp"
+#include "graph/trace.hpp"
+#include "sim/chip_config.hpp"
+
+namespace gaudi::graph {
+
+enum class SchedulePolicy : std::uint8_t {
+  kBarrier,  ///< observed SynapseAI behaviour: engine switches serialize
+  kOverlap,  ///< independence-aware: dataflow-limited overlap
+};
+
+[[nodiscard]] const char* schedule_policy_name(SchedulePolicy p);
+
+/// Places node executions on engine timelines and returns the trace.
+/// `execs` must be indexed by NodeId (one entry per graph node).
+[[nodiscard]] Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
+                             const sim::ChipConfig& cfg, SchedulePolicy policy);
+
+}  // namespace gaudi::graph

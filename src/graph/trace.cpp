@@ -1,0 +1,154 @@
+#include "graph/trace.hpp"
+
+#include <algorithm>
+#include <array>
+#include <fstream>
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace gaudi::graph {
+
+void Trace::add(TraceEvent e) {
+  GAUDI_CHECK(e.end >= e.start, "trace event ends before it starts");
+  events_.push_back(std::move(e));
+}
+
+sim::SimTime Trace::makespan() const {
+  sim::SimTime m = sim::SimTime::zero();
+  for (const auto& e : events_) m = std::max(m, e.end);
+  return m;
+}
+
+sim::SimTime Trace::busy(Engine eng) const {
+  sim::SimTime b = sim::SimTime::zero();
+  for (const auto& e : events_) {
+    if (e.engine == eng) b += e.duration();
+  }
+  return b;
+}
+
+double Trace::utilization(Engine eng) const {
+  const sim::SimTime m = makespan();
+  if (m <= sim::SimTime::zero()) return 0.0;
+  return busy(eng).seconds() / m.seconds();
+}
+
+std::vector<Gap> Trace::gaps(Engine eng) const {
+  std::vector<TraceEvent> mine;
+  for (const auto& e : events_) {
+    if (e.engine == eng) mine.push_back(e);
+  }
+  std::sort(mine.begin(), mine.end(),
+            [](const TraceEvent& a, const TraceEvent& b) { return a.start < b.start; });
+
+  std::vector<Gap> gaps;
+  sim::SimTime cursor = sim::SimTime::zero();
+  for (const auto& e : mine) {
+    if (e.start > cursor) gaps.push_back(Gap{cursor, e.start});
+    cursor = std::max(cursor, e.end);
+  }
+  const sim::SimTime m = makespan();
+  if (m > cursor) gaps.push_back(Gap{cursor, m});
+  return gaps;
+}
+
+sim::SimTime Trace::busy_matching(const std::string& substr, Engine eng) const {
+  sim::SimTime b = sim::SimTime::zero();
+  for (const auto& e : events_) {
+    if (eng != Engine::kNone && e.engine != eng) continue;
+    if (e.name.find(substr) != std::string::npos) b += e.duration();
+  }
+  return b;
+}
+
+double Trace::share_of_engine(const std::string& substr, Engine eng) const {
+  const sim::SimTime total = busy(eng);
+  if (total <= sim::SimTime::zero()) return 0.0;
+  return busy_matching(substr, eng).seconds() / total.seconds();
+}
+
+std::map<std::string, sim::SimTime> Trace::busy_by_name(Engine eng) const {
+  std::map<std::string, sim::SimTime> by_name;
+  for (const auto& e : events_) {
+    if (e.engine == eng) by_name[e.name] += e.duration();
+  }
+  return by_name;
+}
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      default: os << c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"";
+    json_escape(os, e.name);
+    os << "\",\"ph\":\"X\",\"pid\":0,\"tid\":\"" << engine_name(e.engine)
+       << "\",\"ts\":" << e.start.us() << ",\"dur\":" << e.duration().us()
+       << ",\"args\":{\"node\":" << e.node << ",\"flops\":" << e.flops
+       << ",\"bytes\":" << e.bytes << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Trace::write_chrome_json(const std::string& path) const {
+  std::ofstream f(path);
+  GAUDI_CHECK(f.good(), "cannot open trace output file: " + path);
+  f << to_chrome_json();
+}
+
+std::string Trace::ascii_timeline(int width) const {
+  GAUDI_CHECK(width >= 10, "timeline width too small");
+  const sim::SimTime m = makespan();
+  std::ostringstream os;
+  if (m <= sim::SimTime::zero()) {
+    os << "(empty trace)\n";
+    return os.str();
+  }
+  const double scale = static_cast<double>(width) / static_cast<double>(m.ps());
+  constexpr std::array<Engine, 4> rows{Engine::kMme, Engine::kTpc, Engine::kDma,
+                                       Engine::kHost};
+  for (Engine eng : rows) {
+    std::string line(static_cast<std::size_t>(width), '.');
+    bool any = false;
+    for (const auto& e : events_) {
+      if (e.engine != eng) continue;
+      any = true;
+      auto b = static_cast<std::int64_t>(static_cast<double>(e.start.ps()) * scale);
+      auto en = static_cast<std::int64_t>(static_cast<double>(e.end.ps()) * scale);
+      b = std::clamp<std::int64_t>(b, 0, width - 1);
+      en = std::clamp<std::int64_t>(en, b, width - 1);
+      const char mark = e.engine == Engine::kHost ? '!' : '#';
+      for (std::int64_t i = b; i <= en; ++i) line[static_cast<std::size_t>(i)] = mark;
+    }
+    if (!any && (eng == Engine::kDma || eng == Engine::kHost)) continue;
+    os << (engine_name(eng).size() == 3 ? std::string(engine_name(eng)) + " "
+                                        : std::string(engine_name(eng)))
+       << " |" << line << "| " << (eng == Engine::kMme || eng == Engine::kTpc
+                                       ? sim::to_string(busy(eng)) + " busy"
+                                       : "")
+       << "\n";
+  }
+  os << "t = 0 .. " << sim::to_string(m) << "  ('#' busy, '.' idle, '!' compile stall)\n";
+  return os.str();
+}
+
+}  // namespace gaudi::graph

@@ -1,0 +1,86 @@
+// Hardware-trace representation and analysis.
+//
+// The paper's evidence is SynapseAI profiler traces (Figures 4-9): per-engine
+// timelines whose blank areas are the story.  Trace captures the same
+// intervals and provides the quantitative reductions the figures are read
+// for — busy/idle fractions, idle-gap inventories, per-op time shares — plus
+// Chrome-trace JSON export for visual inspection in a trace viewer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/op.hpp"
+#include "sim/time.hpp"
+
+namespace gaudi::graph {
+
+struct TraceEvent {
+  Engine engine = Engine::kNone;
+  std::string name;
+  std::int32_t node = -1;
+  sim::SimTime start{};
+  sim::SimTime end{};
+  std::uint64_t flops = 0;
+  std::size_t bytes = 0;
+
+  [[nodiscard]] sim::SimTime duration() const { return end - start; }
+};
+
+/// An idle interval on one engine.
+struct Gap {
+  sim::SimTime start{};
+  sim::SimTime end{};
+  [[nodiscard]] sim::SimTime duration() const { return end - start; }
+};
+
+class Trace {
+ public:
+  void add(TraceEvent e);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const { return events_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+
+  /// End of the last event (start of the first is defined to be t=0).
+  [[nodiscard]] sim::SimTime makespan() const;
+
+  /// Sum of event durations on one engine.
+  [[nodiscard]] sim::SimTime busy(Engine e) const;
+
+  /// busy(e) / makespan(); 0 when the trace is empty.
+  [[nodiscard]] double utilization(Engine e) const;
+
+  /// Idle fraction of the engine across the whole makespan.
+  [[nodiscard]] double idle_fraction(Engine e) const { return 1.0 - utilization(e); }
+
+  /// Idle intervals on `e` between t=0 and the makespan, longest first
+  /// omitted — returned in time order.  These are the "blank areas" of the
+  /// paper's figures.
+  [[nodiscard]] std::vector<Gap> gaps(Engine e) const;
+
+  /// Total busy time of events whose name contains `substr`, on `e` (or on
+  /// all engines when e == Engine::kNone).
+  [[nodiscard]] sim::SimTime busy_matching(const std::string& substr,
+                                           Engine e = Engine::kNone) const;
+
+  /// Share of engine-busy time taken by events whose name contains `substr`.
+  [[nodiscard]] double share_of_engine(const std::string& substr, Engine e) const;
+
+  /// Busy time grouped by event name (per engine).
+  [[nodiscard]] std::map<std::string, sim::SimTime> busy_by_name(Engine e) const;
+
+  /// Chrome-trace JSON ("catapult" format) — loadable in a trace viewer.
+  [[nodiscard]] std::string to_chrome_json() const;
+  void write_chrome_json(const std::string& path) const;
+
+  /// Compact fixed-width ASCII rendering of the per-engine timelines, the
+  /// textual analogue of the paper's figures.
+  [[nodiscard]] std::string ascii_timeline(int width = 100) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gaudi::graph

@@ -1,0 +1,53 @@
+// Simulated device (HBM) memory accounting.
+//
+// The paper's end-to-end configs are explicitly memory-limited ("Due to
+// limited GAUDI memory, we set ... batch size ... as 8"); enforcing the
+// 32 GB HBM budget lets the harness reproduce that constraint instead of
+// silently ignoring it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "sim/chip_config.hpp"
+#include "sim/error.hpp"
+
+namespace gaudi::memory {
+
+/// Opaque handle to a device allocation.
+struct Allocation {
+  std::uint64_t id = 0;
+  std::size_t bytes = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Bump-counting HBM allocator with capacity enforcement and peak tracking.
+///
+/// We only model *occupancy*, not placement: fragmentation is not a
+/// behaviour the paper measures, capacity exhaustion is.
+class DeviceAllocator {
+ public:
+  explicit DeviceAllocator(const sim::MemoryConfig& cfg) : capacity_(cfg.hbm_bytes) {}
+  explicit DeviceAllocator(std::size_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+  /// Throws sim::ResourceExhausted when the allocation would exceed HBM.
+  [[nodiscard]] Allocation allocate(std::size_t bytes, const std::string& tag = "");
+
+  void release(const Allocation& a);
+
+  [[nodiscard]] std::size_t in_use() const { return in_use_; }
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t live_allocations() const { return live_.size(); }
+
+ private:
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::unordered_map<std::uint64_t, std::size_t> live_;
+};
+
+}  // namespace gaudi::memory

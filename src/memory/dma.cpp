@@ -1,0 +1,25 @@
+#include "memory/dma.hpp"
+
+namespace gaudi::memory {
+
+sim::SimTime hbm_transfer_time(const sim::MemoryConfig& cfg, std::size_t bytes) {
+  const double stream_s =
+      static_cast<double>(bytes) / cfg.hbm_bandwidth_bytes_per_s;
+  return cfg.hbm_latency + sim::SimTime::from_seconds(stream_s);
+}
+
+sim::SimTime dma_transfer_time(const sim::MemoryConfig& cfg, std::size_t bytes) {
+  const double stream_s =
+      static_cast<double>(bytes) / cfg.dma_bandwidth_bytes_per_s;
+  return cfg.dma_setup + sim::SimTime::from_seconds(stream_s);
+}
+
+double dma_effective_bandwidth(const sim::MemoryConfig& cfg, std::size_t bytes) {
+  const sim::SimTime t = dma_transfer_time(cfg, bytes);
+  if (t <= sim::SimTime::zero()) {
+    return 0.0;
+  }
+  return static_cast<double>(bytes) / t.seconds();
+}
+
+}  // namespace gaudi::memory

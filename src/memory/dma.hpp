@@ -1,0 +1,30 @@
+// Transfer-time models for HBM and the DMA engine.
+//
+// The DMA engine "streamlines the data exchange between MME and TPC using
+// shared memory" (paper §2.1) and shows up as its own row in the paper's
+// hardware traces (Fig 4); the graph runtime schedules DMA ops onto a
+// dedicated engine queue using these costs.
+#pragma once
+
+#include <cstddef>
+
+#include "sim/chip_config.hpp"
+#include "sim/time.hpp"
+
+namespace gaudi::memory {
+
+/// HBM access time for a streaming transfer of `bytes`.
+[[nodiscard]] sim::SimTime hbm_transfer_time(const sim::MemoryConfig& cfg,
+                                             std::size_t bytes);
+
+/// DMA engine time to move `bytes` between engines through shared memory
+/// (setup + streaming at DMA bandwidth).
+[[nodiscard]] sim::SimTime dma_transfer_time(const sim::MemoryConfig& cfg,
+                                             std::size_t bytes);
+
+/// Effective bandwidth (bytes/s) achieved by a DMA transfer of `bytes`,
+/// including setup cost — useful for bandwidth microbenches.
+[[nodiscard]] double dma_effective_bandwidth(const sim::MemoryConfig& cfg,
+                                             std::size_t bytes);
+
+}  // namespace gaudi::memory

@@ -1,0 +1,94 @@
+#include "mme/mme.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+#include "tensor/ops.hpp"
+
+namespace gaudi::mme {
+
+MmeRunResult MmeEngine::cost(const GemmShape& shape) const {
+  GAUDI_CHECK(shape.batch > 0 && shape.m > 0 && shape.n > 0 && shape.k > 0,
+              "MME gemm shape must be positive");
+  const std::int64_t tile_m =
+      (shape.m + cfg_.array_rows - 1) / cfg_.array_rows;
+  const std::int64_t tile_n =
+      (shape.n + cfg_.array_cols - 1) / cfg_.array_cols;
+  const std::uint64_t out_tiles =
+      static_cast<std::uint64_t>(shape.batch) * tile_m * tile_n;
+
+  // Each output tile occupies the array for k cycles.  The engine's flexible
+  // geometry packs narrow outputs: a tile using only `w` of the array's
+  // columns streams at w/array_cols the full-tile cost, floored at a quarter
+  // of the array (descriptor granularity).  Tile chains stream back-to-back
+  // so fill is paid once per launch.
+  const std::int64_t n_tail = shape.n - (tile_n - 1) * cfg_.array_cols;
+  const std::int64_t m_tail = shape.m - (tile_m - 1) * cfg_.array_rows;
+  const auto packed = [&](std::int64_t used, std::uint32_t full) {
+    const std::int64_t floor = full / 4;
+    return static_cast<double>(std::clamp<std::int64_t>(used, floor, full)) /
+           static_cast<double>(full);
+  };
+  // Average packing over the tile grid (only the tail row/column of tiles is
+  // underfilled).
+  const double n_frac =
+      (static_cast<double>(tile_n - 1) + packed(n_tail, cfg_.array_cols)) /
+      static_cast<double>(tile_n);
+  const double m_frac =
+      (static_cast<double>(tile_m - 1) + packed(m_tail, cfg_.array_rows)) /
+      static_cast<double>(tile_m);
+
+  const double rate = shape.dtype == tensor::DType::BF16
+                          ? cfg_.bf16_throughput_multiplier
+                          : 1.0;
+  const auto compute = static_cast<sim::Cycles>(
+      static_cast<double>(out_tiles) * static_cast<double>(shape.k) * n_frac *
+          m_frac / rate +
+      static_cast<double>(cfg_.pipeline_fill_cycles) + 0.5);
+
+  MmeRunResult r;
+  r.cycles = cfg_.launch_overhead_cycles + compute;
+  r.duration = cfg_.clock().to_time(r.cycles);
+  r.flops = shape.flops();
+  return r;
+}
+
+GemmShape MmeEngine::shape_of(const tensor::Shape& a, const tensor::Shape& b,
+                              bool trans_a, bool trans_b) {
+  GAUDI_CHECK(a.rank() >= 2 && b.rank() >= 2, "MME operands must be rank >= 2");
+  const std::int64_t a_r = a[a.rank() - 2];
+  const std::int64_t a_c = a[a.rank() - 1];
+  const std::int64_t b_r = b[b.rank() - 2];
+  const std::int64_t b_c = b[b.rank() - 1];
+  GemmShape s;
+  s.m = trans_a ? a_c : a_r;
+  s.k = trans_a ? a_r : a_c;
+  const std::int64_t k2 = trans_b ? b_c : b_r;
+  s.n = trans_b ? b_r : b_c;
+  GAUDI_CHECK(s.k == k2, "MME gemm inner dims mismatch");
+  const std::int64_t batch_a = a.batch_count(2);
+  const std::int64_t batch_b = b.batch_count(2);
+  GAUDI_CHECK(batch_a == batch_b || batch_b == 1,
+              "MME gemm batch dims must match (or B be unbatched)");
+  s.batch = batch_a;
+  return s;
+}
+
+tensor::Tensor MmeEngine::execute(const tensor::Tensor& a, const tensor::Tensor& b,
+                                  bool trans_a, bool trans_b) const {
+  GAUDI_CHECK(a.defined() && b.defined(),
+              "MME functional execution requires real tensors");
+  (void)shape_of(a.shape(), b.shape(), trans_a, trans_b);  // validate
+  // bf16 operands compute through the array's widened accumulators; inputs
+  // round through bf16 (they already are) and the result rounds back.
+  const bool bf16 = a.dtype() == tensor::DType::BF16 &&
+                    b.dtype() == tensor::DType::BF16;
+  const tensor::Tensor af = bf16 ? a.to(tensor::DType::F32) : a;
+  const tensor::Tensor bf = bf16 ? b.to(tensor::DType::F32) : b;
+  const tensor::Tensor at = trans_a ? tensor::ops::transpose_last2(af) : af;
+  const tensor::Tensor bt = trans_b ? tensor::ops::transpose_last2(bf) : bf;
+  tensor::Tensor c = tensor::ops::matmul(at, bt);
+  return bf16 ? c.to(tensor::DType::BF16) : c;
+}
+
+}  // namespace gaudi::mme

@@ -1,0 +1,77 @@
+// The Matrix Multiplication Engine.
+//
+// An output-stationary MAC-array model: each 128x128 output tile occupies
+// the array for its full k-extent at one column of results per cycle; tile
+// chains stream back-to-back, so per-op cost is a fixed launch overhead plus
+// one pipeline fill plus sum(k) over output tiles.  Calibrated (DESIGN.md §4)
+// so f32 throughput ramps from ~2.3 TFLOPS at size 128 (overhead-bound) to
+// ~14.6 TFLOPS at size >= 1024, matching the paper's Table 2 measurements.
+//
+// Functional execution delegates the numerics to the reference host GEMM;
+// only matrix products ever run here — the operation-mapping pass sends
+// everything else to the TPC, exactly as SynapseAI does (paper Table 1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/chip_config.hpp"
+#include "sim/time.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gaudi::mme {
+
+/// Shape of one batched-GEMM launch.
+struct GemmShape {
+  std::int64_t batch = 1;
+  std::int64_t m = 0;
+  std::int64_t n = 0;
+  std::int64_t k = 0;
+  /// Compute precision: bf16 (the engine's native training format) streams
+  /// at twice the f32 rate.
+  tensor::DType dtype = tensor::DType::F32;
+
+  [[nodiscard]] std::uint64_t flops() const {
+    return 2ull * static_cast<std::uint64_t>(batch) * m * n * k;
+  }
+};
+
+/// Timing outcome of one MME launch.
+struct MmeRunResult {
+  sim::Cycles cycles = 0;
+  sim::SimTime duration{};
+  std::uint64_t flops = 0;
+
+  [[nodiscard]] double tflops() const {
+    const double s = duration.seconds();
+    return s > 0 ? static_cast<double>(flops) / s * 1e-12 : 0.0;
+  }
+};
+
+class MmeEngine {
+ public:
+  explicit MmeEngine(const sim::MmeConfig& cfg) : cfg_(cfg) {}
+
+  [[nodiscard]] const sim::MmeConfig& config() const { return cfg_; }
+
+  /// Cycle cost of a batched GEMM launch (timing model only).
+  [[nodiscard]] MmeRunResult cost(const GemmShape& shape) const;
+
+  /// Functional batched matmul: a [B.., M, K] @ b [B.., K, N] (b may be
+  /// rank-2 and shared across the batch).  Optional operand transposes act
+  /// on the trailing two dims, as the engine's descriptor would.
+  [[nodiscard]] tensor::Tensor execute(const tensor::Tensor& a,
+                                       const tensor::Tensor& b,
+                                       bool trans_a = false,
+                                       bool trans_b = false) const;
+
+  /// Derives the GemmShape from operand shapes (after transposes); validates
+  /// compatibility the same way execute() would.
+  [[nodiscard]] static GemmShape shape_of(const tensor::Shape& a,
+                                          const tensor::Shape& b, bool trans_a,
+                                          bool trans_b);
+
+ private:
+  sim::MmeConfig cfg_;
+};
+
+}  // namespace gaudi::mme

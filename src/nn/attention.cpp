@@ -1,0 +1,256 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+namespace gaudi::nn {
+
+using graph::Graph;
+using graph::ValueId;
+
+const char* attention_kind_name(AttentionKind k) {
+  switch (k) {
+    case AttentionKind::kSoftmax: return "softmax";
+    case AttentionKind::kLinear: return "linear";
+    case AttentionKind::kPerformer: return "performer";
+    case AttentionKind::kLinformer: return "linformer";
+    case AttentionKind::kLocal: return "local";
+  }
+  return "?";
+}
+
+namespace {
+
+/// phi(x) = act(x) + 1, the positivity-preserving feature map family of the
+/// Linear Transformer; GLU routes through a gated projection first.
+ValueId feature_map(Graph& g, ParamStore& params, Activation act, ValueId x,
+                    ValueId glu_proj, const std::string& label) {
+  (void)params;
+  ValueId f;
+  if (act == Activation::kGlu) {
+    GAUDI_CHECK(glu_proj != graph::kInvalidValue,
+                "GLU feature map requires its gate projection");
+    const ValueId gated = g.matmul(x, glu_proj, false, false, label + ".glu_proj");
+    f = apply_activation(g, act, gated, label);
+  } else {
+    f = apply_activation(g, act, x, label);
+  }
+  return g.add_scalar(f, 1.0f, label + ".plus1");
+}
+
+ValueId softmax_attention(Graph& g, ValueId q, ValueId k, ValueId v,
+                          graph::ValueId mask, const std::string& label) {
+  const tensor::Shape& qs = g.value(q).shape;
+  const auto head_dim = static_cast<float>(qs[qs.rank() - 1]);
+  // Scale Q before the product (N*Dh elements) rather than the N*N score
+  // matrix — the standard deployment of 1/sqrt(D).
+  const ValueId q_scaled = g.mul_scalar(q, 1.0f / std::sqrt(head_dim),
+                                        label + ".scale");
+  ValueId scores = g.matmul(q_scaled, k, false, true, label + ".qk_t");
+  if (mask != graph::kInvalidValue) {
+    scores = g.add_op(graph::OpKind::kAddMask2D, {scores, mask}, {},
+                      label + ".mask")[0];
+  }
+  const ValueId probs = g.softmax(scores, label + ".softmax");
+  return g.matmul(probs, v, false, false, label + ".av");
+}
+
+ValueId linear_attention(Graph& g, ParamStore& params, const AttentionConfig& cfg,
+                         ValueId q, ValueId k, ValueId v,
+                         const std::string& label) {
+  const tensor::Shape& qs = g.value(q).shape;
+  const std::int64_t head_dim = qs[qs.rank() - 1];
+  const tensor::Shape& vs = g.value(v).shape;
+  const std::int64_t d_v = vs[vs.rank() - 1];
+
+  ValueId glu_proj = graph::kInvalidValue;
+  if (cfg.feature_map == Activation::kGlu) {
+    glu_proj = params.create(g, tensor::Shape{{head_dim, 2 * head_dim}},
+                             label + ".glu_gate", Init::kNormal, 0.08f);
+  }
+  const ValueId qp = feature_map(g, params, cfg.feature_map, q, glu_proj,
+                                 label + ".phi_q");
+  const ValueId kp = feature_map(g, params, cfg.feature_map, k, glu_proj,
+                                 label + ".phi_k");
+
+  // Normalizer: phi(Q) (phi(K)^T 1).
+  const tensor::Shape& ks = g.value(kp).shape;
+  const ValueId ones =
+      g.fill(tensor::Shape{{ks[0], ks[1], ks[2], 1}}, 1.0f, label + ".ones");
+  const ValueId norm_k = g.matmul(kp, ones, true, false, label + ".ktones");
+  const ValueId att_norm = g.matmul(qp, norm_k, false, false, label + ".qnorm");
+
+  // Attention: phi(Q) (phi(K)^T V) — the associativity rewrite that keeps
+  // almost all of the computation on the MME.
+  const ValueId kv = g.matmul(kp, v, true, false, label + ".ktv");
+  const ValueId att_raw = g.matmul(qp, kv, false, false, label + ".qkv");
+
+  const ValueId norm_b = g.broadcast_last(att_norm, d_v, label + ".norm_bcast");
+  return g.div(att_raw, norm_b, label + ".normalize");
+}
+
+ValueId performer_attention(Graph& g, ParamStore& params,
+                            const AttentionConfig& cfg, ValueId q, ValueId k,
+                            ValueId v, const std::string& label) {
+  const tensor::Shape& qs = g.value(q).shape;
+  const std::int64_t head_dim = qs[qs.rank() - 1];
+  const std::int64_t m = cfg.performer_features;
+  GAUDI_CHECK(m > 0, "performer_features must be positive");
+
+  // Random (orthogonal-ish) feature matrix: a fixed buffer, not trained.
+  const ValueId features =
+      params.create(g, tensor::Shape{{head_dim, m}}, label + ".features",
+                    Init::kNormal, 1.0f / std::sqrt(static_cast<float>(m)));
+  params.mark_buffer(features);
+
+  const float pre_scale =
+      1.0f / std::pow(static_cast<float>(head_dim), 0.25f);
+  constexpr float kOffset = -0.5f;  // FAVOR stabilizer
+
+  // FAVOR, following the paper's Listing 1 op-for-op.  The q' and k'
+  // branches are data-independent; whether they overlap MME with TPC is
+  // purely the scheduler's call — the crux of Fig 6.
+  const ValueId q_scaled = g.mul_scalar(q, pre_scale, label + ".pre_scale_q");
+  const ValueId q_feat = g.matmul(q_scaled, features, false, false,
+                                  label + ".q_features");
+  const ValueId q_prime =
+      g.exp(g.add_scalar(q_feat, kOffset, label + ".q_offset"));
+
+  const ValueId k_scaled = g.mul_scalar(k, pre_scale, label + ".pre_scale_k");
+  const ValueId k_feat = g.matmul(k_scaled, features, false, false,
+                                  label + ".k_features");
+  const ValueId k_prime =
+      g.exp(g.add_scalar(k_feat, kOffset, label + ".k_offset"));
+
+  const ValueId ones = g.ones_like(v, label + ".ones_like");
+  const ValueId kt_ones = g.matmul(k_prime, ones, true, false, label + ".kt_ones");
+  const ValueId att_norm = g.matmul(q_prime, kt_ones, false, false,
+                                    label + ".att_norm");
+  const ValueId kt_v = g.matmul(k_prime, v, true, false, label + ".kt_v");
+  const ValueId att_raw = g.matmul(q_prime, kt_v, false, false, label + ".att_raw");
+  return g.div(att_raw, att_norm, label + ".normalize");
+}
+
+/// Linformer (Wang et al.): project keys and values along the *sequence*
+/// dimension to a fixed length k, making attention O(N k).  We carry the
+/// projections transposed — ekt = (E K)^T, vtf = (F V)^T — so every product
+/// is a plain MME descriptor (no explicit transpose kernels).
+ValueId linformer_attention(Graph& g, ParamStore& params,
+                            const AttentionConfig& cfg, ValueId q, ValueId k,
+                            ValueId v, const std::string& label) {
+  // By value: adding nodes reallocates the graph's value table.
+  const tensor::Shape ks = g.value(k).shape;
+  const std::int64_t seq = ks[ks.rank() - 2];
+  const auto head_dim = static_cast<float>(ks[ks.rank() - 1]);
+  const std::int64_t proj_k = cfg.linformer_k;
+  GAUDI_CHECK(proj_k > 0, "linformer_k must be positive");
+
+  // Shared projections E^T, F^T in [N, k] layout.
+  const ValueId e_proj =
+      params.create(g, tensor::Shape{{seq, proj_k}}, label + ".E",
+                    Init::kNormal, 1.0f / std::sqrt(static_cast<float>(proj_k)));
+  const ValueId f_proj =
+      params.create(g, tensor::Shape{{seq, proj_k}}, label + ".F",
+                    Init::kNormal, 1.0f / std::sqrt(static_cast<float>(proj_k)));
+
+  const ValueId q_scaled =
+      g.mul_scalar(q, 1.0f / std::sqrt(head_dim), label + ".scale");
+  // (E K)^T = K^T E^T : [B,H,D,k]
+  const ValueId ekt = g.matmul(k, e_proj, true, false, label + ".ek_t");
+  const ValueId scores = g.matmul(q_scaled, ekt, false, false, label + ".scores");
+  const ValueId probs = g.softmax(scores, label + ".softmax");
+  // (F V)^T : [B,H,D,k];  out = probs @ (F V) = probs @ vtf^T.
+  const ValueId vtf = g.matmul(v, f_proj, true, false, label + ".fv_t");
+  return g.matmul(probs, vtf, false, true, label + ".av");
+}
+
+/// Block-local sparse attention: the sequence splits into windows of width
+/// w and each query attends within its own window — the "local" component
+/// of Child et al.'s sparse patterns, O(N w).  Pure reshapes re-batch the
+/// windows, so the blocks become ordinary batched MME products.
+ValueId local_attention(Graph& g, ValueId q, ValueId k, ValueId v,
+                        std::int64_t window, const std::string& label) {
+  // By value: adding nodes reallocates the graph's value table.
+  const tensor::Shape qs = g.value(q).shape;
+  GAUDI_CHECK(qs.rank() == 4, "local attention expects [B, H, N, D]");
+  const std::int64_t bh = qs[0] * qs[1];
+  const std::int64_t seq = qs[2];
+  const std::int64_t d = qs[3];
+  GAUDI_CHECK(window > 0 && seq % window == 0,
+              "local window must divide the sequence length");
+  const std::int64_t blocks = seq / window;
+  const tensor::Shape blocked{{bh * blocks, window, d}};
+
+  const ValueId qb = g.reshape(q, blocked, label + ".q_blocks");
+  const ValueId kb = g.reshape(k, blocked, label + ".k_blocks");
+  const ValueId vb = g.reshape(v, blocked, label + ".v_blocks");
+
+  const ValueId q_scaled = g.mul_scalar(
+      qb, 1.0f / std::sqrt(static_cast<float>(d)), label + ".scale");
+  const ValueId scores = g.matmul(q_scaled, kb, false, true, label + ".qk_t");
+  const ValueId probs = g.softmax(scores, label + ".softmax");
+  const ValueId ctx = g.matmul(probs, vb, false, false, label + ".av");
+  return g.reshape(ctx, qs, label + ".unblock");
+}
+
+}  // namespace
+
+ValueId build_attention(Graph& g, ParamStore& params, const AttentionConfig& cfg,
+                        ValueId q, ValueId k, ValueId v, const std::string& label) {
+  switch (cfg.kind) {
+    case AttentionKind::kSoftmax:
+      return softmax_attention(g, q, k, v, cfg.additive_mask, label);
+    case AttentionKind::kLinear:
+      return linear_attention(g, params, cfg, q, k, v, label);
+    case AttentionKind::kPerformer:
+      return performer_attention(g, params, cfg, q, k, v, label);
+    case AttentionKind::kLinformer:
+      return linformer_attention(g, params, cfg, q, k, v, label);
+    case AttentionKind::kLocal:
+      return local_attention(g, q, k, v, cfg.local_window, label);
+  }
+  throw sim::InternalError("unhandled attention kind");
+}
+
+MultiHeadAttention::MultiHeadAttention(Graph& g, ParamStore& params,
+                                       std::int64_t d_model, std::int64_t heads,
+                                       std::int64_t head_dim, AttentionConfig attn,
+                                       std::string name)
+    : d_model_(d_model),
+      heads_(heads),
+      head_dim_(head_dim),
+      attn_(attn),
+      name_(std::move(name)),
+      q_proj_(g, params, d_model, heads * head_dim, name_ + ".q_proj"),
+      k_proj_(g, params, d_model, heads * head_dim, name_ + ".k_proj"),
+      v_proj_(g, params, d_model, heads * head_dim, name_ + ".v_proj"),
+      out_proj_(g, params, heads * head_dim, d_model, name_ + ".out_proj") {}
+
+ValueId MultiHeadAttention::operator()(Graph& g, ParamStore& params, ValueId x,
+                                       std::int64_t batch,
+                                       std::int64_t seq_len) const {
+  GAUDI_CHECK(g.value(x).shape.rank() == 2 &&
+                  g.value(x).shape[0] == batch * seq_len &&
+                  g.value(x).shape[1] == d_model_,
+              "MultiHeadAttention expects flattened [B*N, D] input");
+
+  auto split_heads = [&](ValueId t, const std::string& what) {
+    const ValueId r = g.reshape(
+        t, tensor::Shape{{batch, seq_len, heads_, head_dim_}}, name_ + "." + what +
+            ".split");
+    return g.swap_axes12(r, name_ + "." + what + ".to_heads");
+  };
+
+  const ValueId q = split_heads(q_proj_(g, x), "q");
+  const ValueId k = split_heads(k_proj_(g, x), "k");
+  const ValueId v = split_heads(v_proj_(g, x), "v");
+
+  const ValueId ctx = build_attention(g, params, attn_, q, k, v, name_ + ".attn");
+
+  const ValueId merged = g.swap_axes12(ctx, name_ + ".from_heads");
+  const ValueId flat = g.reshape(
+      merged, tensor::Shape{{batch * seq_len, heads_ * head_dim_}},
+      name_ + ".merge");
+  return out_proj_(g, flat);
+}
+
+}  // namespace gaudi::nn

@@ -1,0 +1,81 @@
+// Attention mechanisms: softmax attention (Vaswani), linearized attention
+// (Katharopoulos et al., the Linear Transformer), and Performer FAVOR
+// (Choromanski et al.) — the three mechanisms the paper profiles in §3.3.
+//
+// All three lower to the same primitive ops the paper's PyTorch code would
+// emit, so their engine placement matches Table 1: the attention matmuls hit
+// the MME, while softmax / feature maps / exponentials / normalizing
+// divisions hit the TPC.  The paper's performance story (softmax-on-TPC
+// bottleneck; linearization shifting work to the MME; FAVOR's un-overlapped
+// q'/k' branches) emerges from these graphs plus the scheduler policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+
+namespace gaudi::nn {
+
+enum class AttentionKind : std::uint8_t {
+  kSoftmax,    ///< softmax(QK^T / sqrt(D)) V
+  kLinear,     ///< phi(Q) (phi(K)^T V) with elementwise feature map
+  kPerformer,  ///< FAVOR: random-feature softmax approximation
+  kLinformer,  ///< low-rank: softmax(Q (E K)^T / sqrt(D)) (F V)  (Wang et al.)
+  kLocal,      ///< block-local sparse attention (Child et al.'s local pattern)
+};
+
+[[nodiscard]] const char* attention_kind_name(AttentionKind k);
+
+struct AttentionConfig {
+  AttentionKind kind = AttentionKind::kSoftmax;
+  /// Feature map for kLinear: phi(x) = act(x) + 1 (ELU is the Linear
+  /// Transformer default; Fig 7 sweeps ReLU / LeakyReLU / GELU / GLU).
+  Activation feature_map = Activation::kElu;
+  /// Random-feature count for kPerformer (m in the FAVOR construction).
+  std::int64_t performer_features = 256;
+  /// Optional additive attention mask [N, N] (causal masking for decoder
+  /// models); applied to the scaled scores before softmax.  Only meaningful
+  /// for kSoftmax.
+  graph::ValueId additive_mask = graph::kInvalidValue;
+  /// Projected sequence length for kLinformer (k in the paper).
+  std::int64_t linformer_k = 256;
+  /// Window width for kLocal (must divide the sequence length).
+  std::int64_t local_window = 256;
+};
+
+/// Builds attention over per-head tensors q, k, v of shape [B, H, N, Dh].
+/// Returns the context tensor [B, H, N, Dh].
+///
+/// For the GLU feature map an extra per-head projection to 2m features is
+/// required (GLU halves the width); `params` owns it.  For kPerformer the
+/// random feature matrix is created as a non-trainable buffer.
+[[nodiscard]] graph::ValueId build_attention(graph::Graph& g, ParamStore& params,
+                                             const AttentionConfig& cfg,
+                                             graph::ValueId q, graph::ValueId k,
+                                             graph::ValueId v,
+                                             const std::string& label);
+
+/// Full multi-head attention block: QKV projections on flattened tokens
+/// [T, D], head split, attention, head merge, output projection.
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(graph::Graph& g, ParamStore& params, std::int64_t d_model,
+                     std::int64_t heads, std::int64_t head_dim,
+                     AttentionConfig attn, std::string name);
+
+  /// x: [B*N, D_model] flattened tokens.  Returns [B*N, D_model].
+  [[nodiscard]] graph::ValueId operator()(graph::Graph& g, ParamStore& params,
+                                          graph::ValueId x, std::int64_t batch,
+                                          std::int64_t seq_len) const;
+
+ private:
+  std::int64_t d_model_, heads_, head_dim_;
+  AttentionConfig attn_;
+  std::string name_;
+  Linear q_proj_, k_proj_, v_proj_, out_proj_;
+};
+
+}  // namespace gaudi::nn

@@ -1,0 +1,82 @@
+#include "nn/layers.hpp"
+
+namespace gaudi::nn {
+
+const char* activation_name(Activation a) {
+  switch (a) {
+    case Activation::kRelu: return "relu";
+    case Activation::kLeakyRelu: return "leaky_relu";
+    case Activation::kGelu: return "gelu";
+    case Activation::kGlu: return "glu";
+    case Activation::kElu: return "elu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+    case Activation::kIdentity: return "identity";
+  }
+  return "?";
+}
+
+graph::ValueId apply_activation(graph::Graph& g, Activation act, graph::ValueId x,
+                                const std::string& label) {
+  switch (act) {
+    case Activation::kRelu:
+      return g.unary(tpc::UnaryKind::kRelu, x, 1.0f, label + ".relu");
+    case Activation::kLeakyRelu:
+      return g.unary(tpc::UnaryKind::kLeakyRelu, x, 0.01f, label + ".leaky_relu");
+    case Activation::kGelu:
+      return g.unary(tpc::UnaryKind::kGelu, x, 1.0f, label + ".gelu");
+    case Activation::kGlu:
+      return g.glu(x, /*requires_recompile=*/true, label + ".glu");
+    case Activation::kElu:
+      return g.unary(tpc::UnaryKind::kElu, x, 1.0f, label + ".elu");
+    case Activation::kSigmoid:
+      return g.unary(tpc::UnaryKind::kSigmoid, x, 1.0f, label + ".sigmoid");
+    case Activation::kTanh:
+      return g.unary(tpc::UnaryKind::kTanh, x, 1.0f, label + ".tanh");
+    case Activation::kIdentity:
+      return x;
+  }
+  throw sim::InternalError("unhandled activation");
+}
+
+Linear::Linear(graph::Graph& g, ParamStore& params, std::int64_t in,
+               std::int64_t out, std::string name, bool bias)
+    : name_(std::move(name)) {
+  w_ = params.create(g, tensor::Shape{{in, out}}, name_ + ".weight", Init::kNormal,
+                     0.02f);
+  if (bias) {
+    b_ = params.create(g, tensor::Shape{{out}}, name_ + ".bias", Init::kZeros);
+  }
+}
+
+graph::ValueId Linear::operator()(graph::Graph& g, graph::ValueId x) const {
+  if (b_ != graph::kInvalidValue) {
+    // The graph compiler fuses the bias add into the MME drain.
+    return g.matmul_bias(x, w_, b_, name_ + ".matmul");
+  }
+  return g.matmul(x, w_, false, false, name_ + ".matmul");
+}
+
+LayerNorm::LayerNorm(graph::Graph& g, ParamStore& params, std::int64_t dim,
+                     std::string name, float eps)
+    : eps_(eps), name_(std::move(name)) {
+  gamma_ = params.create(g, tensor::Shape{{dim}}, name_ + ".gamma", Init::kOnes);
+  beta_ = params.create(g, tensor::Shape{{dim}}, name_ + ".beta", Init::kZeros);
+}
+
+graph::ValueId LayerNorm::operator()(graph::Graph& g, graph::ValueId x) const {
+  return g.layernorm(x, gamma_, beta_, eps_, name_)[0];
+}
+
+Embedding::Embedding(graph::Graph& g, ParamStore& params, std::int64_t vocab,
+                     std::int64_t dim, std::string name)
+    : name_(std::move(name)) {
+  table_ = params.create(g, tensor::Shape{{vocab, dim}}, name_ + ".table",
+                         Init::kNormal, 0.02f);
+}
+
+graph::ValueId Embedding::operator()(graph::Graph& g, graph::ValueId ids) const {
+  return g.embedding(table_, ids, name_);
+}
+
+}  // namespace gaudi::nn

@@ -1,0 +1,84 @@
+// Basic layers: Linear, LayerNorm, Embedding, activations — each a small
+// graph builder that lowers to the primitive ops SynapseAI maps per Table 1
+// (the matmul of a Linear goes to the MME, its bias add to the TPC, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "nn/module.hpp"
+
+namespace gaudi::nn {
+
+/// Which activation a layer applies; mirrors the set evaluated in Fig 7 plus
+/// the ELU the Linear Transformer defaults to.
+enum class Activation : std::uint8_t {
+  kRelu,
+  kLeakyRelu,
+  kGelu,
+  kGlu,
+  kElu,
+  kSigmoid,
+  kTanh,
+  kIdentity,
+};
+
+[[nodiscard]] const char* activation_name(Activation a);
+
+/// Applies `act` to `x`.  GLU halves the trailing dim (callers must have
+/// produced a doubled projection) and is flagged `requires_recompile`,
+/// modelling the missing first-class backend support the paper blames for
+/// its MME blank area.
+[[nodiscard]] graph::ValueId apply_activation(graph::Graph& g, Activation act,
+                                              graph::ValueId x,
+                                              const std::string& label);
+
+/// y = x @ W + b; x is [T, in], W [in, out].
+class Linear {
+ public:
+  Linear(graph::Graph& g, ParamStore& params, std::int64_t in, std::int64_t out,
+         std::string name, bool bias = true);
+
+  [[nodiscard]] graph::ValueId operator()(graph::Graph& g, graph::ValueId x) const;
+
+  [[nodiscard]] graph::ValueId weight() const { return w_; }
+  [[nodiscard]] graph::ValueId bias() const { return b_; }
+
+ private:
+  graph::ValueId w_;
+  graph::ValueId b_ = graph::kInvalidValue;
+  std::string name_;
+};
+
+/// Layer normalization over the trailing dim with learned gamma/beta.
+class LayerNorm {
+ public:
+  LayerNorm(graph::Graph& g, ParamStore& params, std::int64_t dim, std::string name,
+            float eps = 1e-5f);
+
+  [[nodiscard]] graph::ValueId operator()(graph::Graph& g, graph::ValueId x) const;
+
+ private:
+  graph::ValueId gamma_;
+  graph::ValueId beta_;
+  float eps_;
+  std::string name_;
+};
+
+/// Token/position embedding lookup.
+class Embedding {
+ public:
+  Embedding(graph::Graph& g, ParamStore& params, std::int64_t vocab,
+            std::int64_t dim, std::string name);
+
+  [[nodiscard]] graph::ValueId operator()(graph::Graph& g, graph::ValueId ids) const;
+
+  [[nodiscard]] graph::ValueId table() const { return table_; }
+
+ private:
+  graph::ValueId table_;
+  std::string name_;
+};
+
+}  // namespace gaudi::nn

@@ -1,0 +1,166 @@
+#include "nn/models.hpp"
+
+#include "graph/autodiff.hpp"
+
+namespace gaudi::nn {
+
+using graph::Graph;
+using graph::ValueId;
+
+const char* lm_arch_name(LmArch a) {
+  return a == LmArch::kGpt2 ? "gpt2" : "bert";
+}
+
+LmConfig LmConfig::gpt2_paper() {
+  LmConfig cfg;
+  cfg.arch = LmArch::kGpt2;
+  cfg.vocab = 50257;  // GPT-2 BPE vocabulary
+  cfg.batch = 8;
+  cfg.seq_len = 2048;
+  cfg.n_layers = 2;
+  cfg.heads = 8;
+  cfg.head_dim = 64;
+  cfg.ffn_dim = 2048;
+  cfg.training = true;
+  return cfg;
+}
+
+LmConfig LmConfig::bert_paper() {
+  LmConfig cfg = gpt2_paper();
+  cfg.arch = LmArch::kBert;
+  cfg.vocab = 30522;  // BERT WordPiece vocabulary
+  return cfg;
+}
+
+LmConfig LmConfig::tiny(LmArch arch) {
+  LmConfig cfg;
+  cfg.arch = arch;
+  cfg.vocab = 97;
+  cfg.batch = 2;
+  cfg.seq_len = 16;
+  cfg.n_layers = 2;
+  cfg.heads = 2;
+  cfg.head_dim = 8;
+  cfg.ffn_dim = 32;
+  cfg.training = true;
+  return cfg;
+}
+
+std::size_t LanguageModel::param_count(const graph::Graph& g) const {
+  std::size_t total = 0;
+  for (ValueId id : params.params()) {
+    total += static_cast<std::size_t>(g.value(id).shape.numel());
+  }
+  return total;
+}
+
+tensor::Tensor make_causal_mask(std::int64_t n) {
+  tensor::Tensor mask = tensor::Tensor::zeros(tensor::Shape{{n, n}});
+  auto m = mask.f32();
+  for (std::int64_t i = 0; i < n; ++i) {
+    for (std::int64_t j = i + 1; j < n; ++j) {
+      m[static_cast<std::size_t>(i * n + j)] = -1e9f;
+    }
+  }
+  return mask;
+}
+
+LanguageModel build_language_model(Graph& g, const LmConfig& cfg,
+                                   std::uint64_t seed) {
+  LanguageModel model;
+  model.config = cfg;
+  model.params = ParamStore(seed);
+  ParamStore& params = model.params;
+  const std::string name = lm_arch_name(cfg.arch);
+  const std::int64_t d = cfg.d_model();
+  const std::int64_t tokens = cfg.tokens();
+
+  model.token_ids = g.input(tensor::Shape{{cfg.batch, cfg.seq_len}},
+                            tensor::DType::I32, name + ".token_ids");
+  if (cfg.training) {
+    model.targets =
+        g.input(tensor::Shape{{tokens}}, tensor::DType::I32, name + ".targets");
+  }
+  if (cfg.arch == LmArch::kGpt2) {
+    model.causal_mask = g.input(tensor::Shape{{cfg.seq_len, cfg.seq_len}},
+                                tensor::DType::F32, name + ".causal_mask");
+  }
+
+  // Embeddings: token lookup plus learned positions, broadcast over batch.
+  Embedding tok_emb(g, params, cfg.vocab, d, name + ".wte");
+  const ValueId pos_table = params.create(
+      g, tensor::Shape{{cfg.seq_len, d}}, name + ".wpe", Init::kNormal, 0.01f);
+
+  const ValueId ids_flat =
+      g.reshape(model.token_ids, tensor::Shape{{tokens}}, name + ".flatten_ids");
+  const ValueId tok = tok_emb(g, ids_flat);  // [T, D]
+  const ValueId tok3 =
+      g.reshape(tok, tensor::Shape{{cfg.batch, cfg.seq_len, d}}, name + ".to_bnd");
+  const ValueId embedded = g.add_op(graph::OpKind::kAddMask2D, {tok3, pos_table},
+                                    {}, name + ".pos_add")[0];
+  ValueId x = g.reshape(embedded, tensor::Shape{{tokens, d}}, name + ".to_td");
+
+  if (cfg.arch == LmArch::kBert) {
+    // BERT normalizes embeddings before the encoder stack.
+    LayerNorm emb_ln(g, params, d, name + ".emb_ln");
+    x = emb_ln(g, x);
+  }
+
+  // Transformer stack.
+  TransformerLayerConfig layer_cfg;
+  layer_cfg.d_model = d;
+  layer_cfg.heads = cfg.heads;
+  layer_cfg.head_dim = cfg.head_dim;
+  layer_cfg.ffn_dim = cfg.ffn_dim;
+  layer_cfg.ffn_activation = Activation::kGelu;
+  layer_cfg.dropout_p = cfg.dropout_p;
+  layer_cfg.attention = cfg.attention;
+  if (cfg.arch == LmArch::kGpt2) {
+    layer_cfg.attention.additive_mask = model.causal_mask;
+  }
+
+  std::vector<TransformerLayer> layers;
+  layers.reserve(static_cast<std::size_t>(cfg.n_layers));
+  for (std::int64_t l = 0; l < cfg.n_layers; ++l) {
+    layers.emplace_back(g, params, layer_cfg,
+                        name + ".layer" + std::to_string(l));
+  }
+  for (auto& layer : layers) {
+    x = layer(g, params, x, cfg.batch, cfg.seq_len);
+  }
+
+  // Language-modeling head.
+  if (cfg.arch == LmArch::kGpt2) {
+    LayerNorm ln_f(g, params, d, name + ".ln_f");
+    x = ln_f(g, x);
+    Linear lm_head(g, params, d, cfg.vocab, name + ".lm_head", /*bias=*/false);
+    model.logits = lm_head(g, x);
+  } else {
+    // BertForMaskedLM head: dense + GELU + LayerNorm + decoder.
+    Linear transform(g, params, d, d, name + ".mlm.dense");
+    x = transform(g, x);
+    x = g.gelu(x);
+    LayerNorm mlm_ln(g, params, d, name + ".mlm.ln");
+    x = mlm_ln(g, x);
+    Linear decoder(g, params, d, cfg.vocab, name + ".mlm.decoder");
+    model.logits = decoder(g, x);
+  }
+  g.mark_output(model.logits);
+
+  if (cfg.training) {
+    model.loss = g.cross_entropy_mean(model.logits, model.targets,
+                                      name + ".loss");
+    g.mark_output(model.loss);
+    const std::vector<ValueId> wrt = params.trainable();
+    const graph::BackwardResult back = graph::build_backward(g, model.loss, wrt);
+    model.grad_values.reserve(wrt.size());
+    for (ValueId p : wrt) {
+      const ValueId grad = back.grads.at(p);
+      g.mark_output(grad);
+      model.grad_values.push_back(grad);
+    }
+  }
+  return model;
+}
+
+}  // namespace gaudi::nn

@@ -1,0 +1,69 @@
+// End-to-end language models: a GPT2LMHead-style decoder and a
+// BertForMaskedLM-style encoder, built exactly as the paper's §3.4
+// experiments configure them (seq 2048, batch 8, 2 layers, 8 heads, head
+// size 64), plus a training-step builder (forward + loss + backward) since
+// the paper profiles training.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nn/module.hpp"
+#include "nn/transformer.hpp"
+
+namespace gaudi::nn {
+
+enum class LmArch : std::uint8_t { kGpt2, kBert };
+
+[[nodiscard]] const char* lm_arch_name(LmArch a);
+
+struct LmConfig {
+  LmArch arch = LmArch::kGpt2;
+  std::int64_t vocab = 50257;
+  std::int64_t batch = 8;
+  std::int64_t seq_len = 2048;
+  std::int64_t n_layers = 2;
+  std::int64_t heads = 8;
+  std::int64_t head_dim = 64;
+  std::int64_t ffn_dim = 2048;
+  AttentionConfig attention{};
+  float dropout_p = 0.0f;
+  /// Append loss + backward nodes (a full training step).
+  bool training = false;
+
+  [[nodiscard]] std::int64_t d_model() const { return heads * head_dim; }
+  [[nodiscard]] std::int64_t tokens() const { return batch * seq_len; }
+
+  /// The paper's §3.4 configurations (Figs 8 and 9).
+  [[nodiscard]] static LmConfig gpt2_paper();
+  [[nodiscard]] static LmConfig bert_paper();
+  /// A functionally-testable miniature of the same architecture.
+  [[nodiscard]] static LmConfig tiny(LmArch arch);
+};
+
+/// Handles into a built model graph.
+struct LanguageModel {
+  LmConfig config;
+  ParamStore params;
+  graph::ValueId token_ids = graph::kInvalidValue;  ///< [B, N] i32 input
+  graph::ValueId targets = graph::kInvalidValue;    ///< [B*N] i32 input
+  graph::ValueId causal_mask = graph::kInvalidValue;  ///< [N, N] input (GPT only)
+  graph::ValueId logits = graph::kInvalidValue;     ///< [B*N, V]
+  graph::ValueId loss = graph::kInvalidValue;       ///< [1] (training only)
+  std::vector<graph::ValueId> grad_values;          ///< parameter gradients
+
+  /// Number of scalar parameters (trainable + buffers).
+  [[nodiscard]] std::size_t param_count(const graph::Graph& g) const;
+};
+
+/// Builds the model into `g`.
+[[nodiscard]] LanguageModel build_language_model(graph::Graph& g,
+                                                 const LmConfig& cfg,
+                                                 std::uint64_t seed = 0x11A11);
+
+/// Additive causal mask tensor: 0 on/below the diagonal, -1e9 above.
+[[nodiscard]] tensor::Tensor make_causal_mask(std::int64_t n);
+
+}  // namespace gaudi::nn

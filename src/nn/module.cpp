@@ -1,0 +1,53 @@
+#include "nn/module.hpp"
+
+namespace gaudi::nn {
+
+graph::ValueId ParamStore::create(graph::Graph& g, tensor::Shape shape,
+                                  std::string name, Init init, float scale) {
+  const graph::ValueId id = g.param(std::move(shape), std::move(name));
+  params_.push_back(id);
+  specs_.emplace(id, Spec{init, scale, next_stream_++, false});
+  return id;
+}
+
+void ParamStore::mark_buffer(graph::ValueId id) {
+  auto it = specs_.find(id);
+  GAUDI_CHECK(it != specs_.end(), "mark_buffer: unknown parameter id");
+  it->second.buffer = true;
+}
+
+std::vector<graph::ValueId> ParamStore::trainable() const {
+  std::vector<graph::ValueId> out;
+  for (graph::ValueId id : params_) {
+    if (!specs_.at(id).buffer) out.push_back(id);
+  }
+  return out;
+}
+
+std::unordered_map<graph::ValueId, tensor::Tensor> ParamStore::init_feeds(
+    const graph::Graph& g) const {
+  std::unordered_map<graph::ValueId, tensor::Tensor> feeds;
+  for (graph::ValueId id : params_) {
+    const Spec& spec = specs_.at(id);
+    const tensor::Shape& shape = g.value(id).shape;
+    const sim::CounterRng stream = rng_.stream(spec.stream);
+    switch (spec.init) {
+      case Init::kZeros:
+        feeds.emplace(id, tensor::Tensor::zeros(shape));
+        break;
+      case Init::kOnes:
+        feeds.emplace(id, tensor::Tensor::full(shape, 1.0f));
+        break;
+      case Init::kNormal:
+        feeds.emplace(id, tensor::Tensor::normal(shape, stream, spec.scale));
+        break;
+      case Init::kUniform:
+        feeds.emplace(id,
+                      tensor::Tensor::uniform(shape, stream, -spec.scale, spec.scale));
+        break;
+    }
+  }
+  return feeds;
+}
+
+}  // namespace gaudi::nn

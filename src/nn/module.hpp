@@ -1,0 +1,60 @@
+// Model-building support: parameter registry and initialization.
+//
+// nn modules are *graph builders*: they append ops to a Graph and register
+// their parameters here.  For functional runs the store materializes
+// deterministic initial tensors; timing runs need only the shapes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gaudi::nn {
+
+enum class Init : std::uint8_t { kZeros, kOnes, kNormal, kUniform };
+
+/// Registry of graph parameter values with their initializers.
+class ParamStore {
+ public:
+  explicit ParamStore(std::uint64_t seed = 0x5EED) : rng_(seed) {}
+
+  /// Creates a parameter value in `g` and records how to initialize it.
+  /// `stddev`/`range` parameterize kNormal/kUniform.
+  graph::ValueId create(graph::Graph& g, tensor::Shape shape, std::string name,
+                        Init init = Init::kNormal, float scale = 0.02f);
+
+  /// All registered parameter value ids, in creation order.
+  [[nodiscard]] const std::vector<graph::ValueId>& params() const { return params_; }
+
+  /// Parameters that should receive gradients (excludes buffers).
+  [[nodiscard]] std::vector<graph::ValueId> trainable() const;
+
+  /// Registers `id` as a non-trainable buffer (e.g. Performer's random
+  /// feature matrix) after creation.
+  void mark_buffer(graph::ValueId id);
+
+  /// Materializes initial tensors for a functional run.
+  [[nodiscard]] std::unordered_map<graph::ValueId, tensor::Tensor> init_feeds(
+      const graph::Graph& g) const;
+
+  [[nodiscard]] std::size_t count() const { return params_.size(); }
+
+ private:
+  struct Spec {
+    Init init;
+    float scale;
+    std::uint64_t stream;
+    bool buffer = false;
+  };
+  sim::CounterRng rng_;
+  std::vector<graph::ValueId> params_;
+  std::unordered_map<graph::ValueId, Spec> specs_;
+  std::uint64_t next_stream_ = 1;
+};
+
+}  // namespace gaudi::nn

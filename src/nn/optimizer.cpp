@@ -1,0 +1,95 @@
+#include "nn/optimizer.hpp"
+
+namespace gaudi::nn {
+
+using graph::Graph;
+using graph::OpAttrs;
+using graph::OpKind;
+using graph::ValueId;
+
+const char* optimizer_kind_name(OptimizerKind k) {
+  switch (k) {
+    case OptimizerKind::kSgd: return "sgd";
+    case OptimizerKind::kSgdMomentum: return "sgd_momentum";
+    case OptimizerKind::kAdam: return "adam";
+  }
+  return "?";
+}
+
+OptimizerState append_optimizer(Graph& g, const LanguageModel& model,
+                                const OptimizerConfig& cfg) {
+  GAUDI_CHECK(model.config.training,
+              "optimizer requires a training graph (gradients present)");
+  const std::vector<ValueId> trainable = model.params.trainable();
+  GAUDI_CHECK(trainable.size() == model.grad_values.size(),
+              "gradient list does not match trainable parameters");
+
+  OptimizerState state;
+  state.config = cfg;
+  state.slots.reserve(trainable.size());
+
+  for (std::size_t i = 0; i < trainable.size(); ++i) {
+    OptimizerSlot slot;
+    slot.param = trainable[i];
+    slot.grad = model.grad_values[i];
+    const tensor::Shape& shape = g.value(slot.param).shape;
+    const std::string& pname = g.value(slot.param).name;
+
+    OpAttrs attrs;
+    attrs.lr = cfg.lr;
+    switch (cfg.kind) {
+      case OptimizerKind::kSgd: {
+        const auto outs = g.add_op(OpKind::kSgdUpdate, {slot.param, slot.grad},
+                                   attrs, pname + ".sgd");
+        slot.new_param = outs[0];
+        break;
+      }
+      case OptimizerKind::kSgdMomentum: {
+        attrs.beta1 = cfg.momentum;
+        slot.vel_in = g.input(shape, tensor::DType::F32, pname + ".velocity");
+        const auto outs =
+            g.add_op(OpKind::kSgdUpdate, {slot.param, slot.grad, slot.vel_in},
+                     attrs, pname + ".sgd_m");
+        slot.new_param = outs[0];
+        slot.vel_out = outs[1];
+        g.mark_output(slot.vel_out);
+        break;
+      }
+      case OptimizerKind::kAdam: {
+        attrs.beta1 = cfg.beta1;
+        attrs.beta2 = cfg.beta2;
+        attrs.eps = cfg.eps;
+        attrs.step = cfg.step;
+        slot.m_in = g.input(shape, tensor::DType::F32, pname + ".adam_m");
+        slot.v_in = g.input(shape, tensor::DType::F32, pname + ".adam_v");
+        const auto outs = g.add_op(
+            OpKind::kAdamUpdate, {slot.param, slot.grad, slot.m_in, slot.v_in},
+            attrs, pname + ".adam");
+        slot.new_param = outs[0];
+        slot.m_out = outs[1];
+        slot.v_out = outs[2];
+        g.mark_output(slot.m_out);
+        g.mark_output(slot.v_out);
+        break;
+      }
+    }
+    g.mark_output(slot.new_param);
+    state.slots.push_back(slot);
+  }
+  return state;
+}
+
+std::unordered_map<ValueId, tensor::Tensor> OptimizerState::initial_state(
+    const graph::Graph& g) const {
+  std::unordered_map<ValueId, tensor::Tensor> feeds;
+  for (const OptimizerSlot& slot : slots) {
+    for (const ValueId v : {slot.vel_in, slot.m_in, slot.v_in}) {
+      if (v != graph::kInvalidValue) {
+        feeds.emplace(v, tensor::Tensor::zeros(g.value(v).shape));
+      }
+    }
+  }
+  return feeds;
+}
+
+}  // namespace gaudi::nn

@@ -1,0 +1,64 @@
+// On-device optimizers.
+//
+// `append_optimizer` extends a training graph with parameter-update ops so a
+// run is a *complete* training iteration (forward + loss + backward +
+// update), all of it scheduled on the chip — updates are element-wise, so
+// they run on the TPC like every other non-matmul op.  Updated parameters
+// and optimizer state come back as graph outputs that the host feeds into
+// the next iteration.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nn/models.hpp"
+
+namespace gaudi::nn {
+
+enum class OptimizerKind : std::uint8_t { kSgd, kSgdMomentum, kAdam };
+
+[[nodiscard]] const char* optimizer_kind_name(OptimizerKind k);
+
+struct OptimizerConfig {
+  OptimizerKind kind = OptimizerKind::kSgd;
+  float lr = 1e-3f;
+  float momentum = 0.9f;  ///< kSgdMomentum
+  float beta1 = 0.9f;     ///< kAdam
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  std::int64_t step = 1;  ///< Adam bias-correction counter for this iteration
+};
+
+/// Update plumbing for one trainable parameter.
+struct OptimizerSlot {
+  graph::ValueId param = graph::kInvalidValue;
+  graph::ValueId grad = graph::kInvalidValue;
+  graph::ValueId new_param = graph::kInvalidValue;
+  // SGD momentum state.
+  graph::ValueId vel_in = graph::kInvalidValue;
+  graph::ValueId vel_out = graph::kInvalidValue;
+  // Adam state.
+  graph::ValueId m_in = graph::kInvalidValue;
+  graph::ValueId m_out = graph::kInvalidValue;
+  graph::ValueId v_in = graph::kInvalidValue;
+  graph::ValueId v_out = graph::kInvalidValue;
+};
+
+struct OptimizerState {
+  OptimizerConfig config{};
+  std::vector<OptimizerSlot> slots;
+
+  /// Zero tensors for all state inputs (first iteration).
+  [[nodiscard]] std::unordered_map<graph::ValueId, tensor::Tensor> initial_state(
+      const graph::Graph& g) const;
+};
+
+/// Appends update ops for every trainable parameter of `model`.  New params
+/// and state are marked as graph outputs.
+[[nodiscard]] OptimizerState append_optimizer(graph::Graph& g,
+                                              const LanguageModel& model,
+                                              const OptimizerConfig& cfg);
+
+}  // namespace gaudi::nn

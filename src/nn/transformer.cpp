@@ -1,0 +1,52 @@
+#include "nn/transformer.hpp"
+
+namespace gaudi::nn {
+
+using graph::Graph;
+using graph::ValueId;
+
+TransformerLayer::TransformerLayer(Graph& g, ParamStore& params,
+                                   const TransformerLayerConfig& cfg,
+                                   std::string name)
+    : cfg_(cfg),
+      name_(std::move(name)),
+      mha_(g, params, cfg.d_model, cfg.heads, cfg.head_dim, cfg.attention,
+           name_ + ".mha"),
+      ln1_(g, params, cfg.d_model, name_ + ".ln1") {
+  if (cfg_.ffn_dim > 0) {
+    // GLU halves its input, so the first FFN projection doubles when gated.
+    const std::int64_t inner = cfg_.ffn_activation == Activation::kGlu
+                                   ? 2 * cfg_.ffn_dim
+                                   : cfg_.ffn_dim;
+    ffn_in_.emplace(g, params, cfg_.d_model, inner, name_ + ".ffn_in");
+    ffn_out_.emplace(g, params, cfg_.ffn_dim, cfg_.d_model, name_ + ".ffn_out");
+    ln2_.emplace(g, params, cfg_.d_model, name_ + ".ln2");
+  }
+}
+
+ValueId TransformerLayer::operator()(Graph& g, ParamStore& params, ValueId x,
+                                     std::int64_t batch,
+                                     std::int64_t seq_len) const {
+  // Post-LN residual block, as in the original Transformer.
+  ValueId attn_out = mha_(g, params, x, batch, seq_len);
+  if (cfg_.dropout_p > 0.0f) {
+    attn_out = g.dropout(attn_out, cfg_.dropout_p,
+                         static_cast<std::uint64_t>(g.num_nodes()),
+                         name_ + ".attn_dropout");
+  }
+  ValueId h = ln1_(g, g.add(x, attn_out, name_ + ".residual1"));
+
+  if (!ffn_in_) {
+    return h;
+  }
+  ValueId f = (*ffn_in_)(g, h);
+  f = apply_activation(g, cfg_.ffn_activation, f, name_ + ".ffn");
+  f = (*ffn_out_)(g, f);
+  if (cfg_.dropout_p > 0.0f) {
+    f = g.dropout(f, cfg_.dropout_p, static_cast<std::uint64_t>(g.num_nodes()),
+                  name_ + ".ffn_dropout");
+  }
+  return (*ln2_)(g, g.add(h, f, name_ + ".residual2"));
+}
+
+}  // namespace gaudi::nn

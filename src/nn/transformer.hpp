@@ -1,0 +1,51 @@
+// Transformer encoder/decoder layer and feed-forward network.
+//
+// The layer profiled in the paper's §3.3 experiments is an attention block
+// (projections + attention + residual + layernorm); the FFN sub-block is
+// optional so both the §3.3 layer profiles (attention-only, matching the
+// paper's reported totals) and the full end-to-end models (Figs 8, 9) build
+// from the same type.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+
+namespace gaudi::nn {
+
+struct TransformerLayerConfig {
+  std::int64_t d_model = 384;
+  std::int64_t heads = 6;
+  std::int64_t head_dim = 64;
+  AttentionConfig attention{};
+  /// FFN inner width; 0 disables the FFN sub-block.
+  std::int64_t ffn_dim = 0;
+  Activation ffn_activation = Activation::kGelu;
+  float dropout_p = 0.0f;
+};
+
+class TransformerLayer {
+ public:
+  TransformerLayer(graph::Graph& g, ParamStore& params,
+                   const TransformerLayerConfig& cfg, std::string name);
+
+  /// x: [B*N, D]; returns [B*N, D].
+  [[nodiscard]] graph::ValueId operator()(graph::Graph& g, ParamStore& params,
+                                          graph::ValueId x, std::int64_t batch,
+                                          std::int64_t seq_len) const;
+
+ private:
+  TransformerLayerConfig cfg_;
+  std::string name_;
+  MultiHeadAttention mha_;
+  LayerNorm ln1_;
+  std::optional<Linear> ffn_in_;
+  std::optional<Linear> ffn_out_;
+  std::optional<LayerNorm> ln2_;
+};
+
+}  // namespace gaudi::nn

@@ -1,0 +1,100 @@
+#include "scaleout/allreduce.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+
+namespace gaudi::scaleout {
+
+AllReduceResult ring_all_reduce_time(const RoceConfig& cfg, std::size_t bytes,
+                                     std::uint32_t chips) {
+  GAUDI_CHECK(chips >= 1 && chips <= cfg.num_chips,
+              "chip count outside the box");
+  AllReduceResult r;
+  if (chips == 1 || bytes == 0) {
+    return r;
+  }
+  // 2(P-1) pipelined steps, each transferring ceil(N/P) bytes per chip; all
+  // chips move in parallel, so the wall-clock is one chip's sequence.
+  const std::size_t chunk = (bytes + chips - 1) / chips;
+  r.steps = 2ull * (chips - 1);
+  r.bytes_moved_per_chip = static_cast<std::size_t>(r.steps) * chunk;
+  for (std::uint64_t s = 0; s < r.steps; ++s) {
+    r.duration += p2p_time(cfg, chunk);
+  }
+  return r;
+}
+
+AllReduceResult ring_all_reduce(const RoceConfig& cfg,
+                                std::vector<tensor::Tensor>& shards,
+                                ReduceOp op) {
+  GAUDI_CHECK(!shards.empty(), "all-reduce needs at least one shard");
+  const auto chips = static_cast<std::uint32_t>(shards.size());
+  const std::int64_t n = shards[0].numel();
+  for (const auto& s : shards) {
+    GAUDI_CHECK(s.defined() && s.dtype() == tensor::DType::F32,
+                "all-reduce shards must be real f32 tensors");
+    GAUDI_CHECK(s.numel() == n, "all-reduce shards must have equal shapes");
+  }
+
+  const AllReduceResult timing =
+      ring_all_reduce_time(cfg, static_cast<std::size_t>(n) * 4, chips);
+  if (chips == 1) {
+    return timing;
+  }
+
+  // Chunk boundaries: chunk c covers [bounds[c], bounds[c+1]).
+  std::vector<std::int64_t> bounds(chips + 1);
+  for (std::uint32_t c = 0; c <= chips; ++c) {
+    bounds[c] = n * c / chips;
+  }
+
+  // Reduce-scatter: after step s, chip i holds the running sum of chunk
+  // (i - s) from its upstream neighbours.
+  for (std::uint32_t s = 0; s < chips - 1; ++s) {
+    // All sends happen "simultaneously"; stage into temporaries first.
+    std::vector<std::vector<float>> in_flight(chips);
+    for (std::uint32_t i = 0; i < chips; ++i) {
+      const std::uint32_t chunk = (i + chips - s) % chips;  // chunk to send
+      const auto src = shards[i].f32();
+      in_flight[(i + 1) % chips].assign(
+          src.begin() + bounds[chunk], src.begin() + bounds[chunk + 1]);
+    }
+    for (std::uint32_t i = 0; i < chips; ++i) {
+      const std::uint32_t chunk = (i + chips - 1 - s) % chips;  // received
+      auto dst = shards[i].f32();
+      const auto& recv = in_flight[i];
+      for (std::size_t j = 0; j < recv.size(); ++j) {
+        dst[static_cast<std::size_t>(bounds[chunk]) + j] += recv[j];
+      }
+    }
+  }
+
+  // All-gather: circulate the finished chunks.
+  for (std::uint32_t s = 0; s < chips - 1; ++s) {
+    std::vector<std::vector<float>> in_flight(chips);
+    for (std::uint32_t i = 0; i < chips; ++i) {
+      const std::uint32_t chunk = (i + 1 + chips - s) % chips;
+      const auto src = shards[i].f32();
+      in_flight[(i + 1) % chips].assign(
+          src.begin() + bounds[chunk], src.begin() + bounds[chunk + 1]);
+    }
+    for (std::uint32_t i = 0; i < chips; ++i) {
+      const std::uint32_t chunk = (i + chips - s) % chips;
+      auto dst = shards[i].f32();
+      const auto& recv = in_flight[i];
+      std::copy(recv.begin(), recv.end(),
+                dst.begin() + bounds[chunk]);
+    }
+  }
+
+  if (op == ReduceOp::kMean) {
+    const float inv = 1.0f / static_cast<float>(chips);
+    for (auto& s : shards) {
+      for (float& x : s.f32()) x *= inv;
+    }
+  }
+  return timing;
+}
+
+}  // namespace gaudi::scaleout

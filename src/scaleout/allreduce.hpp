@@ -1,0 +1,38 @@
+// Ring all-reduce over the in-box RoCE links.
+//
+// The standard bandwidth-optimal algorithm: P chips, tensor split into P
+// chunks; P-1 reduce-scatter steps followed by P-1 all-gather steps, each
+// step moving N/P bytes per chip.  `ring_all_reduce` executes the exchange
+// *functionally* on host tensors (so numerics are exact and testable) and
+// returns the simulated completion time from the link model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scaleout/roce.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gaudi::scaleout {
+
+enum class ReduceOp : std::uint8_t { kSum, kMean };
+
+struct AllReduceResult {
+  sim::SimTime duration{};
+  std::uint64_t steps = 0;
+  std::size_t bytes_moved_per_chip = 0;
+};
+
+/// In-place ring all-reduce across `shards` (one tensor per chip, equal
+/// shapes).  After the call every shard holds the element-wise sum (or
+/// mean) of all inputs.  A single shard completes immediately.
+AllReduceResult ring_all_reduce(const RoceConfig& cfg,
+                                std::vector<tensor::Tensor>& shards,
+                                ReduceOp op = ReduceOp::kSum);
+
+/// Timing-only variant for paper-scale gradient volumes.
+[[nodiscard]] AllReduceResult ring_all_reduce_time(const RoceConfig& cfg,
+                                                   std::size_t bytes,
+                                                   std::uint32_t chips);
+
+}  // namespace gaudi::scaleout

@@ -1,0 +1,41 @@
+#include "scaleout/data_parallel.hpp"
+
+#include <algorithm>
+
+#include "sim/error.hpp"
+
+namespace gaudi::scaleout {
+
+DataParallelStep data_parallel_step(const DataParallelConfig& cfg,
+                                    sim::SimTime single_chip_step,
+                                    std::size_t grad_bytes,
+                                    std::int64_t tokens_per_chip) {
+  GAUDI_CHECK(cfg.chips >= 1, "need at least one chip");
+  GAUDI_CHECK(single_chip_step > sim::SimTime::zero(),
+              "single-chip step time must be positive");
+
+  DataParallelStep step;
+  step.compute = single_chip_step;
+  step.comm = ring_all_reduce_time(cfg.roce, grad_bytes, cfg.chips).duration;
+
+  if (cfg.overlap_comm && cfg.chips > 1) {
+    // Buckets sync during the backward window; only the excess is exposed.
+    const sim::SimTime window = sim::SimTime::from_seconds(
+        single_chip_step.seconds() * cfg.overlappable_fraction);
+    step.exposed_comm =
+        step.comm > window ? step.comm - window : sim::SimTime::zero();
+  } else {
+    step.exposed_comm = step.comm;
+  }
+  step.total = step.compute + step.exposed_comm;
+
+  const double tokens = static_cast<double>(tokens_per_chip) * cfg.chips;
+  step.tokens_per_second = tokens / step.total.seconds();
+  const double single_rate =
+      static_cast<double>(tokens_per_chip) / single_chip_step.seconds();
+  step.scaling_efficiency =
+      step.tokens_per_second / (single_rate * static_cast<double>(cfg.chips));
+  return step;
+}
+
+}  // namespace gaudi::scaleout

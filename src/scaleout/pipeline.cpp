@@ -1,0 +1,41 @@
+#include "scaleout/pipeline.hpp"
+
+#include "sim/error.hpp"
+
+namespace gaudi::scaleout {
+
+PipelineStep pipeline_step(const PipelineConfig& cfg, sim::SimTime full_model_step,
+                           std::size_t activation_bytes,
+                           std::int64_t tokens_per_microbatch) {
+  GAUDI_CHECK(cfg.stages >= 1, "pipeline needs at least one stage");
+  GAUDI_CHECK(cfg.microbatches >= 1, "pipeline needs at least one microbatch");
+  GAUDI_CHECK(full_model_step > sim::SimTime::zero(),
+              "model step time must be positive");
+
+  PipelineStep step;
+  step.stage_time = sim::SimTime::from_seconds(full_model_step.seconds() /
+                                               static_cast<double>(cfg.stages));
+  step.boundary_comm =
+      cfg.stages > 1 ? p2p_time(cfg.roce, activation_bytes) : sim::SimTime::zero();
+
+  // A slot advances every stage by one microbatch; the boundary transfer
+  // serializes with the slot (no overlap modelled — conservative).
+  step.slot_time = step.stage_time + step.boundary_comm;
+  const std::uint64_t slots = cfg.microbatches + cfg.stages - 1;
+  step.total = step.slot_time * static_cast<std::int64_t>(slots);
+
+  step.bubble_fraction = static_cast<double>(cfg.stages - 1) /
+                         static_cast<double>(slots);
+  step.utilization = 1.0 - step.bubble_fraction;
+
+  const double tokens =
+      static_cast<double>(tokens_per_microbatch) * cfg.microbatches;
+  step.tokens_per_second = tokens / step.total.seconds();
+
+  const double single_chip_s =
+      full_model_step.seconds() * static_cast<double>(cfg.microbatches);
+  step.speedup_vs_single_chip = single_chip_s / step.total.seconds();
+  return step;
+}
+
+}  // namespace gaudi::scaleout

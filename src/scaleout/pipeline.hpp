@@ -1,0 +1,45 @@
+// Pipeline-parallel step model (GPipe-style schedule).
+//
+// The model's layers split into stages across chips; a step runs M
+// microbatches through the pipeline, so (M + P - 1) stage slots elapse and
+// the bubble fraction (P-1)/(M+P-1) is pure idle time — the other axis of
+// the HLS-1's "expanding and multiplying setups" (paper §2.1) besides data
+// parallelism.  Activations cross stage boundaries over the RoCE links.
+#pragma once
+
+#include <cstdint>
+
+#include "scaleout/roce.hpp"
+
+namespace gaudi::scaleout {
+
+struct PipelineConfig {
+  RoceConfig roce{};
+  std::uint32_t stages = 8;        ///< chips, one stage each
+  std::uint32_t microbatches = 8;  ///< M per step
+};
+
+struct PipelineStep {
+  sim::SimTime stage_time{};     ///< compute per stage per microbatch
+  sim::SimTime boundary_comm{};  ///< activation transfer per boundary
+  sim::SimTime slot_time{};      ///< stage + exposed comm
+  sim::SimTime total{};          ///< (M + P - 1) slots
+  double bubble_fraction = 0.0;  ///< (P-1)/(M+P-1)
+  double utilization = 0.0;      ///< 1 - bubble
+  double tokens_per_second = 0.0;
+  /// Throughput relative to one chip running the whole model (which takes
+  /// P * stage_time per microbatch).
+  double speedup_vs_single_chip = 0.0;
+};
+
+/// Models one pipeline step.
+/// `full_model_step`: single-chip time for one *microbatch* through the
+/// whole model (split evenly into `stages`);
+/// `activation_bytes`: per-microbatch activation volume at each boundary;
+/// `tokens_per_microbatch`: tokens consumed by one microbatch.
+[[nodiscard]] PipelineStep pipeline_step(const PipelineConfig& cfg,
+                                         sim::SimTime full_model_step,
+                                         std::size_t activation_bytes,
+                                         std::int64_t tokens_per_microbatch);
+
+}  // namespace gaudi::scaleout

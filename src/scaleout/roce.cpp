@@ -1,0 +1,16 @@
+#include "scaleout/roce.hpp"
+
+namespace gaudi::scaleout {
+
+sim::SimTime p2p_time(const RoceConfig& cfg, std::size_t bytes) {
+  const double stream_s =
+      static_cast<double>(bytes) / cfg.link_bandwidth_bytes_per_s;
+  return cfg.link_latency + sim::SimTime::from_seconds(stream_s);
+}
+
+double p2p_effective_bandwidth(const RoceConfig& cfg, std::size_t bytes) {
+  const sim::SimTime t = p2p_time(cfg, bytes);
+  return t > sim::SimTime::zero() ? static_cast<double>(bytes) / t.seconds() : 0.0;
+}
+
+}  // namespace gaudi::scaleout

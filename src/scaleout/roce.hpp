@@ -1,0 +1,35 @@
+// Inter-processor communication model.
+//
+// Each Gaudi integrates ten 100 GbE ports with RoCE v2 engines ("for
+// communications between different processors, GAUDI includes on-chip RoCE
+// v2 engines", paper §2.1); inside an HLS-1, seven ports connect each
+// processor to the other seven (all-to-all), the rest leave the box.  The
+// link model costs point-to-point transfers; collectives build on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace gaudi::scaleout {
+
+struct RoceConfig {
+  /// Usable payload bandwidth of one 100 GbE port after protocol overhead.
+  double link_bandwidth_bytes_per_s = 11.0e9;
+  /// One-way message latency (NIC + switchless in-box hop).
+  sim::SimTime link_latency = sim::SimTime::from_us(2.0);
+  /// Ports available toward in-box peers (HLS-1: all-to-all over 7).
+  std::uint32_t intra_box_ports = 7;
+  /// Processors in the box.
+  std::uint32_t num_chips = 8;
+};
+
+/// Time to move `bytes` point-to-point over one link.
+[[nodiscard]] sim::SimTime p2p_time(const RoceConfig& cfg, std::size_t bytes);
+
+/// Effective bandwidth of a point-to-point transfer including latency.
+[[nodiscard]] double p2p_effective_bandwidth(const RoceConfig& cfg,
+                                             std::size_t bytes);
+
+}  // namespace gaudi::scaleout

@@ -1,0 +1,34 @@
+#include "scaleout/tensor_parallel.hpp"
+
+#include "sim/error.hpp"
+
+namespace gaudi::scaleout {
+
+TensorParallelStep tensor_parallel_step(const TensorParallelConfig& cfg,
+                                        sim::SimTime single_chip_step,
+                                        std::int64_t layers,
+                                        std::size_t activation_bytes,
+                                        std::int64_t tokens_per_step) {
+  GAUDI_CHECK(cfg.shards >= 1, "need at least one shard");
+  GAUDI_CHECK(layers >= 1, "need at least one layer");
+  GAUDI_CHECK(single_chip_step > sim::SimTime::zero(),
+              "step time must be positive");
+
+  TensorParallelStep step;
+  step.compute = sim::SimTime::from_seconds(single_chip_step.seconds() /
+                                            static_cast<double>(cfg.shards));
+  if (cfg.shards > 1) {
+    const AllReduceResult one =
+        ring_all_reduce_time(cfg.roce, activation_bytes, cfg.shards);
+    step.comm = one.duration *
+                static_cast<std::int64_t>(layers * cfg.allreduces_per_layer);
+  }
+  step.total = step.compute + step.comm;
+  step.tokens_per_second =
+      static_cast<double>(tokens_per_step) / step.total.seconds();
+  step.speedup_vs_single_chip = single_chip_step.seconds() / step.total.seconds();
+  step.comm_fraction = step.comm.seconds() / step.total.seconds();
+  return step;
+}
+
+}  // namespace gaudi::scaleout

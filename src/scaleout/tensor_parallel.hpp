@@ -1,0 +1,42 @@
+// Tensor-parallel (Megatron-style) step model.
+//
+// Attention heads and FFN columns shard across chips; each transformer
+// layer then needs two all-reduces per forward pass (after the attention
+// output projection and after the FFN) and two more in backward.  Compute
+// divides by the shard count; the all-reduces are the price — the third
+// parallelism axis available to the HLS-1 box next to data and pipeline
+// parallelism.
+#pragma once
+
+#include <cstdint>
+
+#include "scaleout/allreduce.hpp"
+
+namespace gaudi::scaleout {
+
+struct TensorParallelConfig {
+  RoceConfig roce{};
+  std::uint32_t shards = 8;
+  /// All-reduces per layer per step (2 forward + 2 backward for training).
+  std::uint32_t allreduces_per_layer = 4;
+};
+
+struct TensorParallelStep {
+  sim::SimTime compute{};   ///< sharded compute (single-chip / shards)
+  sim::SimTime comm{};      ///< activation all-reduces
+  sim::SimTime total{};
+  double tokens_per_second = 0.0;
+  double speedup_vs_single_chip = 0.0;
+  double comm_fraction = 0.0;
+};
+
+/// Models one tensor-parallel training step.
+/// `single_chip_step`: unsharded step time; `layers`: transformer layers;
+/// `activation_bytes`: per-all-reduce activation volume ([tokens, d_model]);
+/// `tokens_per_step`: tokens in the (unchanged) global batch.
+[[nodiscard]] TensorParallelStep tensor_parallel_step(
+    const TensorParallelConfig& cfg, sim::SimTime single_chip_step,
+    std::int64_t layers, std::size_t activation_bytes,
+    std::int64_t tokens_per_step);
+
+}  // namespace gaudi::scaleout

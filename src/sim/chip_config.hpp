@@ -1,0 +1,100 @@
+// Chip-level configuration of the simulated Gaudi-class processor.
+//
+// The default `hls1()` preset is calibrated so that the simulator reproduces
+// the measured characteristics from Zhang et al. (SC-W 2023): MME ramping to
+// ~14.6 TFLOPS f32 with saturation near matrix size 512, TPC cluster peaking
+// near ~2.2 TFLOPS, 4-cycle 2048-bit global vector accesses, 80 KB / 1 KB
+// TPC local memories, 32 GB HBM. See DESIGN.md §4 for the calibration notes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace gaudi::sim {
+
+/// Matrix Multiplication Engine parameters.
+struct MmeConfig {
+  /// MAC array geometry (output-stationary systolic model).
+  std::uint32_t array_rows = 128;
+  std::uint32_t array_cols = 128;
+  /// Engine clock.
+  double clock_hz = 445e6;
+  /// Fixed per-operation launch/descriptor overhead, in MME cycles.  This is
+  /// what produces the small-size TFLOPS droop in Table 2.
+  Cycles launch_overhead_cycles = 45'000;
+  /// Pipeline fill paid once per op (first tile chain), in cycles.
+  Cycles pipeline_fill_cycles = 256;
+  /// bf16 streams at this multiple of the f32 rate (the array is natively
+  /// bf16; f32 issues at half rate).
+  double bf16_throughput_multiplier = 2.0;
+
+  [[nodiscard]] Clock clock() const { return Clock{clock_hz}; }
+  /// Peak f32 throughput in FLOP/s (2 flops per MAC per cycle).
+  [[nodiscard]] double peak_flops() const {
+    return 2.0 * array_rows * array_cols * clock_hz;
+  }
+};
+
+/// Tensor Processing Core parameters (one core; the cluster has `num_cores`).
+struct TpcConfig {
+  std::uint32_t num_cores = 8;
+  /// SIMD width in bits (paper §2.2: 2048-bit vector mechanism).
+  std::uint32_t vector_bits = 2048;
+  double clock_hz = 2.15e9;
+  /// Global memory: average cycles to load/store one full vector (paper §2.2:
+  /// "every four cycles can accommodate the loading or writing of a 2048-bit
+  /// vector to the global memory").
+  Cycles global_access_cycles = 4;
+  /// Local memories (paper §2.2).
+  std::size_t scalar_local_bytes = 1024;
+  std::size_t vector_local_bytes = 80 * 1024;
+  /// Fixed kernel launch/teardown overhead per TPC op, in cycles, covering
+  /// descriptor parsing and index-space setup.
+  Cycles launch_overhead_cycles = 50'000;
+
+  [[nodiscard]] Clock clock() const { return Clock{clock_hz}; }
+  [[nodiscard]] std::uint32_t f32_lanes() const { return vector_bits / 32; }
+  /// Peak f32 FMA throughput of the whole cluster in FLOP/s.
+  [[nodiscard]] double cluster_peak_flops() const {
+    return 2.0 * f32_lanes() * clock_hz * num_cores;
+  }
+};
+
+/// Memory & interconnect parameters.
+struct MemoryConfig {
+  std::size_t hbm_bytes = 32ull * 1024 * 1024 * 1024;  ///< 32 GB on-chip HBM.
+  double hbm_bandwidth_bytes_per_s = 1.0e12;           ///< ~1 TB/s aggregate.
+  SimTime hbm_latency = SimTime::from_ns(120.0);
+  std::size_t shared_sram_bytes = 24ull * 1024 * 1024;
+  /// DMA engine moving data between engines through shared memory.  The
+  /// aggregate matches HBM-class bandwidth: inter-engine staging is
+  /// pipelined against the producing/consuming engines, so the *exposed*
+  /// cost per transfer is the streaming time at full memory bandwidth plus
+  /// a setup latency (see DESIGN.md).
+  double dma_bandwidth_bytes_per_s = 1.0e12;
+  SimTime dma_setup = SimTime::from_ns(400.0);
+  std::uint32_t dma_channels = 4;
+};
+
+/// Graph-compiler behaviour knobs (modelling observed SynapseAI behaviour).
+struct CompilerConfig {
+  /// Stall inserted when an op without first-class backend support forces a
+  /// just-in-time recompilation (the paper attributes GLU's MME blank area to
+  /// "extra compilation during the execution").
+  SimTime recompile_stall = SimTime::from_ms(1.2);
+};
+
+/// Full chip configuration.
+struct ChipConfig {
+  MmeConfig mme;
+  TpcConfig tpc;
+  MemoryConfig memory;
+  CompilerConfig compiler;
+
+  /// Preset calibrated against the HLS-1 measurements in the paper.
+  [[nodiscard]] static ChipConfig hls1() { return ChipConfig{}; }
+};
+
+}  // namespace gaudi::sim

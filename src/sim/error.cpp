@@ -1,0 +1,18 @@
+#include "sim/error.hpp"
+
+#include <sstream>
+#include <string_view>
+
+namespace gaudi::sim::detail {
+
+void throw_check_failed(const char* kind, const char* expr, const char* file,
+                        int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": " << kind << " failed: (" << expr << ") — " << msg;
+  if (std::string_view{kind} == "assert") {
+    throw InternalError(os.str());
+  }
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace gaudi::sim::detail

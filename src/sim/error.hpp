@@ -1,0 +1,61 @@
+// Error handling for the simulator.
+//
+// Contract violations and simulated-hardware faults (OOM, rank limits,
+// local-memory overflow) throw typed exceptions so tests can assert on the
+// exact failure class, mirroring how SynapseAI surfaces device errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace gaudi::sim {
+
+/// Base class for all simulator errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Violation of an API contract (bad shapes, ranks, null handles, ...).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Simulated device resource exhaustion (HBM capacity, local memory, ...).
+class ResourceExhausted : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Internal invariant broken; indicates a simulator bug, not user error.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failed(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg);
+}  // namespace detail
+
+}  // namespace gaudi::sim
+
+/// Argument/contract check: throws gaudi::sim::InvalidArgument when false.
+#define GAUDI_CHECK(expr, msg)                                                     \
+  do {                                                                             \
+    if (!(expr)) {                                                                 \
+      ::gaudi::sim::detail::throw_check_failed("check", #expr, __FILE__, __LINE__, \
+                                               (msg));                             \
+    }                                                                              \
+  } while (false)
+
+/// Internal invariant check: throws gaudi::sim::InternalError when false.
+#define GAUDI_ASSERT(expr, msg)                                                     \
+  do {                                                                              \
+    if (!(expr)) {                                                                  \
+      ::gaudi::sim::detail::throw_check_failed("assert", #expr, __FILE__, __LINE__, \
+                                               (msg));                              \
+    }                                                                               \
+  } while (false)

@@ -1,0 +1,16 @@
+#include "sim/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace gaudi::sim {
+
+float CounterRng::normal(std::uint64_t i) const {
+  // Two independent uniforms from disjoint counter ranges.
+  const double u1 = static_cast<double>(bits(2 * i) >> 11) * 0x1.0p-53;
+  const double u2 = static_cast<double>(bits(2 * i + 1) >> 11) * 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1 + 1e-300));
+  return static_cast<float>(r * std::cos(2.0 * std::numbers::pi * u2));
+}
+
+}  // namespace gaudi::sim

@@ -1,0 +1,64 @@
+// Deterministic counter-based random number generation.
+//
+// A counter-based generator (SplitMix64 core) lets any (seed, stream,
+// counter) tuple be evaluated independently — the property TPC hardware RNG
+// offers and the property we need so functional results are identical no
+// matter how an index space is partitioned across cores or host threads.
+#pragma once
+
+#include <cstdint>
+
+namespace gaudi::sim {
+
+/// Stateless mix function: maps a 64-bit input to a well-distributed output.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Counter-based RNG: draw i of stream s under seed k is a pure function of
+/// (k, s, i).
+class CounterRng {
+ public:
+  constexpr CounterRng() = default;
+  constexpr CounterRng(std::uint64_t seed, std::uint64_t stream = 0)
+      : seed_(seed), stream_(stream) {}
+
+  /// 64 uniform random bits for draw index `i`.
+  [[nodiscard]] constexpr std::uint64_t bits(std::uint64_t i) const {
+    return splitmix64(splitmix64(seed_ ^ (stream_ * 0xD1342543DE82EF95ull)) + i);
+  }
+
+  /// Uniform float in [0, 1).
+  [[nodiscard]] constexpr float uniform(std::uint64_t i) const {
+    return static_cast<float>(bits(i) >> 40) * (1.0f / 16777216.0f);
+  }
+
+  /// Uniform in [lo, hi).
+  [[nodiscard]] constexpr float uniform(std::uint64_t i, float lo, float hi) const {
+    return lo + (hi - lo) * uniform(i);
+  }
+
+  /// Standard normal via Box–Muller on two decorrelated uniform draws.
+  [[nodiscard]] float normal(std::uint64_t i) const;
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] constexpr std::uint64_t below(std::uint64_t i, std::uint64_t n) const {
+    return bits(i) % n;
+  }
+
+  /// Derive an independent stream (e.g. per-tensor, per-layer).
+  [[nodiscard]] constexpr CounterRng stream(std::uint64_t s) const {
+    return CounterRng{seed_, splitmix64(stream_ ^ s)};
+  }
+
+  [[nodiscard]] constexpr std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t seed_ = 0x5EED5EED5EED5EEDull;
+  std::uint64_t stream_ = 0;
+};
+
+}  // namespace gaudi::sim

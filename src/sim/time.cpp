@@ -1,0 +1,26 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gaudi::sim {
+
+std::string to_string(SimTime t) {
+  const double ps = static_cast<double>(t.ps());
+  char buf[64];
+  const double abs_ps = std::abs(ps);
+  if (abs_ps >= 1e12) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ps * 1e-12);
+  } else if (abs_ps >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ps * 1e-9);
+  } else if (abs_ps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ps * 1e-6);
+  } else if (abs_ps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ns", ps * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld ps", static_cast<long long>(t.ps()));
+  }
+  return buf;
+}
+
+}  // namespace gaudi::sim

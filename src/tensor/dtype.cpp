@@ -1,0 +1,22 @@
+#include "tensor/dtype.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace gaudi::tensor {
+
+std::uint16_t f32_to_bf16(float f) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(f);
+  if (std::isnan(f)) {
+    return 0x7FC0;  // canonical quiet NaN
+  }
+  // Round to nearest even on the truncated 16 bits.
+  const std::uint32_t rounding_bias = 0x7FFF + ((bits >> 16) & 1);
+  return static_cast<std::uint16_t>((bits + rounding_bias) >> 16);
+}
+
+float bf16_to_f32(std::uint16_t b) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16);
+}
+
+}  // namespace gaudi::tensor

@@ -1,0 +1,61 @@
+// Data types supported by the simulated device.
+//
+// The TPC ISA supports float, bfloat16, INT32, INT16 and INT8 (paper §2.2);
+// we carry the same set.  bf16 values are stored in their true 16-bit
+// encoding and converted through round-to-nearest-even, so precision
+// behaviour is faithful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gaudi::tensor {
+
+enum class DType : std::uint8_t {
+  F32,
+  BF16,
+  I32,
+  I16,
+  I8,
+};
+
+[[nodiscard]] constexpr std::size_t dtype_size(DType d) {
+  switch (d) {
+    case DType::F32:
+    case DType::I32:
+      return 4;
+    case DType::BF16:
+    case DType::I16:
+      return 2;
+    case DType::I8:
+      return 1;
+  }
+  return 0;
+}
+
+[[nodiscard]] constexpr std::string_view dtype_name(DType d) {
+  switch (d) {
+    case DType::F32: return "f32";
+    case DType::BF16: return "bf16";
+    case DType::I32: return "i32";
+    case DType::I16: return "i16";
+    case DType::I8: return "i8";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr bool is_floating(DType d) {
+  return d == DType::F32 || d == DType::BF16;
+}
+
+/// f32 -> bf16 with round-to-nearest-even (hardware behaviour).
+[[nodiscard]] std::uint16_t f32_to_bf16(float f);
+
+/// bf16 -> f32 (exact).
+[[nodiscard]] float bf16_to_f32(std::uint16_t b);
+
+/// Round-trips a float through bf16 precision.
+[[nodiscard]] inline float round_bf16(float f) { return bf16_to_f32(f32_to_bf16(f)); }
+
+}  // namespace gaudi::tensor

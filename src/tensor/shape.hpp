@@ -1,0 +1,98 @@
+// Tensor shapes with the device's rank limit.
+//
+// The TPC accepts tensors of rank 1..5 (paper §2.2); Shape enforces the same
+// bound so invalid networks fail at graph-construction time, as on device.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+#include "sim/error.hpp"
+
+namespace gaudi::tensor {
+
+/// Maximum tensor rank accepted by the device (TPC limit).
+inline constexpr std::size_t kMaxRank = 5;
+
+class Shape {
+ public:
+  Shape() = default;
+
+  Shape(std::initializer_list<std::int64_t> dims) { assign({dims.begin(), dims.end()}); }
+  explicit Shape(std::span<const std::int64_t> dims) { assign(dims); }
+
+  [[nodiscard]] std::size_t rank() const { return rank_; }
+  [[nodiscard]] std::int64_t dim(std::size_t i) const {
+    GAUDI_CHECK(i < rank_, "shape dim index out of range");
+    return dims_[i];
+  }
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  [[nodiscard]] std::span<const std::int64_t> dims() const {
+    return {dims_.data(), rank_};
+  }
+
+  /// Total element count (1 for rank-0 is not representable; rank>=1 always).
+  [[nodiscard]] std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  /// Row-major strides, in elements.
+  [[nodiscard]] std::array<std::int64_t, kMaxRank> strides() const {
+    std::array<std::int64_t, kMaxRank> s{};
+    std::int64_t acc = 1;
+    for (std::size_t i = rank_; i-- > 0;) {
+      s[i] = acc;
+      acc *= dims_[i];
+    }
+    return s;
+  }
+
+  /// Leading dimensions collapsed into a batch count; e.g. [B,H,N,D] with
+  /// `trailing`=2 gives batch B*H over [N,D] matrices.
+  [[nodiscard]] std::int64_t batch_count(std::size_t trailing) const {
+    GAUDI_CHECK(rank_ >= trailing, "rank smaller than trailing dims");
+    std::int64_t b = 1;
+    for (std::size_t i = 0; i + trailing < rank_; ++i) b *= dims_[i];
+    return b;
+  }
+
+  /// New shape with the same elements, different dims (checked).
+  [[nodiscard]] Shape reshaped(std::initializer_list<std::int64_t> dims) const {
+    Shape s{dims};
+    GAUDI_CHECK(s.numel() == numel(), "reshape changes element count");
+    return s;
+  }
+
+  [[nodiscard]] bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != o.dims_[i]) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  void assign(std::span<const std::int64_t> dims) {
+    GAUDI_CHECK(dims.size() >= 1 && dims.size() <= kMaxRank,
+                "tensor rank must be in [1, 5] (TPC limit)");
+    rank_ = dims.size();
+    for (std::size_t i = 0; i < rank_; ++i) {
+      GAUDI_CHECK(dims[i] > 0, "tensor dims must be positive");
+      dims_[i] = dims[i];
+    }
+  }
+
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace gaudi::tensor

@@ -1,0 +1,116 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+
+namespace gaudi::tensor {
+
+Tensor Tensor::full(Shape shape, float value, DType dtype) {
+  Tensor t{std::move(shape), dtype};
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) t.set(i, value);
+  return t;
+}
+
+Tensor Tensor::from_values(Shape shape, std::span<const float> values) {
+  Tensor t{std::move(shape), DType::F32};
+  GAUDI_CHECK(static_cast<std::int64_t>(values.size()) == t.numel(),
+              "value count does not match shape");
+  std::copy(values.begin(), values.end(), t.f32().begin());
+  return t;
+}
+
+Tensor Tensor::uniform(Shape shape, sim::CounterRng rng, float lo, float hi) {
+  Tensor t{std::move(shape), DType::F32};
+  auto out = t.f32();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.uniform(i, lo, hi);
+  }
+  return t;
+}
+
+Tensor Tensor::normal(Shape shape, sim::CounterRng rng, float stddev) {
+  Tensor t{std::move(shape), DType::F32};
+  auto out = t.f32();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = rng.normal(i) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::random_tokens(Shape shape, sim::CounterRng rng, std::int64_t vocab) {
+  GAUDI_CHECK(vocab > 0, "vocab must be positive");
+  Tensor t{std::move(shape), DType::I32};
+  auto out = t.i32();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<std::int32_t>(rng.below(i, static_cast<std::uint64_t>(vocab)));
+  }
+  return t;
+}
+
+float Tensor::at(std::int64_t i) const {
+  GAUDI_CHECK(defined() && i >= 0 && i < numel(), "tensor index out of range");
+  switch (dtype_) {
+    case DType::F32:
+      return reinterpret_cast<const float*>(storage_->data())[i];
+    case DType::BF16:
+      return bf16_to_f32(reinterpret_cast<const std::uint16_t*>(storage_->data())[i]);
+    case DType::I32:
+      return static_cast<float>(
+          reinterpret_cast<const std::int32_t*>(storage_->data())[i]);
+    case DType::I16:
+      return static_cast<float>(
+          reinterpret_cast<const std::int16_t*>(storage_->data())[i]);
+    case DType::I8:
+      return static_cast<float>(
+          reinterpret_cast<const std::int8_t*>(storage_->data())[i]);
+  }
+  return 0.0f;
+}
+
+void Tensor::set(std::int64_t i, float value) {
+  GAUDI_CHECK(defined() && i >= 0 && i < numel(), "tensor index out of range");
+  switch (dtype_) {
+    case DType::F32:
+      reinterpret_cast<float*>(storage_->data())[i] = value;
+      return;
+    case DType::BF16:
+      reinterpret_cast<std::uint16_t*>(storage_->data())[i] = f32_to_bf16(value);
+      return;
+    case DType::I32:
+      reinterpret_cast<std::int32_t*>(storage_->data())[i] =
+          static_cast<std::int32_t>(value);
+      return;
+    case DType::I16:
+      reinterpret_cast<std::int16_t*>(storage_->data())[i] =
+          static_cast<std::int16_t>(value);
+      return;
+    case DType::I8:
+      reinterpret_cast<std::int8_t*>(storage_->data())[i] =
+          static_cast<std::int8_t>(value);
+      return;
+  }
+}
+
+Tensor Tensor::clone() const {
+  GAUDI_CHECK(defined(), "cannot clone an undefined tensor");
+  Tensor t{shape_, dtype_};
+  std::memcpy(t.storage_->data(), storage_->data(), nbytes());
+  return t;
+}
+
+Tensor Tensor::to(DType target) const {
+  GAUDI_CHECK(defined(), "cannot convert an undefined tensor");
+  if (target == dtype_) {
+    return clone();
+  }
+  GAUDI_CHECK(is_floating(dtype_) && is_floating(target),
+              "only f32<->bf16 conversions are supported");
+  Tensor t{shape_, target};
+  const std::int64_t n = numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    t.set(i, at(i));
+  }
+  return t;
+}
+
+}  // namespace gaudi::tensor

@@ -1,0 +1,69 @@
+// TPC index spaces.
+//
+// A TPC program divides its work into an up-to-5-dimensional *index space*;
+// "each index space member corresponds to an independent unit of work
+// executed on a single TPC" (paper §2.2).  The cluster distributes members
+// across its cores; cycle accounting and functional execution both iterate
+// members through this type.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/error.hpp"
+#include "tensor/shape.hpp"
+
+namespace gaudi::tpc {
+
+/// Coordinates of one index-space member.
+struct Member {
+  std::array<std::int64_t, tensor::kMaxRank> coord{};
+  std::int64_t linear = 0;
+
+  [[nodiscard]] std::int64_t operator[](std::size_t i) const { return coord[i]; }
+};
+
+class IndexSpace {
+ public:
+  IndexSpace() = default;
+  IndexSpace(std::initializer_list<std::int64_t> dims) : shape_{dims} {}
+  explicit IndexSpace(tensor::Shape shape) : shape_(std::move(shape)) {}
+
+  [[nodiscard]] const tensor::Shape& shape() const { return shape_; }
+  [[nodiscard]] std::int64_t size() const { return shape_.numel(); }
+
+  /// Member for a linear id in [0, size()).
+  [[nodiscard]] Member member(std::int64_t linear) const {
+    GAUDI_CHECK(linear >= 0 && linear < size(), "index-space member out of range");
+    Member m;
+    m.linear = linear;
+    std::int64_t rem = linear;
+    const auto strides = shape_.strides();
+    for (std::size_t i = 0; i < shape_.rank(); ++i) {
+      m.coord[i] = rem / strides[i];
+      rem %= strides[i];
+    }
+    return m;
+  }
+
+  /// Number of members assigned to `core` out of `num_cores` under the
+  /// block-cyclic distribution used by the cluster.
+  [[nodiscard]] std::int64_t members_on_core(std::uint32_t core,
+                                             std::uint32_t num_cores) const {
+    const std::int64_t n = size();
+    return n / num_cores + ((static_cast<std::int64_t>(core) < n % num_cores) ? 1 : 0);
+  }
+
+  /// Linear member id of the k-th member on `core` (cyclic distribution:
+  /// member i runs on core i % num_cores, preserving locality of
+  /// consecutive members across the cluster).
+  [[nodiscard]] std::int64_t core_member(std::uint32_t core, std::int64_t k,
+                                         std::uint32_t num_cores) const {
+    return static_cast<std::int64_t>(core) + k * static_cast<std::int64_t>(num_cores);
+  }
+
+ private:
+  tensor::Shape shape_{{1}};
+};
+
+}  // namespace gaudi::tpc

@@ -1,0 +1,65 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/error.hpp"
+
+namespace gaudi::workload {
+
+SyntheticCorpus::SyntheticCorpus(CorpusConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed, /*stream=*/0xC0) {
+  GAUDI_CHECK(cfg_.vocab > 1, "corpus vocab must exceed 1");
+  cumulative_.resize(static_cast<std::size_t>(cfg_.vocab));
+  double acc = 0.0;
+  for (std::int64_t r = 0; r < cfg_.vocab; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), cfg_.zipf_s);
+    cumulative_[static_cast<std::size_t>(r)] = acc;
+  }
+  for (auto& c : cumulative_) c /= acc;
+}
+
+std::int32_t SyntheticCorpus::token(std::uint64_t index) const {
+  const double u = static_cast<double>(rng_.uniform(index));
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  const auto rank = static_cast<std::int64_t>(it - cumulative_.begin());
+  // Scatter ranks over the id space so frequent tokens are not all low ids
+  // (mirrors how real tokenizers assign ids).
+  return static_cast<std::int32_t>(
+      (rank * 2654435761ull + 17) % static_cast<std::uint64_t>(cfg_.vocab));
+}
+
+tensor::Tensor SyntheticCorpus::batch(std::int64_t batch, std::int64_t seq_len,
+                                      std::uint64_t cursor) const {
+  tensor::Tensor ids =
+      tensor::Tensor::zeros(tensor::Shape{{batch, seq_len}}, tensor::DType::I32);
+  auto out = ids.i32();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = token(cursor + i);
+  }
+  return ids;
+}
+
+tensor::Tensor SyntheticCorpus::next_token_targets(std::int64_t batch,
+                                                   std::int64_t seq_len,
+                                                   std::uint64_t cursor) const {
+  tensor::Tensor targets =
+      tensor::Tensor::zeros(tensor::Shape{{batch * seq_len}}, tensor::DType::I32);
+  auto out = targets.i32();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = token(cursor + i + 1);
+  }
+  return targets;
+}
+
+double SyntheticCorpus::top_token_frequency(std::uint64_t samples) const {
+  GAUDI_CHECK(samples > 0, "need at least one sample");
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(cfg_.vocab), 0);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    ++counts[static_cast<std::size_t>(token(i))];
+  }
+  const std::uint64_t top = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(top) / static_cast<double>(samples);
+}
+
+}  // namespace gaudi::workload

@@ -1,0 +1,55 @@
+// Synthetic text workload.
+//
+// The paper feeds BookCorpus through HuggingFace tokenizers; the profiled
+// compute depends only on the resulting token-id streams (sequence length,
+// batch size, vocabulary), not on the prose.  SyntheticCorpus produces
+// deterministic Zipf-distributed token ids — the empirical shape of natural
+// language token frequencies — so functional runs see realistic id skew
+// (e.g. embedding-gradient scatter hot rows) without shipping the dataset.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gaudi::workload {
+
+struct CorpusConfig {
+  std::int64_t vocab = 50257;
+  double zipf_s = 1.1;         ///< Zipf exponent (≈1.0–1.2 for natural text)
+  std::uint64_t seed = 0xB00C; ///< corpus seed
+};
+
+class SyntheticCorpus {
+ public:
+  explicit SyntheticCorpus(CorpusConfig cfg);
+
+  [[nodiscard]] const CorpusConfig& config() const { return cfg_; }
+
+  /// Token id for global position `index` (pure function of seed+index).
+  [[nodiscard]] std::int32_t token(std::uint64_t index) const;
+
+  /// A batch of token ids [batch, seq_len], consuming positions starting at
+  /// `cursor` (use consecutive cursors for an epoch-style stream).
+  [[nodiscard]] tensor::Tensor batch(std::int64_t batch, std::int64_t seq_len,
+                                     std::uint64_t cursor = 0) const;
+
+  /// Next-token targets for `ids` [B, N]: the id at the following stream
+  /// position, flattened to [B*N] — the causal-LM labels.
+  [[nodiscard]] tensor::Tensor next_token_targets(std::int64_t batch,
+                                                  std::int64_t seq_len,
+                                                  std::uint64_t cursor = 0) const;
+
+  /// Empirical frequency of the most common token over `samples` draws —
+  /// used by tests to verify the Zipf skew.
+  [[nodiscard]] double top_token_frequency(std::uint64_t samples) const;
+
+ private:
+  CorpusConfig cfg_;
+  sim::CounterRng rng_;
+  std::vector<double> cumulative_;  ///< CDF over ranks
+};
+
+}  // namespace gaudi::workload

@@ -1,0 +1,73 @@
+// Baseline/regression tooling tests.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/baseline.hpp"
+
+namespace gaudi::core {
+namespace {
+
+TraceSummary sample_summary() {
+  TraceSummary s;
+  s.makespan = sim::SimTime::from_ms(100.0);
+  s.mme_busy = sim::SimTime::from_ms(60.0);
+  s.tpc_busy = sim::SimTime::from_ms(30.0);
+  s.mme_idle_fraction = 0.4;
+  s.softmax_share_of_tpc = 0.9;
+  s.engine_imbalance = 0.5;
+  return s;
+}
+
+TEST(Baseline, RoundTripsThroughText) {
+  const Baseline b = baseline_from(sample_summary());
+  const Baseline parsed = parse_baseline(to_string(b));
+  EXPECT_EQ(parsed.metrics.size(), b.metrics.size());
+  for (const auto& [key, value] : b.metrics) {
+    EXPECT_NEAR(parsed.metrics.at(key), value, 1e-9) << key;
+  }
+}
+
+TEST(Baseline, ParserSkipsCommentsAndRejectsGarbage) {
+  const Baseline b = parse_baseline("# comment\nmakespan_ms = 12.5\n\n");
+  EXPECT_NEAR(b.metrics.at("makespan_ms"), 12.5, 1e-12);
+  EXPECT_THROW(parse_baseline("no equals sign"), sim::InvalidArgument);
+  EXPECT_THROW(parse_baseline("key = not_a_number"), sim::InvalidArgument);
+  EXPECT_THROW(parse_baseline(" = 3"), sim::InvalidArgument);
+}
+
+TEST(Baseline, CompareFlagsDriftBeyondTolerance) {
+  const Baseline base = baseline_from(sample_summary());
+  Baseline drifted = base;
+  drifted.metrics["makespan_ms"] *= 1.20;   // +20%
+  drifted.metrics["tpc_busy_ms"] *= 1.02;   // +2% — inside tolerance
+
+  const auto drifts = compare(base, drifted, 0.05);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].metric, "makespan_ms");
+  EXPECT_NEAR(drifts[0].relative, 0.20, 1e-9);
+  EXPECT_TRUE(compare(base, base).empty());
+}
+
+TEST(Baseline, CompareReportsMissingMetrics) {
+  Baseline base;
+  base.metrics["only_in_base"] = 1.0;
+  Baseline cur;
+  cur.metrics["only_in_current"] = 2.0;
+  const auto drifts = compare(base, cur, 0.05);
+  EXPECT_EQ(drifts.size(), 2u);
+  for (const auto& d : drifts) EXPECT_TRUE(std::isinf(d.relative));
+}
+
+TEST(Baseline, SaveAndLoadFile) {
+  const std::string path = "test_baseline_tmp.txt";
+  const Baseline b = baseline_from(sample_summary());
+  save_baseline(b, path);
+  const Baseline loaded = load_baseline(path);
+  EXPECT_TRUE(compare(b, loaded, 1e-9).empty());
+  std::remove(path.c_str());
+  EXPECT_THROW(load_baseline("does_not_exist.txt"), sim::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gaudi::core

@@ -1,0 +1,100 @@
+// CLI tests: the option parser's contract and end-to-end command dispatch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cli.hpp"
+#include "sim/error.hpp"
+
+namespace gaudi::core {
+namespace {
+
+int run(std::initializer_list<const char*> args, std::string* out = nullptr) {
+  std::vector<std::string> v{"gaudisim_cli"};
+  v.insert(v.end(), args.begin(), args.end());
+  std::ostringstream os;
+  const int rc = run_cli(v, os);
+  if (out) *out = os.str();
+  return rc;
+}
+
+TEST(ArgParser, KeyValueAndFlags) {
+  ArgParser p({"--seq", "1024", "--fuse", "--policy", "overlap"});
+  EXPECT_EQ(p.get_int("seq", 0), 1024);
+  EXPECT_TRUE(p.has("fuse"));
+  EXPECT_EQ(p.get("policy", "barrier"), "overlap");
+  EXPECT_EQ(p.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(p.get_int("missing", 7), 7);
+  EXPECT_TRUE(p.unused().empty());
+}
+
+TEST(ArgParser, TracksUnusedKeys) {
+  ArgParser p({"--typo", "3"});
+  EXPECT_EQ(p.unused().size(), 1u);
+  EXPECT_EQ(p.unused()[0], "typo");
+  (void)p.get("typo", "");
+  EXPECT_TRUE(p.unused().empty());
+}
+
+TEST(ArgParser, RejectsMalformedTokens) {
+  EXPECT_THROW(ArgParser({"seq", "1024"}), sim::InvalidArgument);
+  ArgParser p({"--seq", "abc"});
+  EXPECT_THROW(p.get_int("seq", 0), sim::InvalidArgument);
+}
+
+TEST(Cli, HelpAndUnknownCommand) {
+  std::string out;
+  EXPECT_EQ(run({"help"}, &out), 0);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+  EXPECT_EQ(run({"frobnicate"}, &out), 1);
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_EQ(run({}, &out), 1);
+}
+
+TEST(Cli, OpMappingPrintsTable1) {
+  std::string out;
+  EXPECT_EQ(run({"op-mapping"}, &out), 0);
+  EXPECT_NE(out.find("torch.matmul"), std::string::npos);
+  EXPECT_NE(out.find("MME"), std::string::npos);
+}
+
+TEST(Cli, MmeVsTpcWithCustomSizes) {
+  std::string out;
+  EXPECT_EQ(run({"mme-vs-tpc", "--sizes", "128,256"}, &out), 0);
+  EXPECT_NE(out.find("128"), std::string::npos);
+  EXPECT_NE(out.find("256"), std::string::npos);
+  EXPECT_EQ(out.find("512"), std::string::npos);
+}
+
+TEST(Cli, ProfileLayerSmallConfig) {
+  std::string out;
+  EXPECT_EQ(run({"profile-layer", "--attention", "linear", "--seq", "128",
+                 "--batch", "4", "--policy", "overlap", "--fuse"},
+                &out),
+            0);
+  EXPECT_NE(out.find("layer / linear"), std::string::npos);
+  EXPECT_NE(out.find("MME busy"), std::string::npos);
+}
+
+TEST(Cli, ProfileModelSmallConfig) {
+  std::string out;
+  EXPECT_EQ(run({"profile-model", "--arch", "bert", "--seq", "128", "--batch",
+                 "2", "--layers", "1", "--optimizer", "sgd"},
+                &out),
+            0);
+  EXPECT_NE(out.find("bert training step"), std::string::npos);
+  EXPECT_NE(out.find("parameters"), std::string::npos);
+}
+
+TEST(Cli, BadOptionValuesFailCleanly) {
+  std::string out;
+  EXPECT_EQ(run({"profile-layer", "--attention", "quantum"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_EQ(run({"profile-model", "--arch", "t5"}, &out), 1);
+  EXPECT_EQ(run({"profile-layer", "--nonsense", "1"}, &out), 1);
+  EXPECT_NE(out.find("unknown option"), std::string::npos);
+  EXPECT_EQ(run({"profile-model", "--optimizer", "rmsprop"}, &out), 1);
+}
+
+}  // namespace
+}  // namespace gaudi::core

@@ -1,0 +1,85 @@
+// HTML report generator tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "core/experiments.hpp"
+#include "core/html_report.hpp"
+
+namespace gaudi::core {
+namespace {
+
+const sim::ChipConfig& chip() {
+  static const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+  return cfg;
+}
+
+graph::Trace sample_trace() {
+  LayerExperiment exp;
+  exp.seq_len = 128;
+  exp.batch = 4;
+  exp.attention.kind = nn::AttentionKind::kSoftmax;
+  return run_layer_profile(exp, chip()).trace;
+}
+
+TEST(HtmlReport, ContainsAllSections) {
+  const std::string html = html_report("my <profile>", sample_trace(), chip());
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("my &lt;profile&gt;"), std::string::npos);  // escaped
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("Timeline"), std::string::npos);
+  EXPECT_NE(html.find("Summary"), std::string::npos);
+  EXPECT_NE(html.find("Roofline"), std::string::npos);
+  EXPECT_NE(html.find("softmax"), std::string::npos);
+  // Balanced tags for the structural elements we emit.
+  EXPECT_EQ(std::count(html.begin(), html.end(), '<'),
+            std::count(html.begin(), html.end(), '>'));
+  const auto count_of = [&](const std::string& needle) {
+    std::size_t n = 0, pos = 0;
+    while ((pos = html.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count_of("<table>"), count_of("</table>"));
+  EXPECT_EQ(count_of("<rect"), count_of("</rect>") + count_of("\"/>"));
+}
+
+TEST(HtmlReport, TimelineRectsMatchEngineEvents) {
+  const graph::Trace trace = sample_trace();
+  const std::string html = html_report("t", trace, chip());
+  // Rect tooltips only (the document head contributes one more <title>).
+  std::size_t titled_rects = 0, pos = 0;
+  while ((pos = html.find("\"><title>", pos)) != std::string::npos) {
+    ++titled_rects;
+    pos += 9;
+  }
+  std::size_t drawable = 0;
+  for (const auto& e : trace.events()) {
+    if (e.engine != graph::Engine::kNone) ++drawable;
+  }
+  EXPECT_EQ(titled_rects, drawable);
+}
+
+TEST(HtmlReport, EmptyTraceDegradesGracefully) {
+  const std::string html = html_report("empty", graph::Trace{}, chip());
+  EXPECT_NE(html.find("(empty trace)"), std::string::npos);
+}
+
+TEST(HtmlReport, WritesFile) {
+  const std::string path = "test_report_tmp.html";
+  write_html_report(path, "t", sample_trace(), chip());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string first;
+  std::getline(f, first);
+  EXPECT_EQ(first, "<!DOCTYPE html>");
+  f.close();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gaudi::core

@@ -1,0 +1,225 @@
+// Scale-out substrate tests: RoCE link model, ring all-reduce numerics and
+// timing laws, and the data-parallel step model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scaleout/data_parallel.hpp"
+#include "scaleout/pipeline.hpp"
+#include "scaleout/tensor_parallel.hpp"
+#include "tensor/ops.hpp"
+
+namespace gaudi::scaleout {
+namespace {
+
+namespace ops = gaudi::tensor::ops;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Roce, P2pTimeIsAffine) {
+  const RoceConfig cfg;
+  EXPECT_EQ(p2p_time(cfg, 0), cfg.link_latency);
+  const auto t1 = p2p_time(cfg, 1 << 20);
+  const auto t2 = p2p_time(cfg, 2 << 20);
+  EXPECT_NEAR(static_cast<double>((t2 - t1).ps()),
+              static_cast<double>((t1 - cfg.link_latency).ps()), 4.0);
+  EXPECT_GT(p2p_effective_bandwidth(cfg, 1ull << 30),
+            0.95 * cfg.link_bandwidth_bytes_per_s);
+}
+
+class RingAllReduceTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(RingAllReduceTest, SumMatchesReferenceForAnyChipCount) {
+  const std::uint32_t chips = GetParam();
+  const std::int64_t n = 1000;  // not divisible by most chip counts
+  std::vector<Tensor> shards;
+  Tensor expect = Tensor::zeros(Shape{{n}});
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    shards.push_back(
+        Tensor::uniform(Shape{{n}}, sim::CounterRng{77}.stream(c), -1.0f, 1.0f));
+    expect = ops::add(expect, shards.back());
+  }
+  RoceConfig cfg;
+  const AllReduceResult r = ring_all_reduce(cfg, shards, ReduceOp::kSum);
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    EXPECT_LT(ops::max_abs_diff(shards[c], expect), 1e-4)
+        << "chip " << c << " of " << chips;
+  }
+  if (chips > 1) {
+    EXPECT_EQ(r.steps, 2u * (chips - 1));
+    EXPECT_GT(r.duration, sim::SimTime::zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChipCounts, RingAllReduceTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 7u, 8u));
+
+TEST(RingAllReduce, MeanDividesByChips) {
+  std::vector<Tensor> shards;
+  for (int c = 0; c < 4; ++c) {
+    shards.push_back(Tensor::full(Shape{{64}}, static_cast<float>(c + 1)));
+  }
+  RoceConfig cfg;
+  ring_all_reduce(cfg, shards, ReduceOp::kMean);
+  for (const auto& s : shards) {
+    for (float v : s.f32()) EXPECT_NEAR(v, 2.5f, 1e-6f);  // (1+2+3+4)/4
+  }
+}
+
+TEST(RingAllReduce, SingleShardIsInstantIdentity) {
+  std::vector<Tensor> shards{Tensor::full(Shape{{8}}, 3.0f)};
+  RoceConfig cfg;
+  const auto r = ring_all_reduce(cfg, shards);
+  EXPECT_EQ(r.duration, sim::SimTime::zero());
+  for (float v : shards[0].f32()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(RingAllReduce, RejectsMismatchedShards) {
+  std::vector<Tensor> shards{Tensor::zeros(Shape{{8}}), Tensor::zeros(Shape{{9}})};
+  RoceConfig cfg;
+  EXPECT_THROW(ring_all_reduce(cfg, shards), sim::InvalidArgument);
+}
+
+TEST(RingAllReduce, TimeApproachesBandwidthOptimalBound) {
+  // For large N, ring all-reduce moves 2(P-1)/P * N bytes per chip.
+  const RoceConfig cfg;
+  const std::size_t bytes = 1ull << 30;
+  const auto r = ring_all_reduce_time(cfg, bytes, 8);
+  const double optimal_s =
+      2.0 * 7.0 / 8.0 * static_cast<double>(bytes) / cfg.link_bandwidth_bytes_per_s;
+  EXPECT_NEAR(r.duration.seconds() / optimal_s, 1.0, 0.01);
+  // Latency-bound regime: tiny payloads cost ~2(P-1) latencies.
+  const auto tiny = ring_all_reduce_time(cfg, 64, 8);
+  EXPECT_GE(tiny.duration, cfg.link_latency * 14);
+}
+
+TEST(RingAllReduce, MoreChipsMoreSteps) {
+  const RoceConfig cfg;
+  const std::size_t bytes = 1 << 20;
+  const auto t2 = ring_all_reduce_time(cfg, bytes, 2);
+  const auto t8 = ring_all_reduce_time(cfg, bytes, 8);
+  EXPECT_LT(t2.steps, t8.steps);
+  // Per-chip traffic grows toward 2N as P grows, so time grows too (with
+  // fixed chunk latency overheads).
+  EXPECT_LT(t2.duration, t8.duration);
+}
+
+TEST(DataParallel, EfficiencyDecreasesWithChipsAndImprovesWithOverlap) {
+  DataParallelConfig cfg;
+  const sim::SimTime step = sim::SimTime::from_ms(300.0);
+  const std::size_t grad_bytes = 235ull << 20;  // ~GPT-small gradients
+  const std::int64_t tokens = 8 * 2048;
+
+  cfg.chips = 1;
+  const auto one = data_parallel_step(cfg, step, grad_bytes, tokens);
+  EXPECT_NEAR(one.scaling_efficiency, 1.0, 1e-9);
+  EXPECT_EQ(one.exposed_comm, sim::SimTime::zero());
+
+  cfg.chips = 8;
+  const auto eight = data_parallel_step(cfg, step, grad_bytes, tokens);
+  EXPECT_LT(eight.scaling_efficiency, 1.0);
+  EXPECT_GT(eight.scaling_efficiency, 0.5);
+  EXPECT_GT(eight.tokens_per_second, one.tokens_per_second);
+
+  cfg.overlap_comm = true;
+  const auto overlapped = data_parallel_step(cfg, step, grad_bytes, tokens);
+  EXPECT_LE(overlapped.total, eight.total);
+  EXPECT_GE(overlapped.scaling_efficiency, eight.scaling_efficiency);
+}
+
+TEST(DataParallel, FullyHiddenCommIsPerfectScaling) {
+  DataParallelConfig cfg;
+  cfg.chips = 4;
+  cfg.overlap_comm = true;
+  cfg.overlappable_fraction = 1.0;
+  // Comm much smaller than compute: fully hidden.
+  const auto s = data_parallel_step(cfg, sim::SimTime::from_ms(500.0), 1 << 20,
+                                    2048);
+  EXPECT_EQ(s.exposed_comm, sim::SimTime::zero());
+  EXPECT_NEAR(s.scaling_efficiency, 1.0, 1e-9);
+}
+
+TEST(Pipeline, BubbleFractionMatchesGpipeFormula) {
+  PipelineConfig cfg;
+  cfg.stages = 4;
+  cfg.microbatches = 12;
+  const auto s = pipeline_step(cfg, sim::SimTime::from_ms(100.0), 1 << 20, 1024);
+  EXPECT_NEAR(s.bubble_fraction, 3.0 / 15.0, 1e-9);
+  EXPECT_NEAR(s.utilization, 12.0 / 15.0, 1e-9);
+  // Total = (M + P - 1) slots of (stage + comm).
+  EXPECT_NEAR(s.total.seconds(),
+              15.0 * (0.025 + s.boundary_comm.seconds()), 1e-6);
+}
+
+TEST(Pipeline, MoreMicrobatchesShrinkTheBubble) {
+  PipelineConfig cfg;
+  cfg.stages = 8;
+  cfg.microbatches = 2;
+  const auto few = pipeline_step(cfg, sim::SimTime::from_ms(80.0), 1 << 20, 512);
+  cfg.microbatches = 64;
+  const auto many = pipeline_step(cfg, sim::SimTime::from_ms(80.0), 1 << 20, 512);
+  EXPECT_GT(few.bubble_fraction, many.bubble_fraction);
+  EXPECT_GT(many.speedup_vs_single_chip, few.speedup_vs_single_chip);
+  // With a deep microbatch stream the speedup approaches the stage count
+  // (minus comm overhead).
+  EXPECT_GT(many.speedup_vs_single_chip, 5.0);
+  EXPECT_LT(many.speedup_vs_single_chip, 8.0);
+}
+
+TEST(Pipeline, SingleStageIsJustSequentialExecution) {
+  PipelineConfig cfg;
+  cfg.stages = 1;
+  cfg.microbatches = 4;
+  const auto s = pipeline_step(cfg, sim::SimTime::from_ms(60.0), 1 << 20, 256);
+  EXPECT_EQ(s.boundary_comm, sim::SimTime::zero());
+  EXPECT_NEAR(s.bubble_fraction, 0.0, 1e-12);
+  EXPECT_NEAR(s.speedup_vs_single_chip, 1.0, 1e-9);
+}
+
+TEST(TensorParallel, ComputeDividesCommAccumulates) {
+  TensorParallelConfig cfg;
+  cfg.shards = 8;
+  const auto s = tensor_parallel_step(cfg, sim::SimTime::from_ms(320.0), 2,
+                                      32 << 20, 16384);
+  EXPECT_NEAR(s.compute.ms(), 40.0, 1e-6);
+  // 2 layers x 4 all-reduces of 32 MB each.
+  const auto one = ring_all_reduce_time(cfg.roce, 32 << 20, 8);
+  EXPECT_EQ(s.comm.ps(), (one.duration * 8).ps());
+  EXPECT_GT(s.speedup_vs_single_chip, 1.0);
+  EXPECT_LT(s.speedup_vs_single_chip, 8.0);
+  EXPECT_NEAR(s.comm_fraction,
+              s.comm.seconds() / (s.comm.seconds() + s.compute.seconds()), 1e-9);
+}
+
+TEST(TensorParallel, SingleShardHasNoComm) {
+  TensorParallelConfig cfg;
+  cfg.shards = 1;
+  const auto s = tensor_parallel_step(cfg, sim::SimTime::from_ms(100.0), 4,
+                                      1 << 20, 1024);
+  EXPECT_EQ(s.comm, sim::SimTime::zero());
+  EXPECT_NEAR(s.speedup_vs_single_chip, 1.0, 1e-9);
+}
+
+TEST(TensorParallel, DeepModelsPayMoreComm) {
+  TensorParallelConfig cfg;
+  cfg.shards = 8;
+  const auto shallow = tensor_parallel_step(cfg, sim::SimTime::from_ms(300.0), 2,
+                                            32 << 20, 16384);
+  const auto deep = tensor_parallel_step(cfg, sim::SimTime::from_ms(300.0), 24,
+                                         32 << 20, 16384);
+  EXPECT_GT(deep.comm_fraction, shallow.comm_fraction);
+  EXPECT_LT(deep.speedup_vs_single_chip, shallow.speedup_vs_single_chip);
+}
+
+TEST(Pipeline, HeavyActivationsErodeTheSpeedup) {
+  PipelineConfig cfg;
+  cfg.stages = 8;
+  cfg.microbatches = 32;
+  const auto light = pipeline_step(cfg, sim::SimTime::from_ms(80.0), 1 << 10, 512);
+  const auto heavy =
+      pipeline_step(cfg, sim::SimTime::from_ms(80.0), 1ull << 30, 512);
+  EXPECT_GT(light.speedup_vs_single_chip, heavy.speedup_vs_single_chip);
+}
+
+}  // namespace
+}  // namespace gaudi::scaleout

@@ -1,0 +1,166 @@
+// Unit tests for the simulation substrate: time base, RNG, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "sim/chip_config.hpp"
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/time.hpp"
+
+namespace gaudi::sim {
+namespace {
+
+TEST(SimTime, ConversionsRoundTrip) {
+  const SimTime t = SimTime::from_ms(12.5);
+  EXPECT_DOUBLE_EQ(t.ms(), 12.5);
+  EXPECT_DOUBLE_EQ(t.us(), 12500.0);
+  EXPECT_EQ(t.ps(), 12'500'000'000LL);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(2.0).seconds(), 2.0);
+}
+
+TEST(SimTime, ArithmeticIsExact) {
+  const SimTime a = SimTime::from_ps(3);
+  const SimTime b = SimTime::from_ps(5);
+  EXPECT_EQ((a + b).ps(), 8);
+  EXPECT_EQ((b - a).ps(), 2);
+  EXPECT_EQ((a * 7).ps(), 21);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(SimTime::zero().ps(), 0);
+}
+
+TEST(SimTime, ToStringPicksUnits) {
+  EXPECT_EQ(to_string(SimTime::from_ms(12.0)), "12.000 ms");
+  EXPECT_EQ(to_string(SimTime::from_us(3.5)), "3.500 us");
+  EXPECT_EQ(to_string(SimTime::from_seconds(1.25)), "1.250 s");
+}
+
+TEST(Clock, CycleConversionRoundsUp) {
+  const Clock c(1e9);  // 1 GHz -> 1 ns per cycle
+  EXPECT_EQ(c.to_time(10).ps(), 10'000);
+  // A partial cycle still occupies a full cycle.
+  EXPECT_EQ(c.to_cycles(SimTime::from_ps(1500)), 2u);
+  EXPECT_EQ(c.to_cycles(SimTime::from_ps(1000)), 1u);
+}
+
+TEST(Clock, HigherFrequencyShorterPeriod) {
+  EXPECT_LT(Clock(2e9).to_time(100).ps(), Clock(1e9).to_time(100).ps());
+}
+
+TEST(CounterRng, DeterministicPerCounter) {
+  const CounterRng rng(42, 7);
+  EXPECT_EQ(rng.bits(0), CounterRng(42, 7).bits(0));
+  EXPECT_NE(rng.bits(0), rng.bits(1));
+  EXPECT_NE(rng.bits(0), CounterRng(43, 7).bits(0));
+  EXPECT_NE(rng.bits(0), rng.stream(1).bits(0));
+}
+
+TEST(CounterRng, UniformInRange) {
+  const CounterRng rng(1);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const float u = rng.uniform(i);
+    EXPECT_GE(u, 0.0f);
+    EXPECT_LT(u, 1.0f);
+  }
+  const float v = rng.uniform(3, -2.0f, 2.0f);
+  EXPECT_GE(v, -2.0f);
+  EXPECT_LT(v, 2.0f);
+}
+
+TEST(CounterRng, UniformMeanIsCentered) {
+  const CounterRng rng(123);
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform(static_cast<std::uint64_t>(i));
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(CounterRng, NormalMomentsAreStandard) {
+  const CounterRng rng(7);
+  double sum = 0.0, sq = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(static_cast<std::uint64_t>(i));
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(CounterRng, BelowStaysInRange) {
+  const CounterRng rng(9);
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.below(i, 17);
+    EXPECT_LT(v, 17u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 17u);  // all residues hit over 1000 draws
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksPartition) {
+  ThreadPool pool(3);
+  std::atomic<std::size_t> total{0};
+  pool.parallel_for_chunks(12345, [&](std::size_t b, std::size_t e) {
+    ASSERT_LE(b, e);
+    total.fetch_add(e - b);
+  });
+  EXPECT_EQ(total.load(), 12345u);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t i) {
+                                   if (i == 57) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Errors, CheckMacroThrowsTyped) {
+  EXPECT_THROW(GAUDI_CHECK(false, "bad arg"), InvalidArgument);
+  EXPECT_THROW(GAUDI_ASSERT(false, "broken"), InternalError);
+  try {
+    GAUDI_CHECK(1 == 2, "specific message");
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("specific message"), std::string::npos);
+  }
+}
+
+TEST(ChipConfig, Hls1MatchesPaperHeadlines) {
+  const ChipConfig cfg = ChipConfig::hls1();
+  // MME peak ~14.6 TFLOPS f32 (Table 2 saturation), TPC cluster ~2.2.
+  EXPECT_NEAR(cfg.mme.peak_flops() * 1e-12, 14.6, 0.3);
+  EXPECT_NEAR(cfg.tpc.cluster_peak_flops() * 1e-12, 2.2, 0.1);
+  // Paper §2.2: 2048-bit SIMD, 8 cores, 80 KB + 1 KB local memories,
+  // 4-cycle global vector access; §3.1: 32 GB on-chip memory.
+  EXPECT_EQ(cfg.tpc.vector_bits, 2048u);
+  EXPECT_EQ(cfg.tpc.num_cores, 8u);
+  EXPECT_EQ(cfg.tpc.vector_local_bytes, 80u * 1024);
+  EXPECT_EQ(cfg.tpc.scalar_local_bytes, 1024u);
+  EXPECT_EQ(cfg.tpc.global_access_cycles, 4u);
+  EXPECT_EQ(cfg.memory.hbm_bytes, 32ull * 1024 * 1024 * 1024);
+}
+
+}  // namespace
+}  // namespace gaudi::sim

@@ -1,0 +1,699 @@
+// TPC simulator tests: kernel numerics against the tensor reference, VLIW
+// cycle-accounting laws, index-space distribution, local-memory limits, and
+// the functional/timing mode contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "sim/chip_config.hpp"
+#include "tensor/ops.hpp"
+#include "tpc/cluster.hpp"
+#include "tpc/kernels.hpp"
+
+namespace gaudi::tpc {
+namespace {
+
+namespace ops = gaudi::tensor::ops;
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+sim::TpcConfig tpc_cfg() { return sim::ChipConfig::hls1().tpc; }
+
+TpcCluster make_cluster() { return TpcCluster(tpc_cfg(), sim::CounterRng{0xFEED}); }
+
+Tensor rand_tensor(Shape shape, std::uint64_t stream, float lo = -2.0f,
+                   float hi = 2.0f) {
+  return Tensor::uniform(std::move(shape), sim::CounterRng{0xAB}.stream(stream), lo,
+                         hi);
+}
+
+// ---------------------------------------------------------------------------
+// Index space
+// ---------------------------------------------------------------------------
+
+TEST(IndexSpace, MemberCoordinates) {
+  const IndexSpace space{{2, 3, 4}};
+  EXPECT_EQ(space.size(), 24);
+  const Member m = space.member(13);  // 13 = 1*12 + 0*4 + 1
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_EQ(m[2], 1);
+  EXPECT_THROW(space.member(24), sim::InvalidArgument);
+}
+
+TEST(IndexSpace, CyclicDistributionCoversAllMembers) {
+  const IndexSpace space{{29}};
+  std::vector<int> hits(29, 0);
+  for (std::uint32_t core = 0; core < 8; ++core) {
+    const std::int64_t count = space.members_on_core(core, 8);
+    for (std::int64_t k = 0; k < count; ++k) {
+      ++hits[static_cast<std::size_t>(space.core_member(core, k, 8))];
+    }
+  }
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(IndexSpace, LoadBalanceWithinOne) {
+  const IndexSpace space{{1001}};
+  std::int64_t mn = 1'000'000, mx = 0;
+  for (std::uint32_t c = 0; c < 8; ++c) {
+    const std::int64_t n = space.members_on_core(c, 8);
+    mn = std::min(mn, n);
+    mx = std::max(mx, n);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Cycle accounting laws
+// ---------------------------------------------------------------------------
+
+TEST(SlotCycles, ElapsedIsMaxOverSlots) {
+  SlotCycles c;
+  c.load = 10;
+  c.vpu = 25;
+  c.store = 7;
+  c.spu = 3;
+  EXPECT_EQ(c.elapsed(), 25u);
+  EXPECT_EQ(c.total_issued(), 45u);
+}
+
+TEST(Cluster, TimingEqualsFunctionalCyclesForUniformKernels) {
+  // Phantom-mode extrapolation must agree exactly with full execution when
+  // members are uniform.
+  const Tensor in = rand_tensor(Shape{{64, 64}}, 1);
+  Tensor out_f = Tensor::zeros(Shape{{64, 64}});
+  const TpcCluster cluster = make_cluster();
+  const RunResult functional =
+      cluster.run(UnaryEwKernel(UnaryKind::kExp, in, out_f), ExecMode::kFunctional);
+  const RunResult timing = cluster.run(
+      UnaryEwKernel(UnaryKind::kExp, Tensor::phantom(Shape{{64, 64}}),
+                    Tensor::phantom(Shape{{64, 64}})),
+      ExecMode::kTiming);
+  EXPECT_EQ(functional.cycles, timing.cycles);
+  EXPECT_TRUE(timing.extrapolated);
+  EXPECT_FALSE(functional.extrapolated);
+}
+
+TEST(Cluster, CyclesScaleLinearlyWithElements) {
+  const TpcCluster cluster = make_cluster();
+  auto cycles_for = [&](std::int64_t n) {
+    return cluster
+        .run(UnaryEwKernel(UnaryKind::kRelu, Tensor::phantom(Shape{{n}}),
+                           Tensor::phantom(Shape{{n}})),
+             ExecMode::kTiming)
+        .cycles;
+  };
+  const auto launch = tpc_cfg().launch_overhead_cycles;
+  const auto small = cycles_for(1 << 16) - launch;
+  const auto big = cycles_for(1 << 20) - launch;
+  EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 16.0, 0.5);
+}
+
+TEST(Cluster, MoreCoresFasterKernel) {
+  sim::TpcConfig one = tpc_cfg();
+  one.num_cores = 1;
+  const TpcCluster c1(one);
+  const TpcCluster c8(tpc_cfg());
+  const Tensor in = Tensor::phantom(Shape{{1 << 18}});
+  const Tensor out = Tensor::phantom(Shape{{1 << 18}});
+  const auto r1 = c1.run(UnaryEwKernel(UnaryKind::kExp, in, out), ExecMode::kTiming);
+  const auto r8 = c8.run(UnaryEwKernel(UnaryKind::kExp, in, out), ExecMode::kTiming);
+  EXPECT_NEAR(static_cast<double>(r1.cycles - one.launch_overhead_cycles) /
+                  static_cast<double>(r8.cycles - one.launch_overhead_cycles),
+              8.0, 0.5);
+}
+
+TEST(Cluster, StreamingKernelsHitTheBandwidthBound) {
+  // A pure copy-like kernel moves 8 B/element; at full vector-issue rate the
+  // 8 cores outrun 1 TB/s HBM, so the duration is memory-bound.
+  const std::int64_t n = 1 << 26;  // large enough to amortize kernel launch
+  const Tensor in = Tensor::phantom(Shape{{n}});
+  const Tensor out = Tensor::phantom(Shape{{n}});
+  const TpcCluster cluster = make_cluster();
+  const RunResult r = cluster.run(
+      ScalarEwKernel(ScalarKind::kAddS, in, 0.0f, out), ExecMode::kTiming);
+  EXPECT_TRUE(r.memory_bound);
+  EXPECT_EQ(r.global_bytes, static_cast<std::uint64_t>(2 * n * 4));
+  EXPECT_NEAR(r.duration.seconds(), static_cast<double>(r.global_bytes) / 1e12,
+              1e-5);
+
+  // A compute-heavy kernel (exp) stays compute-bound.
+  const RunResult e =
+      cluster.run(UnaryEwKernel(UnaryKind::kExp, in, out), ExecMode::kTiming);
+  EXPECT_FALSE(e.memory_bound);
+  // And a bandwidth-unconstrained cluster runs the copy faster.
+  const TpcCluster wide(tpc_cfg(), sim::CounterRng{1}, 1e15);
+  EXPECT_LT(wide.run(ScalarEwKernel(ScalarKind::kAddS, in, 0.0f, out),
+                     ExecMode::kTiming)
+                .duration,
+            r.duration);
+}
+
+TEST(Cluster, RejectsKernelExceedingLocalMemory) {
+  // A softmax row of > 320 vectors would need more than the 80 KB bank only
+  // if cached; our kernel falls back to global passes instead — so force the
+  // failure through a tiny configured bank.
+  sim::TpcConfig cfg = tpc_cfg();
+  cfg.vector_local_bytes = 1024;  // 4 vectors
+  const TpcCluster tiny(cfg);
+  const Tensor in = Tensor::phantom(Shape{{8, 512}});
+  const Tensor out = Tensor::phantom(Shape{{8, 512}});
+  EXPECT_THROW(tiny.run(SoftmaxKernel(in, out), ExecMode::kTiming),
+               sim::ResourceExhausted);
+}
+
+TEST(Cluster, SoftmaxFallsBackWhenRowTooLongToCache) {
+  // Rows beyond the cacheable bound run with global-memory passes and remain
+  // correct.
+  const std::int64_t cols = 64 * 300;  // > kMaxCachedRowVectors(256) vectors
+  const Tensor in = rand_tensor(Shape{{2, cols}}, 2);
+  Tensor out = Tensor::zeros(Shape{{2, cols}});
+  const TpcCluster cluster = make_cluster();
+  SoftmaxKernel kernel(in, out);
+  EXPECT_EQ(kernel.local_memory_vectors(), 0u);
+  cluster.run(kernel, ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::softmax_lastdim(in)), 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Unary kernels vs reference (parameterized over kinds and shapes)
+// ---------------------------------------------------------------------------
+
+class UnaryKernelTest
+    : public ::testing::TestWithParam<std::tuple<UnaryKind, std::int64_t>> {};
+
+TEST_P(UnaryKernelTest, MatchesReference) {
+  const auto [kind, n] = GetParam();
+  // Keep inputs positive for log/sqrt/recip.
+  const bool positive = kind == UnaryKind::kLog || kind == UnaryKind::kSqrt ||
+                        kind == UnaryKind::kRecip;
+  const Tensor in = rand_tensor(Shape{{n}}, static_cast<std::uint64_t>(n) + 7,
+                                positive ? 0.1f : -2.0f, 2.0f);
+  Tensor out = Tensor::zeros(Shape{{n}});
+  make_cluster().run(UnaryEwKernel(kind, in, out, 0.01f), ExecMode::kFunctional);
+
+  Tensor expect;
+  switch (kind) {
+    case UnaryKind::kExp: expect = ops::exp(in); break;
+    case UnaryKind::kLog: expect = ops::log(in); break;
+    case UnaryKind::kSqrt: expect = ops::sqrt(in); break;
+    case UnaryKind::kSquare: expect = ops::square(in); break;
+    case UnaryKind::kRecip:
+      expect = ops::unary(in, [](float x) { return 1.0f / x; });
+      break;
+    case UnaryKind::kRelu: expect = ops::relu(in); break;
+    case UnaryKind::kLeakyRelu: expect = ops::leaky_relu(in, 0.01f); break;
+    case UnaryKind::kElu: expect = ops::elu(in, 0.01f); break;
+    case UnaryKind::kGelu: expect = ops::gelu(in); break;
+    case UnaryKind::kSigmoid: expect = ops::sigmoid(in); break;
+    case UnaryKind::kTanh: expect = ops::tanh(in); break;
+    case UnaryKind::kNeg:
+      expect = ops::mul_scalar(in, -1.0f);
+      break;
+    case UnaryKind::kAbs:
+      expect = ops::unary(in, [](float x) { return std::fabs(x); });
+      break;
+  }
+  EXPECT_LT(ops::max_abs_diff(out, expect), 1e-5) << unary_kind_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAndSizes, UnaryKernelTest,
+    ::testing::Combine(
+        ::testing::Values(UnaryKind::kExp, UnaryKind::kLog, UnaryKind::kSqrt,
+                          UnaryKind::kSquare, UnaryKind::kRecip, UnaryKind::kRelu,
+                          UnaryKind::kLeakyRelu, UnaryKind::kElu, UnaryKind::kGelu,
+                          UnaryKind::kSigmoid, UnaryKind::kTanh, UnaryKind::kNeg,
+                          UnaryKind::kAbs),
+        ::testing::Values<std::int64_t>(1, 63, 64, 65, 512, 1000)),
+    [](const auto& suite_info) {
+      return std::string(unary_kind_name(std::get<0>(suite_info.param))) + "_" +
+             std::to_string(std::get<1>(suite_info.param));
+    });
+
+// Gradient kernels against central differences of the forward kernel.
+class UnaryGradKernelTest : public ::testing::TestWithParam<UnaryKind> {};
+
+TEST_P(UnaryGradKernelTest, MatchesFiniteDifference) {
+  const UnaryKind kind = GetParam();
+  const bool positive = kind == UnaryKind::kLog || kind == UnaryKind::kSqrt ||
+                        kind == UnaryKind::kRecip;
+  const std::int64_t n = 97;
+  const Tensor x = rand_tensor(Shape{{n}}, 991, positive ? 0.3f : -1.5f, 1.5f);
+  const Tensor dy = rand_tensor(Shape{{n}}, 992, -1.0f, 1.0f);
+  Tensor dx = Tensor::zeros(Shape{{n}});
+  const TpcCluster cluster = make_cluster();
+  cluster.run(UnaryGradKernel(kind, x, dy, dx, 0.2f), ExecMode::kFunctional);
+
+  const float h = 1e-3f;
+  Tensor xp = x.clone();
+  Tensor xm = x.clone();
+  for (std::int64_t i = 0; i < n; ++i) {
+    xp.f32()[static_cast<std::size_t>(i)] += h;
+    xm.f32()[static_cast<std::size_t>(i)] -= h;
+  }
+  Tensor yp = Tensor::zeros(Shape{{n}});
+  Tensor ym = Tensor::zeros(Shape{{n}});
+  cluster.run(UnaryEwKernel(kind, xp, yp, 0.2f), ExecMode::kFunctional);
+  cluster.run(UnaryEwKernel(kind, xm, ym, 0.2f), ExecMode::kFunctional);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const float fd = (yp.f32()[idx] - ym.f32()[idx]) / (2.0f * h);
+    EXPECT_NEAR(dx.f32()[idx], fd * dy.f32()[idx],
+                2e-2f * std::max(1.0f, std::fabs(fd)))
+        << unary_kind_name(kind) << " at " << i << " x=" << x.f32()[idx];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, UnaryGradKernelTest,
+    ::testing::Values(UnaryKind::kExp, UnaryKind::kLog, UnaryKind::kSqrt,
+                      UnaryKind::kSquare, UnaryKind::kRecip, UnaryKind::kElu,
+                      UnaryKind::kGelu, UnaryKind::kSigmoid, UnaryKind::kTanh),
+    [](const auto& suite_info) { return std::string(unary_kind_name(suite_info.param)); });
+
+// ---------------------------------------------------------------------------
+// Binary / scalar / fill / rowvec / dropout
+// ---------------------------------------------------------------------------
+
+TEST(BinaryKernel, AllKindsMatchReference) {
+  const Tensor a = rand_tensor(Shape{{5, 77}}, 21);
+  const Tensor b = rand_tensor(Shape{{5, 77}}, 22, 0.5f, 2.0f);
+  const TpcCluster cluster = make_cluster();
+  struct Case {
+    BinaryKind kind;
+    Tensor expect;
+  };
+  const Case cases[] = {
+      {BinaryKind::kAdd, ops::add(a, b)},
+      {BinaryKind::kSub, ops::sub(a, b)},
+      {BinaryKind::kMul, ops::mul(a, b)},
+      {BinaryKind::kDiv, ops::div(a, b)},
+  };
+  for (const auto& c : cases) {
+    Tensor out = Tensor::zeros(Shape{{5, 77}});
+    cluster.run(BinaryEwKernel(c.kind, a, b, out), ExecMode::kFunctional);
+    EXPECT_LT(ops::max_abs_diff(out, c.expect), 1e-5)
+        << binary_kind_name(c.kind);
+  }
+}
+
+TEST(ScalarKernel, AllKindsMatchReference) {
+  const Tensor a = rand_tensor(Shape{{200}}, 23);
+  const TpcCluster cluster = make_cluster();
+  struct Case {
+    ScalarKind kind;
+    Tensor expect;
+  };
+  const Case cases[] = {
+      {ScalarKind::kAddS, ops::add_scalar(a, 1.5f)},
+      {ScalarKind::kSubS, ops::add_scalar(a, -1.5f)},
+      {ScalarKind::kRsubS, ops::add_scalar(ops::mul_scalar(a, -1.0f), 1.5f)},
+      {ScalarKind::kMulS, ops::mul_scalar(a, 1.5f)},
+  };
+  for (const auto& c : cases) {
+    Tensor out = Tensor::zeros(Shape{{200}});
+    cluster.run(ScalarEwKernel(c.kind, a, 1.5f, out), ExecMode::kFunctional);
+    EXPECT_LT(ops::max_abs_diff(out, c.expect), 1e-6) << scalar_kind_name(c.kind);
+  }
+}
+
+TEST(FillKernel, WritesConstant) {
+  Tensor out = Tensor::zeros(Shape{{3, 100}});
+  make_cluster().run(FillKernel(out, 2.75f), ExecMode::kFunctional);
+  for (float v : out.f32()) EXPECT_EQ(v, 2.75f);
+}
+
+TEST(RowvecKernel, AddAndMul) {
+  const Tensor x = rand_tensor(Shape{{9, 40}}, 24);
+  const Tensor v = rand_tensor(Shape{{40}}, 25);
+  const TpcCluster cluster = make_cluster();
+  Tensor out = Tensor::zeros(Shape{{9, 40}});
+  cluster.run(RowvecKernel(RowvecKernel::Op::kAdd, x, v, out),
+              ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::add_rowvec(x, v)), 1e-6);
+  cluster.run(RowvecKernel(RowvecKernel::Op::kMul, x, v, out),
+              ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::mul_rowvec(x, v)), 1e-6);
+}
+
+TEST(GluKernel, MatchesDefinition) {
+  const Tensor x = rand_tensor(Shape{{6, 2 * 50}}, 26);
+  Tensor out = Tensor::zeros(Shape{{6, 50}});
+  make_cluster().run(GluKernel(x, out), ExecMode::kFunctional);
+  for (int r = 0; r < 6; ++r) {
+    for (int j = 0; j < 50; ++j) {
+      const float a = x.f32()[r * 100 + j];
+      const float b = x.f32()[r * 100 + 50 + j];
+      EXPECT_NEAR(out.f32()[r * 50 + j], a / (1.0f + std::exp(-b)), 1e-5f);
+    }
+  }
+}
+
+TEST(GluKernel, RejectsOddTrailingDim) {
+  const Tensor x = Tensor::zeros(Shape{{2, 7}});
+  const Tensor out = Tensor::zeros(Shape{{2, 3}});
+  EXPECT_THROW(GluKernel(x, out), sim::InvalidArgument);
+}
+
+TEST(GluGradKernel, MatchesFiniteDifference) {
+  const std::int64_t d = 10;
+  const Tensor x = rand_tensor(Shape{{3, 2 * d}}, 27, -1.0f, 1.0f);
+  const Tensor dout = rand_tensor(Shape{{3, d}}, 28, -1.0f, 1.0f);
+  Tensor din = Tensor::zeros(Shape{{3, 2 * d}});
+  const TpcCluster cluster = make_cluster();
+  cluster.run(GluGradKernel(x, dout, din), ExecMode::kFunctional);
+
+  const float h = 1e-3f;
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    Tensor xp = x.clone();
+    Tensor xm = x.clone();
+    xp.f32()[static_cast<std::size_t>(i)] += h;
+    xm.f32()[static_cast<std::size_t>(i)] -= h;
+    Tensor yp = Tensor::zeros(Shape{{3, d}});
+    Tensor ym = Tensor::zeros(Shape{{3, d}});
+    cluster.run(GluKernel(xp, yp), ExecMode::kFunctional);
+    cluster.run(GluKernel(xm, ym), ExecMode::kFunctional);
+    double fd = 0.0;
+    for (std::int64_t j = 0; j < yp.numel(); ++j) {
+      fd += (yp.f32()[static_cast<std::size_t>(j)] -
+             ym.f32()[static_cast<std::size_t>(j)]) /
+            (2.0 * h) * dout.f32()[static_cast<std::size_t>(j)];
+    }
+    EXPECT_NEAR(din.f32()[static_cast<std::size_t>(i)], fd, 2e-2);
+  }
+}
+
+TEST(DropoutKernel, ZeroProbabilityIsIdentity) {
+  const Tensor x = rand_tensor(Shape{{333}}, 29);
+  Tensor out = Tensor::zeros(Shape{{333}});
+  make_cluster().run(DropoutKernel(x, out, 0.0f, 5), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, x), 1e-6);
+}
+
+TEST(DropoutKernel, DropRateAndScalePreserveMean) {
+  const std::int64_t n = 1 << 16;
+  const Tensor x = Tensor::full(Shape{{n}}, 1.0f);
+  Tensor out = Tensor::zeros(Shape{{n}});
+  const float p = 0.3f;
+  make_cluster().run(DropoutKernel(x, out, p, 9), ExecMode::kFunctional);
+  std::int64_t zeros = 0;
+  double sum = 0.0;
+  for (float v : out.f32()) {
+    if (v == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0f / (1.0f - p), 1e-5f);
+    }
+    sum += v;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / n, p, 0.02);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);  // inverted dropout preserves expectation
+}
+
+TEST(DropoutKernel, SameSeedReproducesMask) {
+  const Tensor x = rand_tensor(Shape{{4096}}, 30);
+  Tensor out1 = Tensor::zeros(Shape{{4096}});
+  Tensor out2 = Tensor::zeros(Shape{{4096}});
+  const TpcCluster cluster = make_cluster();
+  cluster.run(DropoutKernel(x, out1, 0.5f, 77), ExecMode::kFunctional);
+  cluster.run(DropoutKernel(x, out2, 0.5f, 77), ExecMode::kFunctional);
+  EXPECT_EQ(ops::max_abs_diff(out1, out2), 0.0);
+  Tensor out3 = Tensor::zeros(Shape{{4096}});
+  cluster.run(DropoutKernel(x, out3, 0.5f, 78), ExecMode::kFunctional);
+  EXPECT_GT(ops::max_abs_diff(out1, out3), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Softmax / layernorm / reductions / transpose / swap
+// ---------------------------------------------------------------------------
+
+class SoftmaxShapeTest
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {};
+
+TEST_P(SoftmaxShapeTest, MatchesReference) {
+  const auto [rows, cols] = GetParam();
+  const Tensor in = rand_tensor(Shape{{rows, cols}}, 31 + cols, -6.0f, 6.0f);
+  Tensor out = Tensor::zeros(Shape{{rows, cols}});
+  make_cluster().run(SoftmaxKernel(in, out), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::softmax_lastdim(in)), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SoftmaxShapeTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(3, 63),
+                                           std::make_pair(4, 64),
+                                           std::make_pair(5, 65),
+                                           std::make_pair(16, 500),
+                                           std::make_pair(2, 2048)));
+
+TEST(SoftmaxGradKernel, MatchesAnalyticJacobian) {
+  const Tensor x = rand_tensor(Shape{{3, 40}}, 33, -2.0f, 2.0f);
+  const Tensor y = ops::softmax_lastdim(x);
+  const Tensor dy = rand_tensor(Shape{{3, 40}}, 34);
+  Tensor dx = Tensor::zeros(Shape{{3, 40}});
+  make_cluster().run(SoftmaxGradKernel(y, dy, dx), ExecMode::kFunctional);
+  // dx = y * (dy - sum(y * dy))
+  const Tensor s = ops::sum_lastdim(ops::mul(y, dy));
+  for (int r = 0; r < 3; ++r) {
+    for (int j = 0; j < 40; ++j) {
+      const float expect =
+          y.f32()[r * 40 + j] * (dy.f32()[r * 40 + j] - s.f32()[r]);
+      EXPECT_NEAR(dx.f32()[r * 40 + j], expect, 1e-5f);
+    }
+  }
+}
+
+TEST(LayerNormKernel, MatchesReferenceAndSavesStats) {
+  const std::int64_t rows = 7, d = 96;
+  const Tensor x = rand_tensor(Shape{{rows, d}}, 35, -3.0f, 3.0f);
+  const Tensor gamma = rand_tensor(Shape{{d}}, 36, 0.5f, 1.5f);
+  const Tensor beta = rand_tensor(Shape{{d}}, 37);
+  Tensor y = Tensor::zeros(Shape{{rows, d}});
+  Tensor mean = Tensor::zeros(Shape{{rows}});
+  Tensor rstd = Tensor::zeros(Shape{{rows}});
+  make_cluster().run(LayerNormKernel(x, gamma, beta, y, mean, rstd),
+                     ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(y, ops::layernorm_lastdim(x, gamma, beta)), 1e-4);
+  for (std::int64_t r = 0; r < rows; ++r) {
+    double m = 0.0;
+    for (std::int64_t j = 0; j < d; ++j) m += x.f32()[r * d + j];
+    EXPECT_NEAR(mean.f32()[static_cast<std::size_t>(r)], m / d, 1e-4);
+    EXPECT_GT(rstd.f32()[static_cast<std::size_t>(r)], 0.0f);
+  }
+}
+
+TEST(LayerNormGradKernels, MatchFiniteDifferences) {
+  const std::int64_t rows = 4, d = 24;
+  const Tensor x = rand_tensor(Shape{{rows, d}}, 38, -1.0f, 1.0f);
+  const Tensor gamma = rand_tensor(Shape{{d}}, 39, 0.5f, 1.5f);
+  const Tensor beta = rand_tensor(Shape{{d}}, 40);
+  const Tensor dy = rand_tensor(Shape{{rows, d}}, 41);
+  const TpcCluster cluster = make_cluster();
+
+  Tensor y = Tensor::zeros(Shape{{rows, d}});
+  Tensor mean = Tensor::zeros(Shape{{rows}});
+  Tensor rstd = Tensor::zeros(Shape{{rows}});
+  cluster.run(LayerNormKernel(x, gamma, beta, y, mean, rstd), ExecMode::kFunctional);
+
+  Tensor dx = Tensor::zeros(Shape{{rows, d}});
+  cluster.run(LayerNormInputGradKernel(x, gamma, mean, rstd, dy, dx),
+              ExecMode::kFunctional);
+  Tensor dgamma = Tensor::zeros(Shape{{d}});
+  Tensor dbeta = Tensor::zeros(Shape{{d}});
+  cluster.run(LayerNormParamGradKernel(x, mean, rstd, dy, dgamma, dbeta),
+              ExecMode::kFunctional);
+
+  auto loss = [&](const Tensor& xx, const Tensor& gg, const Tensor& bb) {
+    const Tensor yy = ops::layernorm_lastdim(xx, gg, bb);
+    return ops::sum_all(ops::mul(yy, dy));
+  };
+  const float h = 1e-2f;
+  // Spot-check a handful of coordinates of each gradient.
+  for (const std::int64_t i : {0L, 13L, 57L, 95L}) {
+    Tensor xp = x.clone(), xm = x.clone();
+    xp.f32()[static_cast<std::size_t>(i)] += h;
+    xm.f32()[static_cast<std::size_t>(i)] -= h;
+    const double fd = (loss(xp, gamma, beta) - loss(xm, gamma, beta)) / (2.0 * h);
+    EXPECT_NEAR(dx.f32()[static_cast<std::size_t>(i)], fd, 5e-2);
+  }
+  for (const std::int64_t j : {0L, 7L, 23L}) {
+    Tensor gp = gamma.clone(), gm = gamma.clone();
+    gp.f32()[static_cast<std::size_t>(j)] += h;
+    gm.f32()[static_cast<std::size_t>(j)] -= h;
+    const double fd = (loss(x, gp, beta) - loss(x, gm, beta)) / (2.0 * h);
+    EXPECT_NEAR(dgamma.f32()[static_cast<std::size_t>(j)], fd, 5e-2);
+    Tensor bp = beta.clone(), bm = beta.clone();
+    bp.f32()[static_cast<std::size_t>(j)] += h;
+    bm.f32()[static_cast<std::size_t>(j)] -= h;
+    const double fdb = (loss(x, gamma, bp) - loss(x, gamma, bm)) / (2.0 * h);
+    EXPECT_NEAR(dbeta.f32()[static_cast<std::size_t>(j)], fdb, 5e-2);
+  }
+}
+
+TEST(ReduceKernel, SumMaxMean) {
+  const Tensor x = rand_tensor(Shape{{11, 130}}, 42, -5.0f, 5.0f);
+  const TpcCluster cluster = make_cluster();
+  Tensor out = Tensor::zeros(Shape{{11, 1}});
+  cluster.run(ReduceLastDimKernel(ReduceKind::kSum, x, out), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::sum_lastdim(x)), 1e-3);
+  cluster.run(ReduceLastDimKernel(ReduceKind::kMax, x, out), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::max_lastdim(x)), 1e-6);
+  cluster.run(ReduceLastDimKernel(ReduceKind::kMean, x, out), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::mean_lastdim(x)), 1e-5);
+}
+
+TEST(BroadcastLastKernel, ReplicatesScalars) {
+  const Tensor in = rand_tensor(Shape{{5, 1}}, 43);
+  Tensor out = Tensor::zeros(Shape{{5, 37}});
+  make_cluster().run(BroadcastLastKernel(in, out), ExecMode::kFunctional);
+  for (int r = 0; r < 5; ++r) {
+    for (int j = 0; j < 37; ++j) {
+      EXPECT_EQ(out.f32()[r * 37 + j], in.f32()[r]);
+    }
+  }
+}
+
+TEST(ColumnSumKernel, MatchesManual) {
+  const Tensor x = rand_tensor(Shape{{50, 70}}, 44);
+  Tensor out = Tensor::zeros(Shape{{70}});
+  make_cluster().run(ColumnSumKernel(x, out), ExecMode::kFunctional);
+  for (int j = 0; j < 70; ++j) {
+    double acc = 0.0;
+    for (int r = 0; r < 50; ++r) acc += x.f32()[r * 70 + j];
+    EXPECT_NEAR(out.f32()[j], acc, 1e-3);
+  }
+}
+
+TEST(TransposeKernel, MatchesReferenceIncludingTails) {
+  for (const auto& [m, n] : {std::pair<std::int64_t, std::int64_t>{64, 64},
+                             {65, 63}, {128, 30}, {7, 200}}) {
+    const Tensor x = rand_tensor(Shape{{3, m, n}}, 45 + m);
+    Tensor out = Tensor::zeros(Shape{{3, n, m}});
+    make_cluster().run(TransposeLast2Kernel(x, out), ExecMode::kFunctional);
+    EXPECT_LT(ops::max_abs_diff(out, ops::transpose_last2(x)), 1e-6)
+        << m << "x" << n;
+  }
+}
+
+TEST(SwapAxes12Kernel, MatchesManualPermute) {
+  const std::int64_t a = 2, b = 3, c = 4, d = 70;
+  const Tensor x = rand_tensor(Shape{{a, b, c, d}}, 46);
+  Tensor out = Tensor::zeros(Shape{{a, c, b, d}});
+  make_cluster().run(SwapAxes12Kernel(x, out), ExecMode::kFunctional);
+  for (std::int64_t ia = 0; ia < a; ++ia) {
+    for (std::int64_t ib = 0; ib < b; ++ib) {
+      for (std::int64_t ic = 0; ic < c; ++ic) {
+        for (std::int64_t id = 0; id < d; ++id) {
+          EXPECT_EQ(out.f32()[(((ia * c + ic) * b + ib) * d + id)],
+                    x.f32()[(((ia * b + ib) * c + ic) * d + id)]);
+        }
+      }
+    }
+  }
+}
+
+TEST(AddMask2DKernel, BroadcastsOverBatch) {
+  const Tensor x = rand_tensor(Shape{{4, 5, 6}}, 47);
+  const Tensor mask = rand_tensor(Shape{{5, 6}}, 48);
+  Tensor out = Tensor::zeros(Shape{{4, 5, 6}});
+  make_cluster().run(AddMask2DKernel(x, mask, out), ExecMode::kFunctional);
+  for (int batch = 0; batch < 4; ++batch) {
+    for (int i = 0; i < 30; ++i) {
+      EXPECT_NEAR(out.f32()[batch * 30 + i], x.f32()[batch * 30 + i] + mask.f32()[i],
+                  1e-6f);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched matmul on TPC
+// ---------------------------------------------------------------------------
+
+class TpcMatmulTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t,
+                                                 std::int64_t, std::int64_t>> {};
+
+TEST_P(TpcMatmulTest, MatchesReference) {
+  const auto [batch, m, k, n] = GetParam();
+  const Tensor a = rand_tensor(Shape{{batch, m, k}}, 100 + m, -1.0f, 1.0f);
+  const Tensor b = rand_tensor(Shape{{batch, k, n}}, 200 + n, -1.0f, 1.0f);
+  Tensor c = Tensor::zeros(Shape{{batch, m, n}});
+  make_cluster().run(BatchedMatMulTpcKernel(a, b, c), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_rel_diff(c, ops::matmul(a, b), 1e-2), 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TpcMatmulTest,
+    ::testing::Values(std::make_tuple(1, 32, 64, 64), std::make_tuple(2, 33, 65, 63),
+                      std::make_tuple(3, 64, 128, 64), std::make_tuple(1, 128, 128, 128),
+                      std::make_tuple(4, 17, 7, 130), std::make_tuple(1, 1, 1, 1)));
+
+TEST(TpcMatmul, ThroughputNearClusterPeakAtLargeSize) {
+  const Tensor a = Tensor::phantom(Shape{{8, 1024, 1024}});
+  const Tensor b = Tensor::phantom(Shape{{8, 1024, 1024}});
+  const Tensor c = Tensor::phantom(Shape{{8, 1024, 1024}});
+  const auto r = make_cluster().run(BatchedMatMulTpcKernel(a, b, c),
+                                    ExecMode::kTiming);
+  const double peak = tpc_cfg().cluster_peak_flops() * 1e-12;
+  EXPECT_GT(r.tflops(), 0.9 * peak);
+  EXPECT_LE(r.tflops(), peak * 1.02);
+}
+
+// ---------------------------------------------------------------------------
+// NLP kernels
+// ---------------------------------------------------------------------------
+
+TEST(EmbeddingKernels, GatherMatchesReference) {
+  const Tensor table = rand_tensor(Shape{{50, 96}}, 51);
+  const Tensor ids = Tensor::random_tokens(Shape{{37}}, sim::CounterRng{7}, 50);
+  Tensor out = Tensor::zeros(Shape{{37, 96}});
+  make_cluster().run(EmbeddingGatherKernel(table, ids, out), ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(out, ops::embedding_gather(table, ids)), 1e-6);
+}
+
+TEST(EmbeddingKernels, GradScattersAndAccumulates) {
+  const std::int64_t vocab = 10, d = 8, tokens = 64;
+  Tensor ids = Tensor::zeros(Shape{{tokens}}, DType::I32);
+  for (std::int64_t t = 0; t < tokens; ++t) {
+    ids.i32()[static_cast<std::size_t>(t)] = static_cast<std::int32_t>(t % vocab);
+  }
+  const Tensor dy = rand_tensor(Shape{{tokens, d}}, 52);
+  Tensor dtable = Tensor::zeros(Shape{{vocab, d}});
+  make_cluster().run(EmbeddingGradKernel(ids, dy, dtable), ExecMode::kFunctional);
+  for (std::int64_t v = 0; v < vocab; ++v) {
+    for (std::int64_t j = 0; j < d; ++j) {
+      double acc = 0.0;
+      for (std::int64_t t = v; t < tokens; t += vocab) acc += dy.f32()[t * d + j];
+      EXPECT_NEAR(dtable.f32()[v * d + j], acc, 1e-4);
+    }
+  }
+}
+
+TEST(CrossEntropyKernels, MatchReference) {
+  const std::int64_t rows = 9, vocab = 133;
+  const Tensor logits = rand_tensor(Shape{{rows, vocab}}, 53, -3.0f, 3.0f);
+  const Tensor targets = Tensor::random_tokens(Shape{{rows}}, sim::CounterRng{8},
+                                               vocab);
+  Tensor loss = Tensor::zeros(Shape{{rows}});
+  const TpcCluster cluster = make_cluster();
+  cluster.run(CrossEntropyKernel(logits, targets, loss), ExecMode::kFunctional);
+
+  Tensor dlogits_ref;
+  const double ref_loss = ops::cross_entropy(logits, targets, &dlogits_ref);
+  double mean = 0.0;
+  for (float v : loss.f32()) mean += v;
+  EXPECT_NEAR(mean / rows, ref_loss, 1e-4);
+
+  Tensor dlogits = Tensor::zeros(Shape{{rows, vocab}});
+  cluster.run(CrossEntropyGradKernel(logits, targets, dlogits,
+                                     1.0f / static_cast<float>(rows)),
+              ExecMode::kFunctional);
+  EXPECT_LT(ops::max_abs_diff(dlogits, dlogits_ref), 1e-5);
+}
+
+}  // namespace
+}  // namespace gaudi::tpc

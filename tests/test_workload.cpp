@@ -1,0 +1,66 @@
+// Synthetic-corpus tests: determinism, Zipf skew, batch/target plumbing.
+#include <gtest/gtest.h>
+
+#include "workload/corpus.hpp"
+
+namespace gaudi::workload {
+namespace {
+
+TEST(Corpus, DeterministicPerSeed) {
+  const SyntheticCorpus a({1000, 1.1, 42});
+  const SyntheticCorpus b({1000, 1.1, 42});
+  const SyntheticCorpus c({1000, 1.1, 43});
+  bool any_diff = false;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(a.token(i), b.token(i));
+    any_diff = any_diff || a.token(i) != c.token(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Corpus, TokensWithinVocab) {
+  const SyntheticCorpus corpus({313, 1.05, 7});
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const std::int32_t t = corpus.token(i);
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, 313);
+  }
+}
+
+TEST(Corpus, ZipfSkewMatchesExponent) {
+  // With s = 1.1 and V = 1000 the top token should hold roughly
+  // 1/H_{V,s} ~ 13% of the mass; far more than uniform (0.1%).
+  const SyntheticCorpus corpus({1000, 1.1, 11});
+  const double top = corpus.top_token_frequency(50'000);
+  EXPECT_GT(top, 0.08);
+  EXPECT_LT(top, 0.25);
+  // Near-uniform when s -> 0.
+  const SyntheticCorpus flat({1000, 0.01, 11});
+  EXPECT_LT(flat.top_token_frequency(50'000), 0.01);
+}
+
+TEST(Corpus, BatchShapeAndContent) {
+  const SyntheticCorpus corpus({500, 1.1, 3});
+  const tensor::Tensor ids = corpus.batch(4, 16, /*cursor=*/100);
+  EXPECT_TRUE(ids.shape() == (tensor::Shape{{4, 16}}));
+  EXPECT_EQ(ids.dtype(), tensor::DType::I32);
+  EXPECT_EQ(ids.i32()[0], corpus.token(100));
+  EXPECT_EQ(ids.i32()[63], corpus.token(163));
+}
+
+TEST(Corpus, NextTokenTargetsAreShiftedByOne) {
+  const SyntheticCorpus corpus({500, 1.1, 3});
+  const tensor::Tensor ids = corpus.batch(2, 8, 0);
+  const tensor::Tensor targets = corpus.next_token_targets(2, 8, 0);
+  EXPECT_TRUE(targets.shape() == (tensor::Shape{{16}}));
+  for (int i = 0; i < 15; ++i) {
+    EXPECT_EQ(targets.i32()[i], ids.i32()[i + 1]);
+  }
+}
+
+TEST(Corpus, RejectsDegenerateVocab) {
+  EXPECT_THROW(SyntheticCorpus({1, 1.1, 0}), sim::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gaudi::workload

@@ -1,0 +1,12 @@
+// gaudisim command-line tool: run reproduction experiments and custom
+// profiles without writing C++.  All logic lives in core/cli.{hpp,cpp}.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+
+int main(int argc, char** argv) {
+  return gaudi::core::run_cli(std::vector<std::string>(argv, argv + argc),
+                              std::cout);
+}
