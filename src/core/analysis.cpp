@@ -4,11 +4,22 @@
 #include <cmath>
 #include <sstream>
 
+#include "graph/validate.hpp"
+#include "sim/error.hpp"
+
 namespace gaudi::core {
 
 using graph::Engine;
 
 TraceSummary summarize(const graph::Trace& trace) {
+#ifndef NDEBUG
+  // Debug builds sanity-check every trace that reaches analysis: the
+  // graph-independent invariants (sane times, no per-engine overlap) must
+  // hold for any summary to be meaningful.
+  const auto violations = graph::TraceValidator::validate_trace(trace);
+  GAUDI_ASSERT(violations.empty(),
+               graph::TraceValidator::format(violations));
+#endif
   TraceSummary s;
   s.makespan = trace.makespan();
   s.mme_busy = trace.busy(Engine::kMme);

@@ -28,15 +28,19 @@ commands:
       --seq N --batch B --heads H --head-dim D --ffn F
       --policy barrier|overlap   scheduler policy             (barrier)
       --fuse                     enable element-wise fusion
+      --validate                 run the trace invariant validator
       --trace FILE               write a Chrome trace
       --html FILE                write a self-contained HTML report
   profile-model [options]        profile an LLM training step (Figs 8-9)
       --arch gpt2|bert           (gpt2)
       --seq N --batch B --layers L
       --optimizer none|sgd|sgd_momentum|adam                  (none)
-      --policy barrier|overlap --fuse --trace FILE
+      --policy barrier|overlap --fuse --validate --trace FILE
       --dot FILE                 write the graph as Graphviz DOT
   help                           this text
+
+Setting GAUDI_VALIDATE=1 in the environment validates every scheduled
+trace, same as passing --validate.
 )";
 
 nn::AttentionKind parse_attention(const std::string& s) {
@@ -120,6 +124,7 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   exp.ffn_dim = args.get_int("ffn", exp.ffn_dim);
   exp.policy = parse_policy(args.get("policy", "barrier"));
   const bool fuse = args.has("fuse");
+  const bool validate = args.has("validate");
   const std::string trace_path = args.get("trace", "");
   const std::string html_path = args.get("html", "");
   check_unused(args);
@@ -144,6 +149,7 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = exp.policy;
   opts.fuse_elementwise = fuse;
+  opts.validate = validate;
   print_profile(out,
                 std::string("layer / ") +
                     nn::attention_kind_name(exp.attention.kind),
@@ -162,6 +168,7 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   cfg.n_layers = args.get_int("layers", cfg.n_layers);
   const graph::SchedulePolicy policy = parse_policy(args.get("policy", "barrier"));
   const bool fuse = args.has("fuse");
+  const bool validate = args.has("validate");
   const std::string optimizer = args.get("optimizer", "none");
   const std::string trace_path = args.get("trace", "");
   const std::string dot_path = args.get("dot", "");
@@ -194,6 +201,7 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = policy;
   opts.fuse_elementwise = fuse;
+  opts.validate = validate;
   out << "model: " << nn::lm_arch_name(cfg.arch) << ", "
       << model.param_count(g) << " parameters, " << g.num_nodes()
       << " graph nodes\n";

@@ -239,8 +239,10 @@ BackwardResult build_backward(Graph& g, ValueId loss,
         // The broadcast operand only needs a gradient when it is learned
         // (e.g. position embeddings); constant masks (causal) are inputs.
         if (g.value(n.inputs[1]).role == ValueRole::kParam) {
-          const tensor::Shape& ms = g.value(n.inputs[1]).shape;
-          const tensor::Shape& xs = g.value(n.inputs[0]).shape;
+          // By value: appending gradient nodes below reallocates the graph's
+          // value table, so references into it dangle.
+          const tensor::Shape ms = g.value(n.inputs[1]).shape;
+          const tensor::Shape xs = g.value(n.inputs[0]).shape;
           const std::int64_t batch = xs.numel() / ms.numel();
           const ValueId flat = g.reshape(
               gy(), tensor::Shape{{batch, ms.numel()}}, n.label + ".dmask_flat");

@@ -7,6 +7,7 @@
 // even scalar*tensor — runs on the TPC.*
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -60,6 +61,19 @@ enum class Engine : std::uint8_t {
 };
 
 [[nodiscard]] std::string_view engine_name(Engine e);
+
+/// Number of Engine enumerators.  Sized from the enum so per-engine arrays
+/// (scheduler timelines, validator bookkeeping) can never be indexed out of
+/// bounds by a newly added engine variant.
+inline constexpr std::size_t kEngineCount =
+    static_cast<std::size_t>(Engine::kNone) + 1;
+static_assert(static_cast<std::size_t>(Engine::kMme) == 0 &&
+                  static_cast<std::size_t>(Engine::kTpc) == 1 &&
+                  static_cast<std::size_t>(Engine::kDma) == 2 &&
+                  static_cast<std::size_t>(Engine::kHost) == 3 &&
+                  static_cast<std::size_t>(Engine::kNone) == kEngineCount - 1,
+              "Engine enumerators must stay dense with kNone last; per-engine "
+              "arrays are sized by kEngineCount");
 
 /// Static attributes of an op.
 struct OpAttrs {

@@ -1,0 +1,43 @@
+// Seeded random DAG generation over the real op inventory.
+//
+// The schedule fuzzer (tests/test_schedule_fuzz.cpp) builds a few hundred of
+// these, schedules them under both policies, and runs TraceValidator plus
+// functional-executor cross-checks over the results.  Generation is a pure
+// function of the seed (CounterRng underneath), so a failing seed reproduces
+// exactly on any platform.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/graph.hpp"
+#include "tensor/tensor.hpp"
+
+namespace gaudi::graph {
+
+struct RandomDagOptions {
+  int min_nodes = 8;
+  int max_nodes = 24;
+  /// Allow a GLU node whose `requires_recompile` triggers the one-time HOST
+  /// stall path.
+  bool allow_recompile = false;
+};
+
+struct RandomDag {
+  Graph graph;
+};
+
+/// Builds a random, shape-valid DAG mixing MME matmuls, TPC element-wise /
+/// reduction / normalization / structured ops, and metadata reshapes, with
+/// tensors small enough for functional execution.  All sink values are
+/// marked as graph outputs.
+[[nodiscard]] RandomDag random_dag(std::uint64_t seed,
+                                   const RandomDagOptions& opts = {});
+
+/// Deterministic feeds for every input/param value of `g` (uniform values in
+/// [-1, 1); i32 tensors get small non-negative ints), keyed by the same seed
+/// scheme as random_dag.
+[[nodiscard]] std::unordered_map<ValueId, tensor::Tensor> random_feeds(
+    const Graph& g, std::uint64_t seed);
+
+}  // namespace gaudi::graph

@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "graph/fusion.hpp"
+#include "graph/validate.hpp"
 #include "tpc/cluster.hpp"
 
 namespace gaudi::graph {
@@ -119,6 +120,9 @@ ProfileResult Runtime::run(const Graph& g,
 
   ProfileResult result;
   result.trace = schedule(g, execs, cfg_, opts.policy);
+  if (opts.validate || validation_requested_from_env()) {
+    validate_or_throw(g, execs, result.trace, opts.policy, cfg_);
+  }
   result.makespan = result.trace.makespan();
   result.hbm_peak_bytes = hbm.peak();
   result.hbm_capacity_bytes = hbm.capacity();

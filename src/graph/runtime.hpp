@@ -30,6 +30,10 @@ struct RunOptions {
   /// element-wise TPC ops execute as one fused kernel, their intermediates
   /// never touching device memory (see graph/fusion.hpp).
   bool fuse_elementwise = false;
+  /// Run TraceValidator on the scheduled trace and throw
+  /// sim::InternalError on any invariant violation (see graph/validate.hpp).
+  /// Also enabled globally by the GAUDI_VALIDATE environment variable.
+  bool validate = false;
 };
 
 struct ProfileResult {

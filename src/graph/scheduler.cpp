@@ -14,9 +14,13 @@ const char* schedule_policy_name(SchedulePolicy p) {
 
 namespace {
 
+constexpr std::uint8_t engine_bit(Engine e) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(e));
+}
+
 /// Engine availability and issue bookkeeping during list scheduling.
 struct SchedState {
-  sim::SimTime engine_free[5]{};  // indexed by Engine
+  sim::SimTime engine_free[kEngineCount]{};  // indexed by Engine
   sim::SimTime global_last_end{};
   Engine last_issued = Engine::kNone;
   bool recompiled = false;
@@ -37,9 +41,12 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
   // When each value becomes available on its producing engine; and, after a
   // DMA, when it becomes available to a *different* engine.
   std::vector<sim::SimTime> value_ready(g.num_values(), sim::SimTime::zero());
-  // Engine that materialized each value (kNone for inputs/params — engines
-  // read those straight from HBM, no inter-engine DMA involved).
-  std::vector<Engine> value_engine(g.num_values(), Engine::kNone);
+  // Bitmask of engines whose buffers back each value (empty for inputs and
+  // params — engines read those straight from HBM, no inter-engine DMA
+  // involved).  A metadata op is a view over its inputs, so its outputs can
+  // be backed by buffers on *several* engines at once; a consumer needs a
+  // DMA whenever any backing engine differs from its own.
+  std::vector<std::uint8_t> value_sources(g.num_values(), 0);
   // DMA completion per (value, destination engine), deduplicated.
   std::map<std::pair<ValueId, Engine>, sim::SimTime> dma_done;
 
@@ -65,48 +72,59 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
     const Node& n = g.node(nid);
     const NodeExec& ex = execs[static_cast<std::size_t>(nid)];
 
-    // Metadata ops: propagate readiness, consume no engine time.
+    // Metadata ops: propagate readiness, consume no engine time.  Outputs
+    // become ready once every input is, and are backed by the union of the
+    // inputs' source engines — tracking only one producing engine dropped
+    // required DMAs when inputs came from different engines (e.g. a fused
+    // chain link fed by both an MME matmul and a TPC op).
     if (ex.engine == Engine::kNone) {
       sim::SimTime ready = sim::SimTime::zero();
-      Engine src_engine = Engine::kNone;
+      std::uint8_t sources = 0;
       for (ValueId v : n.inputs) {
         ready = std::max(ready, value_ready[static_cast<std::size_t>(v)]);
-        src_engine = value_engine[static_cast<std::size_t>(v)];
+        sources |= value_sources[static_cast<std::size_t>(v)];
       }
       for (ValueId v : n.outputs) {
         value_ready[static_cast<std::size_t>(v)] = ready;
-        value_engine[static_cast<std::size_t>(v)] = src_engine;
+        value_sources[static_cast<std::size_t>(v)] = sources;
       }
       continue;
     }
 
     // JIT recompilation stall: the graph compiler halts the device once for
     // an op without first-class backend support (observed for GLU, §3.3).
+    // The triggering node cannot start before the stall completes (under
+    // kBarrier the engine-switch barrier already enforced this; kOverlap
+    // needs the explicit dependency).
+    sim::SimTime recompile_done = sim::SimTime::zero();
     if (n.attrs.requires_recompile && !st.recompiled) {
       st.recompiled = true;
       TraceEvent ev;
       ev.engine = Engine::kHost;
+      ev.kind = TraceEventKind::kRecompile;
       ev.name = "graph_compiler.recompile(" + n.label + ")";
       ev.node = nid;
-      issue(Engine::kHost, st.global_last_end, cfg.compiler.recompile_stall,
-            std::move(ev));
+      recompile_done = issue(Engine::kHost, st.global_last_end,
+                             cfg.compiler.recompile_stall, std::move(ev));
     }
 
     // Input readiness, inserting DMA for cross-engine edges.
-    sim::SimTime ready = sim::SimTime::zero();
+    sim::SimTime ready = recompile_done;
     for (ValueId v : n.inputs) {
       const auto vi = static_cast<std::size_t>(v);
       sim::SimTime r = value_ready[vi];
-      const Engine src = value_engine[vi];
-      if (src != Engine::kNone && src != ex.engine) {
+      if ((value_sources[vi] & ~engine_bit(ex.engine)) != 0) {
         const auto key = std::make_pair(v, ex.engine);
         auto it = dma_done.find(key);
         if (it == dma_done.end()) {
           const std::size_t bytes = g.value(v).nbytes();
           TraceEvent ev;
           ev.engine = Engine::kDma;
+          ev.kind = TraceEventKind::kDma;
           ev.name = "dma:" + g.value(v).name;
           ev.node = nid;
+          ev.value = v;
+          ev.dma_dst = ex.engine;
           ev.bytes = bytes;
           const sim::SimTime end =
               issue(Engine::kDma, r, memory::dma_transfer_time(cfg.memory, bytes),
@@ -128,7 +146,7 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
 
     for (ValueId v : n.outputs) {
       value_ready[static_cast<std::size_t>(v)] = end;
-      value_engine[static_cast<std::size_t>(v)] = ex.engine;
+      value_sources[static_cast<std::size_t>(v)] = engine_bit(ex.engine);
     }
   }
 

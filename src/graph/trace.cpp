@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <array>
+#include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -53,11 +55,37 @@ std::vector<Gap> Trace::gaps(Engine eng) const {
   return gaps;
 }
 
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+/// True when `pattern` occurs in `name` with both ends on token boundaries
+/// (string edge or non-alphanumeric neighbour).  Bare substring search let
+/// "exp" match unrelated kernels like "expand"; boundary matching keeps
+/// "exp", "h0.q_exp" and "exp_grad" while rejecting "expand"/"index".
+bool matches_on_token_boundary(const std::string& name,
+                               const std::string& pattern) {
+  if (pattern.empty()) return true;
+  std::size_t pos = 0;
+  while ((pos = name.find(pattern, pos)) != std::string::npos) {
+    const std::size_t end = pos + pattern.size();
+    const bool left_ok = pos == 0 || !is_word_char(name[pos - 1]);
+    const bool right_ok = end == name.size() || !is_word_char(name[end]);
+    if (left_ok && right_ok) return true;
+    ++pos;
+  }
+  return false;
+}
+
+}  // namespace
+
 sim::SimTime Trace::busy_matching(const std::string& substr, Engine eng) const {
   sim::SimTime b = sim::SimTime::zero();
   for (const auto& e : events_) {
     if (eng != Engine::kNone && e.engine != eng) continue;
-    if (e.name.find(substr) != std::string::npos) b += e.duration();
+    if (matches_on_token_boundary(e.name, substr)) b += e.duration();
   }
   return b;
 }
@@ -79,12 +107,26 @@ std::map<std::string, sim::SimTime> Trace::busy_by_name(Engine eng) const {
 namespace {
 
 void json_escape(std::ostream& os, const std::string& s) {
-  for (char c : s) {
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
     switch (c) {
       case '"': os << "\\\""; break;
       case '\\': os << "\\\\"; break;
       case '\n': os << "\\n"; break;
-      default: os << c;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      default:
+        if (u < 0x20) {
+          // Remaining control characters are only legal as \uXXXX escapes;
+          // raw bytes make chrome://tracing and Perfetto reject the file.
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", u);
+          os << buf;
+        } else {
+          os << c;
+        }
     }
   }
 }

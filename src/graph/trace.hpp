@@ -17,10 +17,25 @@
 
 namespace gaudi::graph {
 
+/// What kind of activity an event records; lets the validator (and trace
+/// viewers) tell node work apart from the transfers and stalls the scheduler
+/// inserts around it.
+enum class TraceEventKind : std::uint8_t {
+  kCompute,    ///< a graph node executing on its engine
+  kDma,        ///< inter-engine transfer inserted by the scheduler
+  kRecompile,  ///< one-time graph-compiler stall (HOST row)
+};
+
 struct TraceEvent {
   Engine engine = Engine::kNone;
+  TraceEventKind kind = TraceEventKind::kCompute;
   std::string name;
   std::int32_t node = -1;
+  /// For kDma events: the ValueId being moved and the engine it is moved to
+  /// (-1 / kNone otherwise).  Keys the scheduler's per-(value, destination)
+  /// transfer dedup so the validator can reconstruct it.
+  std::int32_t value = -1;
+  Engine dma_dst = Engine::kNone;
   sim::SimTime start{};
   sim::SimTime end{};
   std::uint64_t flops = 0;
@@ -60,12 +75,15 @@ class Trace {
   /// paper's figures.
   [[nodiscard]] std::vector<Gap> gaps(Engine e) const;
 
-  /// Total busy time of events whose name contains `substr`, on `e` (or on
-  /// all engines when e == Engine::kNone).
+  /// Total busy time of events whose name contains `substr` on a token
+  /// boundary, on `e` (or on all engines when e == Engine::kNone).  A match
+  /// must start and end at a non-alphanumeric neighbour (or the string edge):
+  /// "exp" matches "h0.q_exp" and "exp" but not "expand" or "index".
   [[nodiscard]] sim::SimTime busy_matching(const std::string& substr,
                                            Engine e = Engine::kNone) const;
 
-  /// Share of engine-busy time taken by events whose name contains `substr`.
+  /// Share of engine-busy time taken by events matching `substr` (same
+  /// token-boundary rule as busy_matching).
   [[nodiscard]] double share_of_engine(const std::string& substr, Engine e) const;
 
   /// Busy time grouped by event name (per engine).

@@ -1,0 +1,363 @@
+#include "graph/validate.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "sim/error.hpp"
+
+namespace gaudi::graph {
+
+namespace {
+
+constexpr std::uint8_t engine_bit(Engine e) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(e));
+}
+
+std::string ts(sim::SimTime t) { return sim::to_string(t); }
+
+void report(std::vector<Violation>& out, std::string invariant,
+            std::string detail, NodeId node = -1) {
+  out.push_back(Violation{std::move(invariant), std::move(detail), node});
+}
+
+}  // namespace
+
+std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
+  std::vector<Violation> out;
+  const auto& events = trace.events();
+
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.start < sim::SimTime::zero() || e.end < e.start) {
+      report(out, "event-times",
+             "event '" + e.name + "' has start " + ts(e.start) + ", end " +
+                 ts(e.end),
+             e.node);
+    }
+    if (e.engine == Engine::kNone) {
+      report(out, "event-times",
+             "event '" + e.name + "' is placed on no engine", e.node);
+    }
+  }
+
+  // Per-engine interval non-overlap, independent of insertion order.
+  for (std::size_t eng = 0; eng + 1 < kEngineCount; ++eng) {
+    std::vector<const TraceEvent*> mine;
+    for (const auto& e : events) {
+      if (e.engine == static_cast<Engine>(eng)) mine.push_back(&e);
+    }
+    std::sort(mine.begin(), mine.end(), [](const TraceEvent* a, const TraceEvent* b) {
+      return std::make_pair(a->start, a->end) < std::make_pair(b->start, b->end);
+    });
+    for (std::size_t i = 0; i + 1 < mine.size(); ++i) {
+      if (mine[i + 1]->start < mine[i]->end) {
+        report(out, "engine-overlap",
+               std::string(engine_name(static_cast<Engine>(eng))) + ": '" +
+                   mine[i]->name + "' [" + ts(mine[i]->start) + ", " +
+                   ts(mine[i]->end) + ") overlaps '" + mine[i + 1]->name +
+                   "' starting " + ts(mine[i + 1]->start),
+               mine[i + 1]->node);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Violation> TraceValidator::validate(const Graph& g,
+                                                const std::vector<NodeExec>& execs,
+                                                const Trace& trace,
+                                                SchedulePolicy policy,
+                                                const sim::ChipConfig& cfg) {
+  std::vector<Violation> out = validate_trace(trace);
+  if (execs.size() != g.num_nodes()) {
+    report(out, "exec-count",
+           "expected one NodeExec per node: " + std::to_string(execs.size()) +
+               " execs for " + std::to_string(g.num_nodes()) + " nodes");
+    return out;
+  }
+
+  const auto& events = trace.events();
+
+  // Issue order: the scheduler appends events as it issues them, and issue is
+  // in-order per engine, so per-engine starts must be non-decreasing in trace
+  // order.
+  {
+    sim::SimTime last_start[kEngineCount]{};
+    for (const auto& e : events) {
+      if (e.engine == Engine::kNone) continue;
+      auto& prev = last_start[static_cast<std::size_t>(e.engine)];
+      if (e.start < prev) {
+        report(out, "issue-order",
+               std::string(engine_name(e.engine)) + ": '" + e.name +
+                   "' starts " + ts(e.start) + " before the previously issued " +
+                   ts(prev),
+               e.node);
+      }
+      prev = std::max(prev, e.start);
+    }
+  }
+
+  // Barrier policy: an event issued after one on a different engine may not
+  // start before everything issued so far has drained.
+  if (policy == SchedulePolicy::kBarrier) {
+    Engine last = Engine::kNone;
+    sim::SimTime global_end = sim::SimTime::zero();
+    for (const auto& e : events) {
+      if (last != Engine::kNone && e.engine != last && e.start < global_end) {
+        report(out, "barrier",
+               "engine switch to '" + e.name + "' on " +
+                   std::string(engine_name(e.engine)) + " starts " + ts(e.start) +
+                   " before the global drain at " + ts(global_end),
+               e.node);
+      }
+      global_end = std::max(global_end, e.end);
+      last = e.engine;
+    }
+  }
+
+  // Index events by role.
+  std::vector<std::int64_t> compute_event_of(g.num_nodes(), -1);
+  std::map<std::pair<ValueId, Engine>, std::size_t> dma_event_of;
+  std::vector<bool> dma_needed(events.size(), false);
+  std::map<NodeId, std::size_t> recompile_event_of;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.kind) {
+      case TraceEventKind::kCompute: {
+        if (e.node < 0 || e.node >= static_cast<std::int32_t>(g.num_nodes())) {
+          report(out, "exec-count",
+                 "compute event '" + e.name + "' names unknown node " +
+                     std::to_string(e.node));
+          break;
+        }
+        if (compute_event_of[static_cast<std::size_t>(e.node)] != -1) {
+          report(out, "exec-count",
+                 "node has two compute events ('" + e.name + "')", e.node);
+          break;
+        }
+        compute_event_of[static_cast<std::size_t>(e.node)] =
+            static_cast<std::int64_t>(i);
+        break;
+      }
+      case TraceEventKind::kDma: {
+        const auto key = std::make_pair(static_cast<ValueId>(e.value), e.dma_dst);
+        if (e.value < 0 || e.value >= static_cast<std::int32_t>(g.num_values()) ||
+            e.dma_dst == Engine::kNone) {
+          report(out, "exec-match",
+                 "DMA event '" + e.name + "' lacks a valid (value, destination)",
+                 e.node);
+          break;
+        }
+        if (!dma_event_of.emplace(key, i).second) {
+          report(out, "spurious-dma",
+                 "duplicate DMA of value '" + g.value(e.value).name + "' to " +
+                     std::string(engine_name(e.dma_dst)),
+                 e.node);
+        }
+        break;
+      }
+      case TraceEventKind::kRecompile: {
+        if (!recompile_event_of.emplace(e.node, i).second) {
+          report(out, "exec-count", "node has two recompile stalls", e.node);
+        }
+        break;
+      }
+    }
+  }
+
+  // Replay the graph in program order, independently re-deriving the earliest
+  // legal start of every node from value availability and DMA completion.
+  std::vector<sim::SimTime> avail(g.num_values(), sim::SimTime::zero());
+  std::vector<std::uint8_t> sources(g.num_values(), 0);
+  std::size_t expected_recompiles = 0;
+  bool recompiled = false;
+
+  for (NodeId nid = 0; nid < static_cast<NodeId>(g.num_nodes()); ++nid) {
+    const Node& n = g.node(nid);
+    const NodeExec& ex = execs[static_cast<std::size_t>(nid)];
+
+    if (ex.engine == Engine::kNone) {
+      if (compute_event_of[static_cast<std::size_t>(nid)] != -1) {
+        report(out, "exec-count",
+               "metadata node '" + n.label + "' has a compute event", nid);
+      }
+      sim::SimTime ready = sim::SimTime::zero();
+      std::uint8_t srcs = 0;
+      for (ValueId v : n.inputs) {
+        ready = std::max(ready, avail[static_cast<std::size_t>(v)]);
+        srcs |= sources[static_cast<std::size_t>(v)];
+      }
+      for (ValueId v : n.outputs) {
+        avail[static_cast<std::size_t>(v)] = ready;
+        sources[static_cast<std::size_t>(v)] = srcs;
+      }
+      continue;
+    }
+
+    sim::SimTime required = sim::SimTime::zero();
+
+    if (n.attrs.requires_recompile && !recompiled) {
+      recompiled = true;
+      ++expected_recompiles;
+      const auto it = recompile_event_of.find(nid);
+      if (it == recompile_event_of.end()) {
+        report(out, "dependency",
+               "node '" + n.label +
+                   "' requires a recompile but the trace has no stall for it",
+               nid);
+      } else {
+        const TraceEvent& r = events[it->second];
+        if (r.duration() != cfg.compiler.recompile_stall) {
+          report(out, "exec-match",
+                 "recompile stall lasts " + ts(r.duration()) + ", configured " +
+                     ts(cfg.compiler.recompile_stall),
+                 nid);
+        }
+        required = std::max(required, r.end);
+      }
+    }
+
+    const std::int64_t ei = compute_event_of[static_cast<std::size_t>(nid)];
+    if (ei < 0) {
+      report(out, "exec-count",
+             "node '" + n.label + "' on " + std::string(engine_name(ex.engine)) +
+                 " has no compute event",
+             nid);
+      // Keep replaying with a best-effort availability so one missing event
+      // does not cascade into spurious dependency violations downstream.
+      for (ValueId v : n.outputs) {
+        avail[static_cast<std::size_t>(v)] = required;
+        sources[static_cast<std::size_t>(v)] = engine_bit(ex.engine);
+      }
+      continue;
+    }
+    const TraceEvent& e = events[static_cast<std::size_t>(ei)];
+
+    for (ValueId v : n.inputs) {
+      const auto vi = static_cast<std::size_t>(v);
+      if ((sources[vi] & ~engine_bit(ex.engine)) != 0) {
+        const auto it = dma_event_of.find(std::make_pair(v, ex.engine));
+        if (it == dma_event_of.end()) {
+          report(out, "missing-dma",
+                 "'" + n.label + "' reads '" + g.value(v).name +
+                     "' produced on another engine, but no DMA to " +
+                     std::string(engine_name(ex.engine)) + " exists",
+                 nid);
+          required = std::max(required, avail[vi]);
+          continue;
+        }
+        dma_needed[it->second] = true;
+        const TraceEvent& d = events[it->second];
+        if (d.start < avail[vi]) {
+          report(out, "dependency",
+                 "DMA of '" + g.value(v).name + "' starts " + ts(d.start) +
+                     " before the value is ready at " + ts(avail[vi]),
+                 nid);
+        }
+        if (d.bytes != g.value(v).nbytes()) {
+          report(out, "exec-match",
+                 "DMA of '" + g.value(v).name + "' moves " +
+                     std::to_string(d.bytes) + " bytes; the value holds " +
+                     std::to_string(g.value(v).nbytes()),
+                 nid);
+        }
+        required = std::max(required, d.end);
+      } else {
+        required = std::max(required, avail[vi]);
+      }
+    }
+
+    if (e.start < required) {
+      report(out, "dependency",
+             "'" + e.name + "' starts " + ts(e.start) +
+                 " before its inputs are ready at " + ts(required),
+             nid);
+    }
+    if (e.engine != ex.engine) {
+      report(out, "exec-match",
+             "'" + e.name + "' runs on " + std::string(engine_name(e.engine)) +
+                 ", NodeExec says " + std::string(engine_name(ex.engine)),
+             nid);
+    }
+    if (e.duration() != ex.duration) {
+      report(out, "exec-match",
+             "'" + e.name + "' lasts " + ts(e.duration()) + ", NodeExec says " +
+                 ts(ex.duration),
+             nid);
+    }
+    if (e.flops != ex.flops || e.bytes != ex.bytes) {
+      report(out, "exec-match",
+             "'" + e.name + "' records flops=" + std::to_string(e.flops) +
+                 " bytes=" + std::to_string(e.bytes) + ", NodeExec says flops=" +
+                 std::to_string(ex.flops) + " bytes=" + std::to_string(ex.bytes),
+             nid);
+    }
+
+    for (ValueId v : n.outputs) {
+      avail[static_cast<std::size_t>(v)] = e.end;
+      sources[static_cast<std::size_t>(v)] = engine_bit(ex.engine);
+    }
+  }
+
+  for (const auto& [key, idx] : dma_event_of) {
+    if (!dma_needed[idx]) {
+      report(out, "spurious-dma",
+             "DMA of value '" + g.value(key.first).name + "' to " +
+                 std::string(engine_name(key.second)) + " that no consumer needs",
+             events[idx].node);
+    }
+  }
+  if (recompile_event_of.size() != expected_recompiles) {
+    report(out, "exec-count",
+           "trace holds " + std::to_string(recompile_event_of.size()) +
+               " recompile stalls; the graph warrants " +
+               std::to_string(expected_recompiles));
+  }
+
+  // Cross-policy sanity: independence-aware scheduling must never lose to
+  // the full-barrier schedule on the same (graph, execs).
+  const sim::SimTime barrier_makespan =
+      schedule(g, execs, cfg, SchedulePolicy::kBarrier).makespan();
+  const sim::SimTime overlap_makespan =
+      schedule(g, execs, cfg, SchedulePolicy::kOverlap).makespan();
+  if (overlap_makespan > barrier_makespan) {
+    report(out, "overlap-slower",
+           "kOverlap makespan " + ts(overlap_makespan) + " exceeds kBarrier " +
+               ts(barrier_makespan));
+  }
+
+  return out;
+}
+
+std::string TraceValidator::format(const std::vector<Violation>& violations) {
+  std::ostringstream os;
+  for (const auto& v : violations) {
+    os << "[" << v.invariant << "]";
+    if (v.node >= 0) os << " node " << v.node;
+    os << ": " << v.detail << "\n";
+  }
+  return os.str();
+}
+
+bool validation_requested_from_env() {
+  const char* env = std::getenv("GAUDI_VALIDATE");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+void validate_or_throw(const Graph& g, const std::vector<NodeExec>& execs,
+                       const Trace& trace, SchedulePolicy policy,
+                       const sim::ChipConfig& cfg) {
+  const auto violations = TraceValidator::validate(g, execs, trace, policy, cfg);
+  if (!violations.empty()) {
+    throw sim::InternalError(
+        "schedule validation failed under policy '" +
+        std::string(schedule_policy_name(policy)) + "' (" +
+        std::to_string(violations.size()) + " violation(s)):\n" +
+        TraceValidator::format(violations));
+  }
+}
+
+}  // namespace gaudi::graph

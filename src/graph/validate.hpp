@@ -1,0 +1,80 @@
+// Schedule/trace invariant validation.
+//
+// Every number this reproduction reports — Fig 4's MME idle gaps, Fig 6's
+// missing q'/k' overlap, the §4 advisor findings — is a reduction over
+// `Trace` objects emitted by the list scheduler, so a silent scheduling bug
+// corrupts every downstream figure.  TraceValidator checks a scheduled
+// (Graph, execs, Trace) triple against the full invariant set promised in
+// DESIGN.md §5 and reports violations instead of asserting, so callers can
+// aggregate, log, or throw as appropriate:
+//
+//  * event-times     — 0 <= start <= end for every event
+//  * engine-overlap  — per-engine intervals never overlap (half-open)
+//  * issue-order     — per-engine starts are non-decreasing in issue order
+//  * exec-count      — exactly one compute event per engine-bearing node,
+//                      none for metadata nodes, no duplicates or strays
+//  * exec-match      — event duration/flops/bytes equal the node's NodeExec;
+//                      DMA bytes equal the moved value's size
+//  * dependency      — no node starts before all inputs are ready, counting
+//                      inter-engine DMA completion and the one-time JIT
+//                      recompile stall
+//  * missing-dma     — a cross-engine edge with no DMA event
+//  * spurious-dma    — a DMA event no consumer needed
+//  * barrier         — under kBarrier, every engine switch serializes
+//  * overlap-slower  — kOverlap makespan must not exceed kBarrier on the
+//                      same (graph, execs)
+//
+// Wire-up: `Runtime::run` validates when RunOptions::validate is set or the
+// GAUDI_VALIDATE environment variable is enabled (covers every figure
+// bench); `gaudisim_cli profile-*` exposes `--validate`; debug builds of
+// `core::summarize` run the trace-only subset on every summarized trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "graph/graph.hpp"
+#include "graph/scheduler.hpp"
+#include "graph/trace.hpp"
+#include "sim/chip_config.hpp"
+
+namespace gaudi::graph {
+
+/// One broken invariant.
+struct Violation {
+  std::string invariant;  ///< short id, e.g. "engine-overlap"
+  std::string detail;     ///< human-readable specifics
+  NodeId node = -1;       ///< offending node, when attributable
+};
+
+class TraceValidator {
+ public:
+  /// Trace-only invariants (event-times, engine-overlap): applicable to any
+  /// trace, including hand-built ones, without the producing graph.
+  [[nodiscard]] static std::vector<Violation> validate_trace(const Trace& trace);
+
+  /// Full invariant set for a scheduled (Graph, execs, Trace) triple.
+  /// `policy` must be the policy the trace was scheduled under; `cfg` is
+  /// needed to re-derive the recompile stall and the cross-policy makespan
+  /// comparison.  Returns an empty vector when every invariant holds.
+  [[nodiscard]] static std::vector<Violation> validate(
+      const Graph& g, const std::vector<NodeExec>& execs, const Trace& trace,
+      SchedulePolicy policy, const sim::ChipConfig& cfg);
+
+  /// Multi-line report, one violation per line; empty string for no
+  /// violations.
+  [[nodiscard]] static std::string format(const std::vector<Violation>& violations);
+};
+
+/// True when the GAUDI_VALIDATE environment variable is set to anything but
+/// "" or "0" — the opt-in used by the figure benches.
+[[nodiscard]] bool validation_requested_from_env();
+
+/// Runs the full validator and throws sim::InternalError listing every
+/// violation when any invariant is broken.
+void validate_or_throw(const Graph& g, const std::vector<NodeExec>& execs,
+                       const Trace& trace, SchedulePolicy policy,
+                       const sim::ChipConfig& cfg);
+
+}  // namespace gaudi::graph

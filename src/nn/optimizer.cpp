@@ -32,8 +32,10 @@ OptimizerState append_optimizer(Graph& g, const LanguageModel& model,
     OptimizerSlot slot;
     slot.param = trainable[i];
     slot.grad = model.grad_values[i];
-    const tensor::Shape& shape = g.value(slot.param).shape;
-    const std::string& pname = g.value(slot.param).name;
+    // By value: adding state inputs below reallocates the graph's value
+    // table, so references into it dangle.
+    const tensor::Shape shape = g.value(slot.param).shape;
+    const std::string pname = g.value(slot.param).name;
 
     OpAttrs attrs;
     attrs.lr = cfg.lr;

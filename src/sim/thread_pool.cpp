@@ -6,6 +6,19 @@
 
 namespace gaudi::sim {
 
+namespace {
+
+// Set for the lifetime of any pool worker thread.  A parallel_for issued
+// from inside a worker task must run inline: queueing its chunks and
+// blocking on their completion deadlocks once every worker is parked in
+// such a wait while the chunks that would wake them sit behind it in the
+// queue (tensor::ops and tpc::TpcCluster both dispatch through the global
+// pool, so the nesting arises naturally, e.g. a reference GEMM inside a
+// kernel sweep).
+thread_local bool t_on_pool_worker = false;
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -28,6 +41,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -46,6 +60,10 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for_chunks(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (n == 0) {
+    return;
+  }
+  if (t_on_pool_worker) {
+    fn(0, n);
     return;
   }
   const std::size_t chunks = std::min(n, workers_.size() * 4);

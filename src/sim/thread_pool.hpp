@@ -28,9 +28,13 @@ class ThreadPool {
   /// Runs fn(i) for i in [0, n) across the pool and blocks until all
   /// complete.  Work is chunked to limit synchronization overhead.
   /// Exceptions from fn are captured and the first one is rethrown.
+  /// Nested use is safe: when called from inside a pool worker (of any
+  /// pool), the range runs inline on the calling thread instead of being
+  /// queued, which would deadlock against the blocked workers.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Chunked variant: fn(begin, end) over disjoint ranges covering [0, n).
+  /// Same inline fallback on nested use as parallel_for.
   void parallel_for_chunks(std::size_t n,
                            const std::function<void(std::size_t, std::size_t)>& fn);
 

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/analysis.hpp"
 #include "graph/autodiff.hpp"
 #include "graph/runtime.hpp"
 #include "tensor/ops.hpp"
@@ -434,6 +435,88 @@ TEST(TraceAnalysis, RejectsNegativeDurations) {
   e.start = sim::SimTime::from_ms(2.0);
   e.end = sim::SimTime::from_ms(1.0);
   EXPECT_THROW(t.add(e), sim::InvalidArgument);
+}
+
+// Minimal JSON string unescaper for the round-trip test below.
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char c = s[++i];
+    switch (c) {
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u':
+        out += static_cast<char>(std::stoi(s.substr(i + 1, 4), nullptr, 16));
+        i += 4;
+        break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+TEST(TraceAnalysis, ChromeJsonRoundTripsHostileLabels) {
+  // Tabs, carriage returns and raw control bytes show up in labels built
+  // from user-provided layer names; the export must keep the JSON parseable.
+  const std::string label = "evil\tname\rwith\nctl\x01\x1f \"quoted\" \\slash";
+  Trace t;
+  TraceEvent e;
+  e.engine = Engine::kTpc;
+  e.name = label;
+  e.end = sim::SimTime::from_ms(1.0);
+  t.add(e);
+
+  const std::string json = t.to_chrome_json();
+  // No raw control character may survive escaping anywhere in the document.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u) << "raw control byte";
+  }
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\r"), std::string::npos);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  // Unescaping recovers the original label byte-for-byte.
+  EXPECT_NE(json_unescape(json).find(label), std::string::npos);
+}
+
+TEST(TraceAnalysis, ShareMatchingRespectsTokenBoundaries) {
+  // A Fig 4-style attention trace with decoy names: "expand"/"exponent" must
+  // not count toward the exp share, "offsets" not toward offset.
+  Trace t;
+  double at = 0.0;
+  auto ev = [&](const char* name, double d) {
+    TraceEvent x;
+    x.engine = Engine::kTpc;
+    x.name = name;
+    x.start = sim::SimTime::from_ms(at);
+    x.end = sim::SimTime::from_ms(at + d);
+    at += d;
+    t.add(x);
+  };
+  ev("h0.softmax", 8.0);
+  ev("h0.q_exp", 1.0);
+  ev("exp", 1.0);
+  ev("h0.pre_scale_q", 0.5);
+  ev("h0.q_offset", 0.5);
+  ev("h0.expand", 3.0);
+  ev("h0.exponent", 2.0);
+  ev("h0.offsets", 1.0);  // 17 ms of TPC busy in total
+
+  EXPECT_DOUBLE_EQ(t.busy_matching("exp", Engine::kTpc).ms(), 2.0);
+  EXPECT_DOUBLE_EQ(t.busy_matching("offset", Engine::kTpc).ms(), 0.5);
+  EXPECT_DOUBLE_EQ(t.busy_matching("pre_scale", Engine::kTpc).ms(), 0.5);
+  EXPECT_NEAR(t.share_of_engine("softmax", Engine::kTpc), 8.0 / 17.0, 1e-12);
+
+  const core::TraceSummary s = core::summarize(t);
+  EXPECT_NEAR(s.softmax_share_of_tpc, 8.0 / 17.0, 1e-12);
+  EXPECT_NEAR(s.exp_share_of_tpc, 3.0 / 17.0, 1e-12);
 }
 
 }  // namespace

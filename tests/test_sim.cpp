@@ -127,6 +127,19 @@ TEST(ThreadPool, EmptyRangeIsNoop) {
   EXPECT_FALSE(called);
 }
 
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  // A parallel_for issued from inside a worker task must not queue-and-wait
+  // (deadlock once every worker blocks); the inner range runs inline.  With
+  // 2 workers and 8 outer tasks each fanning out 8 inner increments, the
+  // pre-fix pool hangs here.
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { count.fetch_add(1); });
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
 TEST(ThreadPool, PropagatesFirstException) {
   ThreadPool pool(4);
   EXPECT_THROW(pool.parallel_for(100,
