@@ -3,6 +3,13 @@
 // GEMMs (the MME packing floor) plus a cache-append and a softmax over the
 // growing context: a very different engine balance from training, and a
 // preview of why inference-oriented accelerators chase exactly this case.
+//
+// The bench also exercises the compile/execute split the way a serving
+// loop would: each context length's step graph goes through the compiler
+// pipeline exactly once (DecodeStepCache), then the per-token loop replays
+// the immutable artifact — no per-token mapping, fusion, or memory
+// planning.
+#include <chrono>
 #include <cstdio>
 
 #include "core/analysis.hpp"
@@ -13,20 +20,38 @@
 int main() {
   using namespace gaudi;
   const sim::ChipConfig cfg = sim::ChipConfig::hls1();
+  constexpr int kTokensPerCtx = 8;
 
   nn::DecodeConfig model = nn::DecodeConfig::gpt2_paper();
   model.batch = 8;
 
+  const graph::Runtime rt(cfg);
+  nn::DecodeStepCache cache(rt, model);
+
   core::TextTable table({"Context", "Step latency", "Tokens/s", "MME busy",
-                         "TPC busy", "TPC share"});
+                         "TPC busy", "TPC share", "Compile", "Run/tok"});
   for (const std::int64_t ctx : {256, 512, 1024, 2048, 4096}) {
-    graph::Graph g;
-    const nn::DecodeStepGraph step = nn::build_gpt_decode_step(g, model, ctx);
-    (void)step;
-    graph::Runtime rt(cfg);
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    const nn::DecodeStepCache::Entry& entry = cache.step(ctx);
+    const auto t1 = clock::now();
+
     graph::RunOptions opts;
     opts.mode = tpc::ExecMode::kTiming;
-    const auto result = rt.run(g, {}, opts);
+    // Run many tokens through the one compiled artifact, as a generation
+    // loop would (the simulated step is shape-deterministic, so every run
+    // reports the same trace; wall-clock per token is what varies).
+    graph::ProfileResult result;
+    for (int tok = 0; tok < kTokensPerCtx; ++tok) {
+      result = rt.run(entry.compiled, {}, opts);
+    }
+    const auto t2 = clock::now();
+    const double compile_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double run_ms =
+        std::chrono::duration<double, std::milli>(t2 - t1).count() /
+        kTokensPerCtx;
+
     const auto s = core::summarize(result.trace);
     const double tpc_share =
         s.tpc_busy.seconds() / (s.tpc_busy.seconds() + s.mme_busy.seconds());
@@ -35,11 +60,16 @@ int main() {
          core::TextTable::num(static_cast<double>(model.batch) /
                                   s.makespan.seconds(), 0),
          sim::to_string(s.mme_busy), sim::to_string(s.tpc_busy),
-         core::TextTable::num(tpc_share * 100.0, 0) + "%"});
+         core::TextTable::num(tpc_share * 100.0, 0) + "%",
+         core::TextTable::num(compile_ms, 1) + " ms",
+         core::TextTable::num(run_ms, 1) + " ms"});
   }
 
   std::puts("GPT decode step (batch 8, 2 layers, 8 heads x 64, vocab 50257):");
   std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\n%zu step graphs compiled for %d tokens each; the per-token\n",
+              cache.compiled_steps(), kTokensPerCtx);
+  std::puts("loop replays the compiled artifact without re-running any pass.");
   std::puts("\nTraining (Fig 8) runs the MME at 72% utilization; decode");
   std::puts("inverts the balance — single-row GEMMs bottom out at the MME's");
   std::puts("packing floor while cache reads and softmax keep the TPC busy.");

@@ -30,13 +30,18 @@ int main() {
                                           0.05f));
   feeds.emplace(b, tensor::Tensor::zeros(tensor::Shape{{64}}));
 
-  // 3. Run on the HLS-1 chip model.  Functional mode computes real numerics
-  //    AND simulated timing; the scheduler policy controls MME/TPC overlap.
+  // 3. Compile once, run on the HLS-1 chip model.  compile() runs the pass
+  //    pipeline (engine mapping, DMA insertion, static memory planning, ...)
+  //    and returns an immutable artifact that can be executed any number of
+  //    times.  Functional mode computes real numerics AND simulated timing;
+  //    the scheduler policy controls MME/TPC overlap.
   graph::Runtime runtime(sim::ChipConfig::hls1());
+  const graph::CompiledGraph compiled = runtime.compile(g);
+  std::fputs(compiled.stats.to_string().c_str(), stdout);
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kFunctional;
   opts.policy = graph::SchedulePolicy::kBarrier;  // what the paper observed
-  const graph::ProfileResult result = runtime.run(g, feeds, opts);
+  const graph::ProfileResult result = runtime.run(compiled, feeds, opts);
 
   // 4. Numerics: softmax rows sum to 1.
   const tensor::Tensor out = result.outputs.at(y);

@@ -29,6 +29,7 @@ commands:
       --policy barrier|overlap   scheduler policy             (barrier)
       --fuse                     enable element-wise fusion
       --validate                 run the trace invariant validator
+      --compile-stats            print per-pass compiler timings and plans
       --trace FILE               write a Chrome trace
       --html FILE                write a self-contained HTML report
   profile-model [options]        profile an LLM training step (Figs 8-9)
@@ -36,6 +37,7 @@ commands:
       --seq N --batch B --layers L
       --optimizer none|sgd|sgd_momentum|adam                  (none)
       --policy barrier|overlap --fuse --validate --trace FILE
+      --compile-stats            print per-pass compiler timings and plans
       --dot FILE                 write the graph as Graphviz DOT
   help                           this text
 
@@ -125,6 +127,7 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   exp.policy = parse_policy(args.get("policy", "barrier"));
   const bool fuse = args.has("fuse");
   const bool validate = args.has("validate");
+  const bool compile_stats = args.has("compile-stats");
   const std::string trace_path = args.get("trace", "");
   const std::string html_path = args.get("html", "");
   check_unused(args);
@@ -145,15 +148,18 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   g.mark_output(layer(g, params, x, exp.batch, exp.seq_len));
 
   graph::Runtime rt(sim::ChipConfig::hls1());
+  graph::CompileOptions copts;
+  copts.fuse_elementwise = fuse;
+  const graph::CompiledGraph compiled = rt.compile(g, copts);
+  if (compile_stats) out << compiled.stats.to_string();
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = exp.policy;
-  opts.fuse_elementwise = fuse;
   opts.validate = validate;
   print_profile(out,
                 std::string("layer / ") +
                     nn::attention_kind_name(exp.attention.kind),
-                rt.run(g, {}, opts), trace_path, html_path);
+                rt.run(compiled, {}, opts), trace_path, html_path);
   return 0;
 }
 
@@ -169,6 +175,7 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   const graph::SchedulePolicy policy = parse_policy(args.get("policy", "barrier"));
   const bool fuse = args.has("fuse");
   const bool validate = args.has("validate");
+  const bool compile_stats = args.has("compile-stats");
   const std::string optimizer = args.get("optimizer", "none");
   const std::string trace_path = args.get("trace", "");
   const std::string dot_path = args.get("dot", "");
@@ -197,16 +204,19 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   }
 
   graph::Runtime rt(sim::ChipConfig::hls1());
+  graph::CompileOptions copts;
+  copts.fuse_elementwise = fuse;
+  const graph::CompiledGraph compiled = rt.compile(g, copts);
+  if (compile_stats) out << compiled.stats.to_string();
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = policy;
-  opts.fuse_elementwise = fuse;
   opts.validate = validate;
   out << "model: " << nn::lm_arch_name(cfg.arch) << ", "
       << model.param_count(g) << " parameters, " << g.num_nodes()
       << " graph nodes\n";
   print_profile(out, std::string(nn::lm_arch_name(cfg.arch)) + " training step",
-                rt.run(g, {}, opts), trace_path, html_path);
+                rt.run(compiled, {}, opts), trace_path, html_path);
   return 0;
 }
 

@@ -141,10 +141,11 @@ LayerProfile run_layer_profile(const LayerExperiment& exp,
   g.mark_output(y);
 
   graph::Runtime runtime(cfg);
+  const graph::CompiledGraph compiled = runtime.compile(g);
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = exp.policy;
-  const graph::ProfileResult result = runtime.run(g, {}, opts);
+  const graph::ProfileResult result = runtime.run(compiled, {}, opts);
 
   LayerProfile profile;
   profile.summary = summarize(result.trace);
@@ -164,10 +165,11 @@ LlmProfile run_llm_profile(const nn::LmConfig& model_cfg,
   const nn::LanguageModel model = nn::build_language_model(g, model_cfg);
 
   graph::Runtime runtime(cfg);
+  const graph::CompiledGraph compiled = runtime.compile(g);
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = policy;
-  const graph::ProfileResult result = runtime.run(g, {}, opts);
+  const graph::ProfileResult result = runtime.run(compiled, {}, opts);
 
   LlmProfile profile;
   profile.summary = summarize(result.trace);

@@ -75,33 +75,30 @@ FusionPlan plan_fusion(const Graph& g) {
 }
 
 // ---------------------------------------------------------------------------
-// FusedChainKernel
+// FusedChainSpec / FusedChainKernel
 // ---------------------------------------------------------------------------
 
-FusedChainKernel::FusedChainKernel(const Graph& g, const FusionGroup& group,
-                                   const std::vector<tensor::Tensor>& tensors)
-    : g_(&g) {
+FusedChainSpec build_chain_spec(const Graph& g, const FusionGroup& group) {
   GAUDI_CHECK(group.nodes.size() >= 2, "fusion group must have >= 2 nodes");
 
+  FusedChainSpec spec;
   const Node& head = g.node(group.first());
-  chain_input_ = tensors[static_cast<std::size_t>(head.inputs[0])];
-  numel_ = g.value(head.outputs[0]).shape.numel();
-  output_ = tensors[static_cast<std::size_t>(g.node(group.last()).outputs[0])];
+  spec.chain_input = head.inputs[0];
+  spec.numel = g.value(head.outputs[0]).shape.numel();
+  spec.tail = group.last();
+  spec.output = g.node(group.last()).outputs[0];
 
-  label_ = "fused[";
+  spec.label = "fused[";
   ValueId chain_value = kInvalidValue;
   for (std::size_t i = 0; i < group.nodes.size(); ++i) {
     const Node& n = g.node(group.nodes[i]);
     GAUDI_CHECK(is_fusible_elementwise(n.kind), "non-fusible op in fusion group");
-    Step step;
+    FusedChainStep step;
     step.kind = n.kind;
     step.attrs = n.attrs;
     if (i == 0) {
       // Head: operand 0 is the chain input; a second operand is external.
-      if (n.inputs.size() == 2) {
-        step.external = tensors[static_cast<std::size_t>(n.inputs[1])];
-        step.has_external = true;
-      }
+      if (n.inputs.size() == 2) step.external = n.inputs[1];
     } else {
       GAUDI_CHECK(std::find(n.inputs.begin(), n.inputs.end(), chain_value) !=
                       n.inputs.end(),
@@ -111,18 +108,42 @@ FusedChainKernel::FusedChainKernel(const Graph& g, const FusionGroup& group,
         const ValueId ext = chain_is_first ? n.inputs[1] : n.inputs[0];
         // x op x (both operands are the chain value) needs no external load.
         if (ext != chain_value) {
-          step.external = tensors[static_cast<std::size_t>(ext)];
-          step.has_external = true;
+          step.external = ext;
           step.chain_is_rhs = !chain_is_first;
         }
       }
     }
-    steps_.push_back(std::move(step));
+    spec.steps.push_back(step);
     chain_value = n.outputs[0];
-    label_ += std::string(i ? "+" : "") + std::string(op_kind_name(n.kind));
+    spec.label += std::string(i ? "+" : "") + std::string(op_kind_name(n.kind));
   }
-  label_ += "]";
+  spec.label += "]";
+  return spec;
 }
+
+FusedChainKernel::FusedChainKernel(const FusedChainSpec& spec,
+                                   const std::vector<tensor::Tensor>& tensors)
+    : chain_input_(tensors[static_cast<std::size_t>(spec.chain_input)]),
+      output_(tensors[static_cast<std::size_t>(spec.output)]),
+      numel_(spec.numel),
+      label_(spec.label) {
+  steps_.reserve(spec.steps.size());
+  for (const FusedChainStep& s : spec.steps) {
+    Step step;
+    step.kind = s.kind;
+    step.attrs = s.attrs;
+    step.chain_is_rhs = s.chain_is_rhs;
+    if (s.has_external()) {
+      step.external = tensors[static_cast<std::size_t>(s.external)];
+      step.has_external = true;
+    }
+    steps_.push_back(std::move(step));
+  }
+}
+
+FusedChainKernel::FusedChainKernel(const Graph& g, const FusionGroup& group,
+                                   const std::vector<tensor::Tensor>& tensors)
+    : FusedChainKernel(build_chain_spec(g, group), tensors) {}
 
 std::string FusedChainKernel::name() const { return label_; }
 

@@ -46,12 +46,46 @@ struct FusionPlan {
 /// Builds the fusion plan for `g` (chains of length >= 2 only).
 [[nodiscard]] FusionPlan plan_fusion(const Graph& g);
 
+/// One link of a pre-bound chain: which op to apply to the chain register,
+/// and where its external operand (if any) comes from.
+struct FusedChainStep {
+  OpKind kind{};
+  OpAttrs attrs{};
+  /// External operand value, kInvalidValue when the step consumes only the
+  /// chain register.
+  ValueId external = kInvalidValue;
+  /// Whether the chain value is the *second* operand of a binary op.
+  bool chain_is_rhs = false;
+
+  [[nodiscard]] bool has_external() const { return external != kInvalidValue; }
+};
+
+/// Compile-time description of a whole fusion group, derived once by the
+/// graph compiler and bound to a run's tensors when the tail executes —
+/// so the per-run loop neither re-plans the chain nor re-walks the graph.
+struct FusedChainSpec {
+  ValueId chain_input = kInvalidValue;
+  ValueId output = kInvalidValue;
+  NodeId tail = -1;
+  std::int64_t numel = 0;
+  std::vector<FusedChainStep> steps;
+  std::string label;
+};
+
+/// Derives the chain spec for one fusion group.
+[[nodiscard]] FusedChainSpec build_chain_spec(const Graph& g,
+                                              const FusionGroup& group);
+
 /// Executes an entire fusion group: external operands are loaded from
 /// global memory, the chain value flows through vector registers, only the
 /// tail result is stored.  `tensors` is indexed by ValueId; internal values
 /// need no storage.
 class FusedChainKernel final : public tpc::Kernel {
  public:
+  /// Binds a compile-time chain spec to this run's tensors.
+  FusedChainKernel(const FusedChainSpec& spec,
+                   const std::vector<tensor::Tensor>& tensors);
+  /// Convenience: derives the spec on the fly (one-shot callers and tests).
   FusedChainKernel(const Graph& g, const FusionGroup& group,
                    const std::vector<tensor::Tensor>& tensors);
 
@@ -71,7 +105,6 @@ class FusedChainKernel final : public tpc::Kernel {
     bool has_external = false;
   };
 
-  const Graph* g_;
   std::vector<Step> steps_;
   tensor::Tensor chain_input_;
   tensor::Tensor output_;

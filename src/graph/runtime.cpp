@@ -1,7 +1,8 @@
 #include "graph/runtime.hpp"
 
 #include <algorithm>
-#include <optional>
+#include <sstream>
+#include <utility>
 
 #include "graph/fusion.hpp"
 #include "graph/validate.hpp"
@@ -9,15 +10,23 @@
 
 namespace gaudi::graph {
 
-ProfileResult Runtime::run(const Graph& g,
+CompiledGraph Runtime::compile(const Graph& g, const CompileOptions& opts) const {
+  return compile_graph(g, cfg_, opts);
+}
+
+ProfileResult Runtime::run(const CompiledGraph& cg,
                            const std::unordered_map<ValueId, tensor::Tensor>& feeds,
                            const RunOptions& opts) const {
+  const Graph& g = cg.graph;
   const bool functional = opts.mode == tpc::ExecMode::kFunctional;
 
   std::vector<tensor::Tensor> tensors(g.num_values());
-  memory::DeviceAllocator hbm(cfg_.memory);
+  // The static plan already fixed every buffer's offset; the dynamic
+  // allocator is replayed as a debug cross-check (and to enforce capacity
+  // for artifacts compiled without enforcement).
+  memory::DeviceAllocator hbm(cg.config.memory);
   std::vector<memory::Allocation> allocs(g.num_values());
-  // Remaining consumers per value; freed when it reaches zero.
+  // Remaining consumers per value; storage is dropped when it reaches zero.
   std::vector<std::int32_t> pending(g.num_values(), 0);
 
   // Bind inputs/params and allocate their device residency.
@@ -45,15 +54,11 @@ ProfileResult Runtime::run(const Graph& g,
     }
   }
 
-  NodeExecutor executor(cfg_, sim::CounterRng{opts.seed});
+  NodeExecutor executor(cg.config, sim::CounterRng{opts.seed});
   std::vector<NodeExec> execs(g.num_nodes());
 
-  std::optional<FusionPlan> fusion;
-  if (opts.fuse_elementwise) {
-    fusion.emplace(plan_fusion(g));
-  }
   auto is_internal = [&](ValueId v) {
-    return fusion && fusion->internal_value[static_cast<std::size_t>(v)];
+    return cg.fusion.internal_value[static_cast<std::size_t>(v)];
   };
 
   auto release_if_dead = [&](ValueId v) {
@@ -65,13 +70,11 @@ ProfileResult Runtime::run(const Graph& g,
         hbm.release(allocs[vi]);
         allocs[vi] = memory::Allocation{};
       }
-      if (!info.is_output) {
-        tensors[vi] = tensor::Tensor{};  // drop host storage too
-      }
+      tensors[vi] = tensor::Tensor{};  // drop host storage too
     }
   };
 
-  for (NodeId nid = 0; nid < static_cast<NodeId>(g.num_nodes()); ++nid) {
+  for (const NodeId nid : cg.order) {
     const Node& n = g.node(nid);
     // Allocate outputs (reshape aliases its input; fused-chain intermediates
     // live in vector registers — neither takes device bytes).
@@ -82,49 +85,78 @@ ProfileResult Runtime::run(const Graph& g,
             hbm.allocate(g.value(v).nbytes(), g.value(v).name);
       }
     }
-    execs[static_cast<std::size_t>(nid)] = executor.run(g, nid, tensors, opts.mode);
 
-    if (fusion && fusion->fused(nid)) {
-      NodeExec& exec = execs[static_cast<std::size_t>(nid)];
-      if (fusion->is_group_tail(g, nid)) {
-        // The whole chain executes as one kernel; charge its cost here.
-        // Numerics were already produced by the per-op path above, so the
-        // fused kernel runs in timing mode only.
-        const FusionGroup& group =
-            fusion->groups[static_cast<std::size_t>(
-                fusion->group_of[static_cast<std::size_t>(nid)])];
-        const FusedChainKernel kernel(g, group, tensors);
-        const tpc::RunResult r =
-            executor.cluster().run(kernel, tpc::ExecMode::kTiming);
-        exec.engine = Engine::kTpc;
-        exec.duration = r.duration;
-        exec.flops = r.flops;
-        exec.label = kernel.name();
-      } else {
-        // Non-tail links contribute no separate engine time.
-        exec.engine = Engine::kNone;
-        exec.duration = sim::SimTime::zero();
-        exec.flops = 0;
+    NodeExec& exec = execs[static_cast<std::size_t>(nid)];
+    if (!cg.fusion.fused(nid)) {
+      exec = executor.run(g, nid, tensors, opts.mode);
+      for (ValueId v : n.inputs) {
+        auto& p = pending[static_cast<std::size_t>(v)];
+        GAUDI_ASSERT(p > 0, "consumer refcount underflow");
+        --p;
+        release_if_dead(v);
       }
+      // Outputs nobody consumes (and not marked graph outputs) die
+      // immediately.
+      for (ValueId v : n.outputs) release_if_dead(v);
+    } else if (cg.fusion.is_group_tail(g, nid)) {
+      // The whole chain executes as the pre-bound fused kernel — numerics
+      // and timing in one launch, in the run's mode.
+      const FusedChainSpec& spec =
+          cg.chains[static_cast<std::size_t>(
+              cg.fusion.group_of[static_cast<std::size_t>(nid)])];
+      const ValueInfo& out_info = g.value(spec.output);
+      tensors[static_cast<std::size_t>(spec.output)] =
+          functional ? tensor::Tensor::zeros(out_info.shape, out_info.dtype)
+                     : tensor::Tensor::phantom(out_info.shape, out_info.dtype);
+      const FusedChainKernel kernel(spec, tensors);
+      const tpc::RunResult r = executor.cluster().run(kernel, opts.mode);
+      exec.engine = Engine::kTpc;
+      exec.duration = r.duration;
+      exec.flops = r.flops;
+      exec.label = spec.label;
+      for (ValueId v : n.inputs) exec.bytes += g.value(v).nbytes();
+      for (ValueId v : n.outputs) exec.bytes += g.value(v).nbytes();
+      // The fused launch read every chain member's operands just now, so
+      // the whole group's consumption lands here — releasing an external at
+      // the link that names it would free bytes the tail still reads.
+      const FusionGroup& group =
+          cg.fusion.groups[static_cast<std::size_t>(
+              cg.fusion.group_of[static_cast<std::size_t>(nid)])];
+      for (const NodeId member : group.nodes) {
+        for (ValueId v : g.node(member).inputs) {
+          auto& p = pending[static_cast<std::size_t>(v)];
+          GAUDI_ASSERT(p > 0, "consumer refcount underflow");
+          --p;
+          release_if_dead(v);
+        }
+      }
+      for (ValueId v : n.outputs) release_if_dead(v);
+    } else {
+      // Non-tail links are absorbed into the tail's kernel: no engine time,
+      // no consumption yet (the fused launch reads every operand at the
+      // tail), and the chain value never materializes.
+      exec.engine = Engine::kNone;
     }
-
-    for (ValueId v : n.inputs) {
-      auto& p = pending[static_cast<std::size_t>(v)];
-      GAUDI_ASSERT(p > 0, "consumer refcount underflow");
-      --p;
-      release_if_dead(v);
-    }
-    // Outputs nobody consumes (and not marked graph outputs) die immediately.
-    for (ValueId v : n.outputs) release_if_dead(v);
   }
 
   ProfileResult result;
-  result.trace = schedule(g, execs, cfg_, opts.policy);
+  result.trace = schedule(cg, execs, opts.policy);
   if (opts.validate || validation_requested_from_env()) {
-    validate_or_throw(g, execs, result.trace, opts.policy, cfg_);
+    validate_or_throw(g, execs, result.trace, opts.policy, cg.config);
+    std::vector<Violation> violations = validate_memory_plan(cg);
+    if (opts.account_memory && hbm.peak() != cg.stats.peak_bytes) {
+      std::ostringstream os;
+      os << "planned peak " << cg.stats.peak_bytes
+         << " bytes != dynamic allocator peak " << hbm.peak() << " bytes";
+      violations.push_back(Violation{"memory-plan-peak", os.str(), -1});
+    }
+    if (!violations.empty()) {
+      throw sim::InternalError("memory-plan validation failed:\n" +
+                               TraceValidator::format(violations));
+    }
   }
   result.makespan = result.trace.makespan();
-  result.hbm_peak_bytes = hbm.peak();
+  result.hbm_peak_bytes = cg.stats.peak_bytes;
   result.hbm_capacity_bytes = hbm.capacity();
   result.node_execs = std::move(execs);
   for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
@@ -133,6 +165,15 @@ ProfileResult Runtime::run(const Graph& g,
     }
   }
   return result;
+}
+
+ProfileResult Runtime::run(const Graph& g,
+                           const std::unordered_map<ValueId, tensor::Tensor>& feeds,
+                           const RunOptions& opts) const {
+  CompileOptions copts;
+  copts.fuse_elementwise = opts.fuse_elementwise;
+  copts.enforce_capacity = opts.account_memory;
+  return run(compile(g, copts), feeds, opts);
 }
 
 }  // namespace gaudi::graph

@@ -1,16 +1,22 @@
-// Graph runtime: compile-and-run with profiling, the SynapseAI analogue.
+// Graph runtime: the execute side of the compile/execute split.
 //
-// A run executes every node (functional numerics or timing-only), accounts
-// simulated HBM occupancy with liveness-based freeing (so the paper's
-// memory-limited configurations are enforced), schedules the node durations
-// onto engine timelines under the selected policy, and returns the hardware
-// trace plus any requested outputs.
+// `Runtime::compile` runs the ahead-of-time pass pipeline (engine mapping,
+// element-wise fusion, DMA insertion, liveness, static memory planning,
+// topological order — see graph/compiler.hpp) and returns an immutable
+// CompiledGraph.  `Runtime::run(const CompiledGraph&, feeds)` is the thin
+// run-many loop: it executes nodes in the compiled order (numerics or
+// timing-only), replays the dynamic HBM allocator as a debug cross-check of
+// the static memory plan, schedules the node durations onto engine
+// timelines under the selected policy, and returns the hardware trace plus
+// any requested outputs.  The single-graph `run(const Graph&, ...)`
+// overload compiles and runs in one call for one-shot callers.
 #pragma once
 
 #include <cstddef>
 #include <unordered_map>
 #include <vector>
 
+#include "graph/compiler.hpp"
 #include "graph/executor.hpp"
 #include "graph/graph.hpp"
 #include "graph/scheduler.hpp"
@@ -24,15 +30,21 @@ struct RunOptions {
   tpc::ExecMode mode = tpc::ExecMode::kFunctional;
   SchedulePolicy policy = SchedulePolicy::kBarrier;
   std::uint64_t seed = 0x6A0D1;
-  /// Enforce the HBM capacity (throws sim::ResourceExhausted on overflow).
+  /// Replay the dynamic HBM allocator alongside the static plan and enforce
+  /// the capacity (throws sim::ResourceExhausted on overflow).  Via the
+  /// compile-and-run overload this also gates compile-time capacity
+  /// enforcement.
   bool account_memory = true;
-  /// Apply the element-wise fusion pass: single-consumer chains of
-  /// element-wise TPC ops execute as one fused kernel, their intermediates
-  /// never touching device memory (see graph/fusion.hpp).
+  /// Apply the element-wise fusion pass when compiling: single-consumer
+  /// chains of element-wise TPC ops execute as one fused kernel, their
+  /// intermediates never touching device memory (see graph/fusion.hpp).
+  /// Ignored by the CompiledGraph overload — fusion is decided at compile
+  /// time.
   bool fuse_elementwise = false;
-  /// Run TraceValidator on the scheduled trace and throw
-  /// sim::InternalError on any invariant violation (see graph/validate.hpp).
-  /// Also enabled globally by the GAUDI_VALIDATE environment variable.
+  /// Run TraceValidator on the scheduled trace (plus the memory-plan
+  /// invariants on the compiled artifact) and throw sim::InternalError on
+  /// any violation (see graph/validate.hpp).  Also enabled globally by the
+  /// GAUDI_VALIDATE environment variable.
   bool validate = false;
 };
 
@@ -41,7 +53,8 @@ struct ProfileResult {
   sim::SimTime makespan{};
   /// Graph outputs (functional mode only; phantom tensors otherwise).
   std::unordered_map<ValueId, tensor::Tensor> outputs;
-  /// Peak simulated HBM occupancy over the run.
+  /// Peak simulated HBM occupancy — the static plan's peak, which equals
+  /// the dynamic allocator's observed peak (cross-checked when validating).
   std::size_t hbm_peak_bytes = 0;
   std::size_t hbm_capacity_bytes = 0;
   /// Per-node execution records (indexed by NodeId).
@@ -54,8 +67,19 @@ class Runtime {
 
   [[nodiscard]] const sim::ChipConfig& config() const { return cfg_; }
 
-  /// Runs `g`.  In functional mode every kInput/kParam value must appear in
-  /// `feeds`; in timing mode feeds are ignored.
+  /// Runs the compiler pass pipeline once; the artifact can be executed any
+  /// number of times (and outlives both graph and runtime).
+  [[nodiscard]] CompiledGraph compile(const Graph& g,
+                                      const CompileOptions& opts = {}) const;
+
+  /// Executes a compiled artifact.  In functional mode every kInput/kParam
+  /// value must appear in `feeds`; in timing mode feeds are ignored.
+  ProfileResult run(const CompiledGraph& cg,
+                    const std::unordered_map<ValueId, tensor::Tensor>& feeds,
+                    const RunOptions& opts = {}) const;
+
+  /// Compiles and runs `g` in one call.  Callers that execute a graph
+  /// repeatedly should compile once and use the CompiledGraph overload.
   ProfileResult run(const Graph& g,
                     const std::unordered_map<ValueId, tensor::Tensor>& feeds,
                     const RunOptions& opts = {}) const;

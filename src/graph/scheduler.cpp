@@ -4,6 +4,7 @@
 #include <map>
 #include <utility>
 
+#include "graph/compiler.hpp"
 #include "memory/dma.hpp"
 
 namespace gaudi::graph {
@@ -28,10 +29,15 @@ struct SchedState {
   sim::SimTime& free(Engine e) { return engine_free[static_cast<std::size_t>(e)]; }
 };
 
-}  // namespace
-
-Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
-               const sim::ChipConfig& cfg, SchedulePolicy policy) {
+/// Shared list-scheduling core.  When `static_sources` is non-null (the
+/// compiled path), per-value source-engine sets come precomputed from the
+/// DMA-insertion pass; otherwise they are derived on the fly while
+/// scheduling (the legacy path).  Both derivations agree: values are
+/// single-assignment, so a value's source set is fixed once its producer
+/// issues, and every consumer issues later in program order.
+Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
+                    const sim::ChipConfig& cfg, SchedulePolicy policy,
+                    const std::vector<std::uint8_t>* static_sources) {
   GAUDI_CHECK(execs.size() == g.num_nodes(),
               "scheduler needs one NodeExec per graph node");
 
@@ -46,7 +52,14 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
   // involved).  A metadata op is a view over its inputs, so its outputs can
   // be backed by buffers on *several* engines at once; a consumer needs a
   // DMA whenever any backing engine differs from its own.
-  std::vector<std::uint8_t> value_sources(g.num_values(), 0);
+  std::vector<std::uint8_t> derived_sources;
+  if (static_sources == nullptr) {
+    derived_sources.assign(g.num_values(), 0);
+  }
+  const std::vector<std::uint8_t>& value_sources =
+      static_sources ? *static_sources : derived_sources;
+  std::uint8_t* mutable_sources =
+      static_sources ? nullptr : derived_sources.data();
   // DMA completion per (value, destination engine), deduplicated.
   std::map<std::pair<ValueId, Engine>, sim::SimTime> dma_done;
 
@@ -86,7 +99,9 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
       }
       for (ValueId v : n.outputs) {
         value_ready[static_cast<std::size_t>(v)] = ready;
-        value_sources[static_cast<std::size_t>(v)] = sources;
+        if (mutable_sources) {
+          mutable_sources[static_cast<std::size_t>(v)] = sources;
+        }
       }
       continue;
     }
@@ -146,11 +161,25 @@ Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
 
     for (ValueId v : n.outputs) {
       value_ready[static_cast<std::size_t>(v)] = end;
-      value_sources[static_cast<std::size_t>(v)] = engine_bit(ex.engine);
+      if (mutable_sources) {
+        mutable_sources[static_cast<std::size_t>(v)] = engine_bit(ex.engine);
+      }
     }
   }
 
   return trace;
+}
+
+}  // namespace
+
+Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
+               const sim::ChipConfig& cfg, SchedulePolicy policy) {
+  return schedule_impl(g, execs, cfg, policy, nullptr);
+}
+
+Trace schedule(const CompiledGraph& cg, const std::vector<NodeExec>& execs,
+               SchedulePolicy policy) {
+  return schedule_impl(cg.graph, execs, cg.config, policy, &cg.value_sources);
 }
 
 }  // namespace gaudi::graph

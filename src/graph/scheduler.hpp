@@ -39,4 +39,14 @@ enum class SchedulePolicy : std::uint8_t {
 [[nodiscard]] Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
                              const sim::ChipConfig& cfg, SchedulePolicy policy);
 
+struct CompiledGraph;
+
+/// Plan-driven variant: per-value source-engine sets come from the compiled
+/// artifact's DMA-insertion pass instead of being re-derived, so the
+/// per-run loop makes no mapping decisions.  Produces the same trace as the
+/// legacy overload for the execs the compiled runtime emits.
+[[nodiscard]] Trace schedule(const CompiledGraph& cg,
+                             const std::vector<NodeExec>& execs,
+                             SchedulePolicy policy);
+
 }  // namespace gaudi::graph

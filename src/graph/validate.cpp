@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "graph/compiler.hpp"
 #include "sim/error.hpp"
 
 namespace gaudi::graph {
@@ -340,6 +341,60 @@ std::string TraceValidator::format(const std::vector<Violation>& violations) {
     os << ": " << v.detail << "\n";
   }
   return os.str();
+}
+
+std::vector<Violation> validate_memory_plan(const CompiledGraph& cg) {
+  std::vector<Violation> out;
+
+  struct Placed {
+    ValueId value;
+    const ValuePlacement* p;
+  };
+  std::vector<Placed> placed;
+  for (ValueId v = 0; v < static_cast<ValueId>(cg.graph.num_values()); ++v) {
+    const ValuePlacement& p = cg.placements[static_cast<std::size_t>(v)];
+    if (!p.has_buffer) continue;
+    if (p.def > p.freed_at) {
+      report(out, "plan-liveness",
+             "'" + cg.graph.value(v).name + "' is freed (step " +
+                 std::to_string(p.freed_at) + ") before it is defined (step " +
+                 std::to_string(p.def) + ")");
+    }
+    if (p.offset + p.bytes > cg.stats.arena_bytes) {
+      report(out, "plan-bounds",
+             "'" + cg.graph.value(v).name + "' at [" +
+                 std::to_string(p.offset) + ", " +
+                 std::to_string(p.offset + p.bytes) + ") exceeds the " +
+                 std::to_string(cg.stats.arena_bytes) + "-byte arena");
+    }
+    if (p.bytes > 0) placed.push_back(Placed{v, &p});
+  }
+
+  // No two simultaneously-live buffers may share bytes.  Liveness overlap is
+  // inclusive at the boundary step: a buffer allocated in the step another
+  // is freed coexists with it, because allocations precede frees within a
+  // step.  Sorting by offset keeps the address scan near-linear.
+  std::sort(placed.begin(), placed.end(), [](const Placed& a, const Placed& b) {
+    return a.p->offset < b.p->offset;
+  });
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    const ValuePlacement& a = *placed[i].p;
+    for (std::size_t j = i + 1; j < placed.size(); ++j) {
+      const ValuePlacement& b = *placed[j].p;
+      if (b.offset >= a.offset + a.bytes) break;  // no address overlap further
+      const bool live_together = a.def <= b.freed_at && b.def <= a.freed_at;
+      if (!live_together) continue;
+      report(out, "plan-overlap",
+             "'" + cg.graph.value(placed[i].value).name + "' [" +
+                 std::to_string(a.offset) + ", " +
+                 std::to_string(a.offset + a.bytes) + ") and '" +
+                 cg.graph.value(placed[j].value).name + "' [" +
+                 std::to_string(b.offset) + ", " +
+                 std::to_string(b.offset + b.bytes) +
+                 ") are live at the same time and share bytes");
+    }
+  }
+  return out;
 }
 
 bool validation_requested_from_env() {

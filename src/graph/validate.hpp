@@ -67,6 +67,18 @@ class TraceValidator {
   [[nodiscard]] static std::string format(const std::vector<Violation>& violations);
 };
 
+struct CompiledGraph;
+
+/// Memory-plan invariants for a compiled artifact:
+///
+///  * plan-bounds   — every planned buffer lies inside the arena
+///  * plan-liveness — liveness intervals are well-formed (def <= free)
+///  * plan-overlap  — no two simultaneously-live buffers share bytes
+///
+/// (`Runtime::run` additionally cross-checks the planned peak against the
+/// dynamic allocator's observed peak when validation is enabled.)
+[[nodiscard]] std::vector<Violation> validate_memory_plan(const CompiledGraph& cg);
+
 /// True when the GAUDI_VALIDATE environment variable is set to anything but
 /// "" or "0" — the opt-in used by the figure benches.
 [[nodiscard]] bool validation_requested_from_env();

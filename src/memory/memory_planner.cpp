@@ -1,0 +1,107 @@
+#include "memory/memory_planner.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace gaudi::memory {
+
+namespace {
+
+/// First-fit free-list arena: free blocks keyed by offset, coalesced on
+/// release, growing at the end only when no existing block fits.
+class Arena {
+ public:
+  std::size_t acquire(std::size_t bytes) {
+    if (bytes == 0) return 0;
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+      if (it->second >= bytes) {
+        const std::size_t offset = it->first;
+        const std::size_t remaining = it->second - bytes;
+        free_.erase(it);
+        if (remaining > 0) free_.emplace(offset + bytes, remaining);
+        return offset;
+      }
+    }
+    const std::size_t offset = end_;
+    end_ += bytes;
+    return offset;
+  }
+
+  void release(std::size_t offset, std::size_t bytes) {
+    if (bytes == 0) return;
+    const auto [it, inserted] = free_.emplace(offset, bytes);
+    GAUDI_ASSERT(inserted, "double free in static memory planner");
+    const auto next = std::next(it);
+    if (next != free_.end() && it->first + it->second == next->first) {
+      it->second += next->second;
+      free_.erase(next);
+    }
+    if (it != free_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->first + prev->second == it->first) {
+        prev->second += it->second;
+        free_.erase(it);
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t end() const { return end_; }
+
+ private:
+  std::map<std::size_t, std::size_t> free_;  // offset -> size
+  std::size_t end_ = 0;
+};
+
+}  // namespace
+
+MemoryPlan plan_memory(const std::vector<BufferInterval>& intervals,
+                       std::size_t capacity_bytes) {
+  MemoryPlan plan;
+  plan.buffers.resize(intervals.size());
+
+  // Per-step event lists, preserving the callers' within-step order.
+  std::map<std::int64_t, std::vector<std::size_t>> allocs;
+  std::map<std::int64_t, std::vector<std::size_t>> frees;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    GAUDI_CHECK(intervals[i].def <= intervals[i].free,
+                "buffer freed before it is defined: '" + intervals[i].tag + "'");
+    allocs[intervals[i].def].push_back(i);
+    if (intervals[i].free != BufferInterval::kNeverFreed) {
+      frees[intervals[i].free].push_back(i);
+    }
+    plan.total_bytes += intervals[i].bytes;
+  }
+
+  Arena arena;
+  std::size_t in_use = 0;
+  auto free_it = frees.begin();
+  for (const auto& [step, ids] : allocs) {
+    // Bytes freed in strictly earlier steps become reusable; bytes freed in
+    // this step do not (allocations precede frees within a step, exactly as
+    // the dynamic allocator orders them within a node).
+    for (; free_it != frees.end() && free_it->first < step; ++free_it) {
+      for (const std::size_t i : free_it->second) {
+        arena.release(plan.buffers[i].offset, plan.buffers[i].bytes);
+        in_use -= intervals[i].bytes;
+      }
+    }
+    for (const std::size_t i : ids) {
+      const std::size_t bytes = intervals[i].bytes;
+      if (capacity_bytes != 0 && in_use + bytes > capacity_bytes) {
+        std::ostringstream os;
+        os << "HBM out of memory allocating " << bytes << " bytes";
+        if (!intervals[i].tag.empty()) os << " for '" << intervals[i].tag << "'";
+        os << " (planned in use " << in_use << " of " << capacity_bytes << ")";
+        throw sim::ResourceExhausted(os.str());
+      }
+      plan.buffers[i] = PlannedBuffer{arena.acquire(bytes), bytes};
+      in_use += bytes;
+      plan.peak_bytes = std::max(plan.peak_bytes, in_use);
+    }
+  }
+  plan.arena_bytes = arena.end();
+  return plan;
+}
+
+}  // namespace gaudi::memory

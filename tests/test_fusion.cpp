@@ -212,5 +212,43 @@ TEST(FusionRuntime, TrainingGraphStillCorrectUnderFusion) {
             0.0);
 }
 
+TEST(FusionCompiled, ChainsArePreBoundAtCompileTime) {
+  // Compiling with fusion on must capture every chain as a FusedChainSpec so
+  // run() only binds tensors — no chain re-discovery or operand re-walking
+  // per run.
+  Graph g;
+  const ValueId x = g.input(Shape{{512}}, DType::F32, "x");
+  const ValueId y = g.input(Shape{{512}}, DType::F32, "y");
+  ValueId h = g.relu(x);
+  h = g.add_scalar(h, 1.0f);
+  h = g.mul(h, y);
+  const ValueId out = g.sigmoid(h);
+  g.mark_output(out);
+
+  Runtime rt;
+  CompileOptions copts;
+  copts.fuse_elementwise = true;
+  const CompiledGraph cg = rt.compile(g, copts);
+  ASSERT_EQ(cg.fusion.groups.size(), cg.chains.size());
+  ASSERT_EQ(cg.chains.size(), 1u);
+  const FusedChainSpec& spec = cg.chains[0];
+  EXPECT_EQ(spec.chain_input, x);
+  EXPECT_EQ(spec.output, out);
+  EXPECT_EQ(spec.steps.size(), 4u);
+  // The binary link's external operand was resolved at compile time.
+  EXPECT_EQ(spec.steps[2].external, y);
+
+  // And the compiled artifact is bit-identical to the unfused one.
+  const sim::CounterRng rng(85);
+  const std::unordered_map<ValueId, Tensor> feeds = {
+      {x, Tensor::uniform(Shape{{512}}, rng.stream(1), -2.0f, 2.0f)},
+      {y, Tensor::uniform(Shape{{512}}, rng.stream(2), -2.0f, 2.0f)}};
+  RunOptions opts;
+  const auto fused = rt.run(cg, feeds, opts);
+  const auto plain = rt.run(rt.compile(g), feeds, opts);
+  EXPECT_EQ(ops::max_abs_diff(plain.outputs.at(out), fused.outputs.at(out)),
+            0.0);
+}
+
 }  // namespace
 }  // namespace gaudi::graph

@@ -189,8 +189,9 @@ TEST(ScheduleFuzz, FusedLinkDemotionKeepsInvariants) {
 }
 
 TEST(ScheduleFuzz, FusionPreservesFunctionalOutputs) {
-  // Fused chains produce their numerics through the per-op path, so fusion
-  // on/off must be bit-identical, not merely close.
+  // A fused chain's pre-bound kernel applies the exact same scalar ops in
+  // the exact same order as the per-op path, so fusion on/off must be
+  // bit-identical, not merely close.
   for (std::uint64_t seed = 0; seed < kSeeds; seed += 16) {
     const RandomDag dag = random_dag(seed);
     const auto feeds = random_feeds(dag.graph, seed);
