@@ -9,7 +9,9 @@
 #include "graph/printer.hpp"
 #include "graph/runtime.hpp"
 #include "nn/optimizer.hpp"
+#include "scaleout/checkpoint.hpp"
 #include "sim/error.hpp"
+#include "sim/fault.hpp"
 
 namespace gaudi::core {
 
@@ -32,6 +34,10 @@ commands:
       --compile-stats            print per-pass compiler timings and plans
       --trace FILE               write a Chrome trace
       --html FILE                write a self-contained HTML report
+      --seed N                   execution seed               (0x6A0D1)
+      --faults                   inject deterministic hardware faults
+      --fault-seed N --mtbf N    fault seed / MTBF in steps (stress profile
+                                 when --mtbf is omitted)
   profile-model [options]        profile an LLM training step (Figs 8-9)
       --arch gpt2|bert           (gpt2)
       --seq N --batch B --layers L
@@ -39,10 +45,21 @@ commands:
       --policy barrier|overlap --fuse --validate --trace FILE
       --compile-stats            print per-pass compiler timings and plans
       --dot FILE                 write the graph as Graphviz DOT
+      --seed N --faults --fault-seed N --mtbf N               (as above)
+  train-resilient [options]      simulate an N-step run under faults with
+                                 checkpoint/rollback recovery
+      --steps N                  useful steps to complete     (1000)
+      --step-ms T                nominal step time in ms      (300)
+      --chips P                  chips in the box             (8)
+      --mtbf N                   mean steps between failures  (200)
+      --recovery none|fixed|young-daly                        (young-daly)
+      --interval N               checkpoint interval for 'fixed'
+      --fault-seed N             fault schedule seed          (0xFA517)
   help                           this text
 
 Setting GAUDI_VALIDATE=1 in the environment validates every scheduled
-trace, same as passing --validate.
+trace, same as passing --validate.  GAUDI_FAULTS=1 injects faults into
+every scheduled trace (seeded by GAUDI_FAULT_SEED), same as --faults.
 )";
 
 nn::AttentionKind parse_attention(const std::string& s) {
@@ -67,6 +84,24 @@ graph::SchedulePolicy parse_policy(const std::string& s) {
   if (s == "barrier") return graph::SchedulePolicy::kBarrier;
   if (s == "overlap") return graph::SchedulePolicy::kOverlap;
   throw sim::InvalidArgument("unknown scheduler policy: " + s);
+}
+
+/// Parses --faults / --fault-seed / --mtbf into an injector.  Disabled (all
+/// rates zero) when --faults is absent; --mtbf picks calibrated rates, its
+/// absence the aggressive stress profile.
+sim::FaultInjector parse_fault_injector(ArgParser& args,
+                                        std::uint32_t chips = 8) {
+  const bool on = args.has("faults");
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA517));
+  const std::int64_t mtbf = args.get_int("mtbf", 0);
+  if (!on) return {};
+  GAUDI_CHECK(mtbf >= 0, "--mtbf expects a positive step count");
+  const sim::FaultProfile profile =
+      mtbf > 0 ? sim::FaultProfile::from_mtbf_steps(static_cast<double>(mtbf),
+                                                    chips)
+               : sim::FaultProfile::stress();
+  return sim::FaultInjector{seed, profile};
 }
 
 void check_unused(const ArgParser& args) {
@@ -130,6 +165,8 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   const bool compile_stats = args.has("compile-stats");
   const std::string trace_path = args.get("trace", "");
   const std::string html_path = args.get("html", "");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x6A0D1));
+  const sim::FaultInjector faults = parse_fault_injector(args);
   check_unused(args);
 
   // Rebuild the layer graph here so fusion can be applied.
@@ -156,6 +193,8 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = exp.policy;
   opts.validate = validate;
+  opts.seed = seed;
+  if (faults.enabled()) opts.faults = &faults;
   print_profile(out,
                 std::string("layer / ") +
                     nn::attention_kind_name(exp.attention.kind),
@@ -180,6 +219,8 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   const std::string trace_path = args.get("trace", "");
   const std::string dot_path = args.get("dot", "");
   const std::string html_path = args.get("html", "");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x6A0D1));
+  const sim::FaultInjector faults = parse_fault_injector(args);
   check_unused(args);
 
   graph::Graph g;
@@ -212,11 +253,66 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   opts.mode = tpc::ExecMode::kTiming;
   opts.policy = policy;
   opts.validate = validate;
+  opts.seed = seed;
+  if (faults.enabled()) opts.faults = &faults;
   out << "model: " << nn::lm_arch_name(cfg.arch) << ", "
       << model.param_count(g) << " parameters, " << g.num_nodes()
       << " graph nodes\n";
   print_profile(out, std::string(nn::lm_arch_name(cfg.arch)) + " training step",
                 rt.run(compiled, {}, opts), trace_path, html_path);
+  return 0;
+}
+
+int cmd_train_resilient(ArgParser& args, std::ostream& out) {
+  scaleout::TrainingRunConfig cfg;
+  cfg.steps = static_cast<std::uint64_t>(args.get_int("steps", 1000));
+  cfg.step_time = sim::SimTime::from_ms(
+      static_cast<double>(args.get_int("step-ms", 300)));
+  cfg.chips = static_cast<std::uint32_t>(args.get_int("chips", 8));
+  cfg.mtbf_steps = static_cast<double>(args.get_int("mtbf", 200));
+  const std::string recovery = args.get("recovery", "young-daly");
+  if (recovery == "none") {
+    cfg.policy = scaleout::RecoveryPolicy::kNone;
+  } else if (recovery == "fixed") {
+    cfg.policy = scaleout::RecoveryPolicy::kFixedInterval;
+    cfg.checkpoint_interval =
+        static_cast<std::uint64_t>(args.get_int("interval", 50));
+  } else if (recovery == "young-daly") {
+    cfg.policy = scaleout::RecoveryPolicy::kYoungDaly;
+  } else {
+    throw sim::InvalidArgument("unknown recovery policy: " + recovery);
+  }
+  const auto seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA517));
+  check_unused(args);
+
+  GAUDI_CHECK(cfg.mtbf_steps > 0.0, "--mtbf expects a positive step count");
+  const sim::FaultInjector faults{
+      seed, sim::FaultProfile::from_mtbf_steps(cfg.mtbf_steps, cfg.chips)};
+  const scaleout::TrainingRunReport rep =
+      scaleout::resilient_training_run(cfg, faults);
+
+  const sim::SimTime save = scaleout::checkpoint_save_time(cfg.checkpoint);
+  out << "resilient training: " << cfg.steps << " steps x "
+      << sim::to_string(cfg.step_time) << " on " << cfg.chips
+      << " chips, MTBF " << cfg.mtbf_steps << " steps\n";
+  out << "policy " << scaleout::recovery_policy_name(cfg.policy);
+  if (rep.interval > 0) {
+    out << " (checkpoint every " << rep.interval << " steps; Young/Daly predicts "
+        << scaleout::young_daly_interval_steps(cfg.step_time, save,
+                                               cfg.mtbf_steps)
+        << ")";
+  }
+  out << "\n";
+  out << "failures: " << rep.failures << "   recomputed steps: "
+      << rep.recomputed_steps << "   checkpoints: " << rep.checkpoints << "\n";
+  out << "checkpoint overhead: " << sim::to_string(rep.checkpoint_time)
+      << "   recovery: " << sim::to_string(rep.restore_time)
+      << "   recompute: " << sim::to_string(rep.recompute_time)
+      << "   stalls: " << sim::to_string(rep.stall_time) << "\n";
+  out << "total: " << sim::to_string(rep.total_time) << " (ideal "
+      << sim::to_string(rep.compute_time) << ")   goodput: "
+      << TextTable::num(rep.goodput * 100.0, 1) << "%\n";
   return 0;
 }
 
@@ -286,6 +382,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "mme-vs-tpc") return cmd_mme_vs_tpc(parser, out);
     if (command == "profile-layer") return cmd_profile_layer(parser, out);
     if (command == "profile-model") return cmd_profile_model(parser, out);
+    if (command == "train-resilient") return cmd_train_resilient(parser, out);
     out << "unknown command: " << command << "\n\n" << kUsage;
     return 1;
   } catch (const sim::Error& e) {

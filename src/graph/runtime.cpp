@@ -140,7 +140,9 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
   }
 
   ProfileResult result;
-  result.trace = schedule(cg, execs, opts.policy);
+  const sim::FaultInjector* faults =
+      opts.faults != nullptr ? opts.faults : sim::fault_injector_from_env();
+  result.trace = schedule(cg, execs, opts.policy, faults);
   if (opts.validate || validation_requested_from_env()) {
     validate_or_throw(g, execs, result.trace, opts.policy, cg.config);
     std::vector<Violation> violations = validate_memory_plan(cg);

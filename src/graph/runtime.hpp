@@ -46,6 +46,13 @@ struct RunOptions {
   /// any violation (see graph/validate.hpp).  Also enabled globally by the
   /// GAUDI_VALIDATE environment variable.
   bool validate = false;
+  /// Deterministic fault injection for the schedule (see sim/fault.hpp):
+  /// TPC stragglers stretch their span with an explicit nested kStall, and
+  /// timed-out DMAs re-issue with backoff as extra retry attempts.  Null
+  /// (the default) falls back to the process-wide injector configured by
+  /// GAUDI_FAULTS / GAUDI_FAULT_SEED; when that is absent too, the schedule
+  /// is bit-identical to a fault-free build.
+  const sim::FaultInjector* faults = nullptr;
 };
 
 struct ProfileResult {

@@ -37,12 +37,17 @@ struct SchedState {
 /// issues, and every consumer issues later in program order.
 Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
                     const sim::ChipConfig& cfg, SchedulePolicy policy,
-                    const std::vector<std::uint8_t>* static_sources) {
+                    const std::vector<std::uint8_t>* static_sources,
+                    const sim::FaultInjector* faults) {
   GAUDI_CHECK(execs.size() == g.num_nodes(),
               "scheduler needs one NodeExec per graph node");
+  if (faults != nullptr && !faults->enabled()) faults = nullptr;
 
   Trace trace;
   SchedState st;
+  // Monotonic DMA transfer index: the deterministic site for kDmaTimeout
+  // draws (program order is stable across runs of the same graph).
+  std::uint64_t dma_index = 0;
 
   // When each value becomes available on its producing engine; and, after a
   // DMA, when it becomes available to a *different* engine.
@@ -133,17 +138,42 @@ Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
         auto it = dma_done.find(key);
         if (it == dma_done.end()) {
           const std::size_t bytes = g.value(v).nbytes();
-          TraceEvent ev;
-          ev.engine = Engine::kDma;
-          ev.kind = TraceEventKind::kDma;
-          ev.name = "dma:" + g.value(v).name;
-          ev.node = nid;
-          ev.value = v;
-          ev.dma_dst = ex.engine;
-          ev.bytes = bytes;
-          const sim::SimTime end =
-              issue(Engine::kDma, r, memory::dma_transfer_time(cfg.memory, bytes),
-                    std::move(ev));
+          // Fault injection: a timed-out transfer re-issues after exponential
+          // backoff; each attempt is its own kDma event with an increasing
+          // `retry` index, and consumers wait for the last attempt.
+          std::uint32_t attempts = 1;
+          if (faults != nullptr) {
+            const std::uint32_t cap =
+                std::max<std::uint32_t>(1, faults->profile().dma_max_attempts);
+            while (attempts < cap &&
+                   faults->fires(sim::FaultKind::kDmaTimeout,
+                                 sim::FaultInjector::site(dma_index,
+                                                          attempts - 1))) {
+              ++attempts;
+            }
+          }
+          ++dma_index;
+          sim::SimTime end = sim::SimTime::zero();
+          sim::SimTime attempt_ready = r;
+          for (std::uint32_t a = 0; a < attempts; ++a) {
+            TraceEvent ev;
+            ev.engine = Engine::kDma;
+            ev.kind = TraceEventKind::kDma;
+            ev.name = "dma:" + g.value(v).name;
+            ev.node = nid;
+            ev.value = v;
+            ev.dma_dst = ex.engine;
+            ev.bytes = bytes;
+            ev.retry = a;
+            end = issue(Engine::kDma, attempt_ready,
+                        memory::dma_transfer_time(cfg.memory, bytes),
+                        std::move(ev));
+            if (a + 1 < attempts) {
+              attempt_ready =
+                  end + faults->profile().dma_retry_backoff *
+                            static_cast<std::int64_t>(1u << a);
+            }
+          }
           it = dma_done.emplace(key, end).first;
         }
         r = it->second;
@@ -151,13 +181,39 @@ Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
       ready = std::max(ready, r);
     }
 
+    // Fault injection: a straggling TPC kernel stretches its compute span;
+    // the extension is made explicit as a kStall nested over the tail so the
+    // trace (and its invariants) show the stall instead of silently
+    // mistiming the kernel.
+    sim::SimTime dur = ex.duration;
+    sim::SimTime straggle = sim::SimTime::zero();
+    if (faults != nullptr && ex.engine == Engine::kTpc &&
+        faults->fires(sim::FaultKind::kTpcStraggler,
+                      static_cast<std::uint64_t>(nid))) {
+      const sim::SimTime stretched = sim::SimTime::from_ps(
+          static_cast<std::int64_t>(static_cast<double>(dur.ps()) *
+                                        faults->profile().straggler_slowdown +
+                                    0.5));
+      straggle = stretched - dur;
+      dur = stretched;
+    }
     TraceEvent ev;
     ev.engine = ex.engine;
     ev.name = ex.label.empty() ? n.label : ex.label;
     ev.node = nid;
     ev.flops = ex.flops;
     ev.bytes = ex.bytes;
-    const sim::SimTime end = issue(ex.engine, ready, ex.duration, std::move(ev));
+    const sim::SimTime end = issue(ex.engine, ready, dur, std::move(ev));
+    if (straggle > sim::SimTime::zero()) {
+      TraceEvent stall;
+      stall.engine = ex.engine;
+      stall.kind = TraceEventKind::kStall;
+      stall.name = (ex.label.empty() ? n.label : ex.label) + ".straggle";
+      stall.node = nid;
+      stall.start = end - straggle;
+      stall.end = end;
+      trace.add(std::move(stall));
+    }
 
     for (ValueId v : n.outputs) {
       value_ready[static_cast<std::size_t>(v)] = end;
@@ -173,13 +229,15 @@ Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
 }  // namespace
 
 Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
-               const sim::ChipConfig& cfg, SchedulePolicy policy) {
-  return schedule_impl(g, execs, cfg, policy, nullptr);
+               const sim::ChipConfig& cfg, SchedulePolicy policy,
+               const sim::FaultInjector* faults) {
+  return schedule_impl(g, execs, cfg, policy, nullptr, faults);
 }
 
 Trace schedule(const CompiledGraph& cg, const std::vector<NodeExec>& execs,
-               SchedulePolicy policy) {
-  return schedule_impl(cg.graph, execs, cg.config, policy, &cg.value_sources);
+               SchedulePolicy policy, const sim::FaultInjector* faults) {
+  return schedule_impl(cg.graph, execs, cg.config, policy, &cg.value_sources,
+                       faults);
 }
 
 }  // namespace gaudi::graph

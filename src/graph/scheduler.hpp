@@ -24,6 +24,7 @@
 #include "graph/graph.hpp"
 #include "graph/trace.hpp"
 #include "sim/chip_config.hpp"
+#include "sim/fault.hpp"
 
 namespace gaudi::graph {
 
@@ -36,8 +37,17 @@ enum class SchedulePolicy : std::uint8_t {
 
 /// Places node executions on engine timelines and returns the trace.
 /// `execs` must be indexed by NodeId (one entry per graph node).
+///
+/// `faults` (optional) injects deterministic hardware faults into the
+/// schedule instead of letting them silently mistime it: a straggling TPC
+/// kernel stretches its compute event and nests a kStall over the extension,
+/// and a timed-out DMA re-issues the transfer as extra kDma attempts with
+/// increasing `retry` indices separated by exponential backoff.  A null
+/// injector (the default) takes the exact pre-fault code path, so fault-free
+/// traces are bit-identical to earlier builds.
 [[nodiscard]] Trace schedule(const Graph& g, const std::vector<NodeExec>& execs,
-                             const sim::ChipConfig& cfg, SchedulePolicy policy);
+                             const sim::ChipConfig& cfg, SchedulePolicy policy,
+                             const sim::FaultInjector* faults = nullptr);
 
 struct CompiledGraph;
 
@@ -47,6 +57,7 @@ struct CompiledGraph;
 /// legacy overload for the execs the compiled runtime emits.
 [[nodiscard]] Trace schedule(const CompiledGraph& cg,
                              const std::vector<NodeExec>& execs,
-                             SchedulePolicy policy);
+                             SchedulePolicy policy,
+                             const sim::FaultInjector* faults = nullptr);
 
 }  // namespace gaudi::graph

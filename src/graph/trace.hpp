@@ -24,6 +24,7 @@ enum class TraceEventKind : std::uint8_t {
   kCompute,    ///< a graph node executing on its engine
   kDma,        ///< inter-engine transfer inserted by the scheduler
   kRecompile,  ///< one-time graph-compiler stall (HOST row)
+  kStall,      ///< injected-fault stall nested inside its parent span
 };
 
 struct TraceEvent {
@@ -40,6 +41,10 @@ struct TraceEvent {
   sim::SimTime end{};
   std::uint64_t flops = 0;
   std::size_t bytes = 0;
+  /// Retry attempt index for fault-injected kDma re-transfers (0 = first
+  /// attempt).  Attempts of one transfer share (value, dma_dst) and carry
+  /// strictly increasing retry indices.
+  std::uint32_t retry = 0;
 
   [[nodiscard]] sim::SimTime duration() const { return end - start; }
 };

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "graph/compiler.hpp"
+#include "sim/env.hpp"
 #include "sim/error.hpp"
 
 namespace gaudi::graph {
@@ -44,10 +45,13 @@ std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
     }
   }
 
-  // Per-engine interval non-overlap, independent of insertion order.
+  // Per-engine interval non-overlap, independent of insertion order.  kStall
+  // events are excluded: they intentionally nest inside their parent span
+  // (checked separately below).
   for (std::size_t eng = 0; eng + 1 < kEngineCount; ++eng) {
     std::vector<const TraceEvent*> mine;
     for (const auto& e : events) {
+      if (e.kind == TraceEventKind::kStall) continue;
       if (e.engine == static_cast<Engine>(eng)) mine.push_back(&e);
     }
     std::sort(mine.begin(), mine.end(), [](const TraceEvent* a, const TraceEvent* b) {
@@ -62,6 +66,57 @@ std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
                    "' starting " + ts(mine[i + 1]->start),
                mine[i + 1]->node);
       }
+    }
+  }
+
+  // Stall nesting: every kStall must lie inside a non-stall event with the
+  // same (engine, node) — a stall is an annotation over a span, never free-
+  // standing engine time.
+  for (const auto& s : events) {
+    if (s.kind != TraceEventKind::kStall) continue;
+    bool nested = false;
+    for (const auto& e : events) {
+      if (e.kind == TraceEventKind::kStall) continue;
+      if (e.engine == s.engine && e.node == s.node && e.start <= s.start &&
+          s.end <= e.end) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) {
+      report(out, "stall-nesting",
+             "stall '" + s.name + "' [" + ts(s.start) + ", " + ts(s.end) +
+                 ") is not nested inside any event of its node",
+             s.node);
+    }
+  }
+
+  // Retry ordering: attempts of one transfer — kDma events sharing
+  // (value, destination) — must carry consecutive retry indices starting at
+  // 0 and must not overlap their predecessor (a retry re-issues only after
+  // the failed attempt has drained).
+  {
+    std::map<std::pair<std::int32_t, Engine>, const TraceEvent*> last_attempt;
+    for (const auto& e : events) {
+      if (e.kind != TraceEventKind::kDma || e.value < 0) continue;
+      const auto key = std::make_pair(e.value, e.dma_dst);
+      const auto it = last_attempt.find(key);
+      const std::uint32_t expected =
+          it == last_attempt.end() ? 0 : it->second->retry + 1;
+      if (e.retry != expected) {
+        report(out, "retry-overlap",
+               "DMA attempt '" + e.name + "' carries retry index " +
+                   std::to_string(e.retry) + ", expected " +
+                   std::to_string(expected),
+               e.node);
+      }
+      if (it != last_attempt.end() && e.start < it->second->end) {
+        report(out, "retry-overlap",
+               "DMA retry '" + e.name + "' starts " + ts(e.start) +
+                   " before the failed attempt ends at " + ts(it->second->end),
+               e.node);
+      }
+      last_attempt[key] = &e;
     }
   }
   return out;
@@ -107,6 +162,8 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
     Engine last = Engine::kNone;
     sim::SimTime global_end = sim::SimTime::zero();
     for (const auto& e : events) {
+      // Stalls nest inside an already-issued span; they are not issues.
+      if (e.kind == TraceEventKind::kStall) continue;
       if (last != Engine::kNone && e.engine != last && e.start < global_end) {
         report(out, "barrier",
                "engine switch to '" + e.name + "' on " +
@@ -119,11 +176,17 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
     }
   }
 
-  // Index events by role.
+  // Index events by role.  A fault-injected transfer may appear as several
+  // kDma attempts sharing (value, destination): the first attempt gates the
+  // value-readiness check, the last gates the consumer.
   std::vector<std::int64_t> compute_event_of(g.num_nodes(), -1);
+  std::map<std::pair<ValueId, Engine>, std::size_t> dma_first_of;
   std::map<std::pair<ValueId, Engine>, std::size_t> dma_event_of;
   std::vector<bool> dma_needed(events.size(), false);
   std::map<NodeId, std::size_t> recompile_event_of;
+  // Injected stall time nested in each node's compute span: the span is the
+  // NodeExec duration plus these stalls.
+  std::map<NodeId, sim::SimTime> stall_of;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     switch (e.kind) {
@@ -152,11 +215,19 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
                  e.node);
           break;
         }
-        if (!dma_event_of.emplace(key, i).second) {
-          report(out, "spurious-dma",
-                 "duplicate DMA of value '" + g.value(e.value).name + "' to " +
-                     std::string(engine_name(e.dma_dst)),
-                 e.node);
+        dma_first_of.emplace(key, i);
+        const auto [it, inserted] = dma_event_of.emplace(key, i);
+        if (!inserted) {
+          if (e.retry == 0) {
+            // A second retry-0 transfer of the same value to the same engine
+            // defeats the scheduler's dedup; retries carry increasing indices
+            // (validated above in the trace-only pass).
+            report(out, "spurious-dma",
+                   "duplicate DMA of value '" + g.value(e.value).name + "' to " +
+                       std::string(engine_name(e.dma_dst)),
+                   e.node);
+          }
+          it->second = i;  // last attempt gates the consumer
         }
         break;
       }
@@ -164,6 +235,10 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
         if (!recompile_event_of.emplace(e.node, i).second) {
           report(out, "exec-count", "node has two recompile stalls", e.node);
         }
+        break;
+      }
+      case TraceEventKind::kStall: {
+        if (e.node >= 0) stall_of[e.node] += e.duration();
         break;
       }
     }
@@ -252,9 +327,10 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
         }
         dma_needed[it->second] = true;
         const TraceEvent& d = events[it->second];
-        if (d.start < avail[vi]) {
+        const TraceEvent& d0 = events[dma_first_of.at(std::make_pair(v, ex.engine))];
+        if (d0.start < avail[vi]) {
           report(out, "dependency",
-                 "DMA of '" + g.value(v).name + "' starts " + ts(d.start) +
+                 "DMA of '" + g.value(v).name + "' starts " + ts(d0.start) +
                      " before the value is ready at " + ts(avail[vi]),
                  nid);
         }
@@ -283,10 +359,19 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
                  ", NodeExec says " + std::string(engine_name(ex.engine)),
              nid);
     }
-    if (e.duration() != ex.duration) {
+    // A fault-stretched span must equal the NodeExec duration plus exactly
+    // the stall time nested inside it — no silent mistiming either way.
+    const auto stall_it = stall_of.find(nid);
+    const sim::SimTime expected_dur =
+        ex.duration + (stall_it == stall_of.end() ? sim::SimTime::zero()
+                                                  : stall_it->second);
+    if (e.duration() != expected_dur) {
       report(out, "exec-match",
              "'" + e.name + "' lasts " + ts(e.duration()) + ", NodeExec says " +
-                 ts(ex.duration),
+                 ts(ex.duration) +
+                 (stall_it == stall_of.end()
+                      ? std::string()
+                      : " plus " + ts(stall_it->second) + " injected stall"),
              nid);
     }
     if (e.flops != ex.flops || e.bytes != ex.bytes) {
@@ -398,8 +483,9 @@ std::vector<Violation> validate_memory_plan(const CompiledGraph& cg) {
 }
 
 bool validation_requested_from_env() {
-  const char* env = std::getenv("GAUDI_VALIDATE");
-  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+  // Unrecognized values warn once to stderr and conservatively enable
+  // validation (the safe direction for a checking knob).
+  return sim::env_flag("GAUDI_VALIDATE", /*fallback_for_unrecognized=*/true);
 }
 
 void validate_or_throw(const Graph& g, const std::vector<NodeExec>& execs,

@@ -23,6 +23,11 @@
 //  * barrier         — under kBarrier, every engine switch serializes
 //  * overlap-slower  — kOverlap makespan must not exceed kBarrier on the
 //                      same (graph, execs)
+//  * stall-nesting   — injected kStall events nest inside an event of their
+//                      own (engine, node); never free-standing engine time
+//  * retry-overlap   — fault-retried DMA attempts of one transfer carry
+//                      consecutive retry indices and never overlap their
+//                      failed predecessor
 //
 // Wire-up: `Runtime::run` validates when RunOptions::validate is set or the
 // GAUDI_VALIDATE environment variable is enabled (covers every figure

@@ -34,7 +34,10 @@ AllReduceResult ring_all_reduce(const RoceConfig& cfg,
   for (const auto& s : shards) {
     GAUDI_CHECK(s.defined() && s.dtype() == tensor::DType::F32,
                 "all-reduce shards must be real f32 tensors");
-    GAUDI_CHECK(s.numel() == n, "all-reduce shards must have equal shapes");
+    // Shape (not merely element-count) equality: a [2,3] shard meeting a
+    // [3,2] one is a sharding bug upstream, not a reducible pair.
+    GAUDI_CHECK(s.shape() == shards[0].shape(),
+                "all-reduce shards must have equal shapes");
   }
 
   const AllReduceResult timing =

@@ -1,0 +1,99 @@
+// Checkpoint/rollback recovery for long training runs.
+//
+// A chip failure costs more than the re-formation latency: every step since
+// the last checkpoint is lost and must be recomputed.  Periodic snapshots
+// bound that loss at the price of checkpoint overhead on the happy path —
+// the classic trade-off Young (1974) and Daly (2006) solved in closed form:
+// the optimal interval between checkpoints is W_opt = sqrt(2 * delta * MTBF)
+// for checkpoint cost delta.  `resilient_training_run` simulates an N-step
+// run under a deterministic fault schedule and reports goodput, recomputed
+// work, and checkpoint overhead so the prediction can be cross-checked
+// against the measured optimum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/fault.hpp"
+#include "sim/time.hpp"
+
+namespace gaudi::scaleout {
+
+/// Cost model for saving / restoring a training snapshot.
+struct CheckpointConfig {
+  /// Bytes of optimizer + model state written per snapshot.
+  std::size_t state_bytes = 8ull << 30;
+  /// Sustained bandwidth to the checkpoint store.
+  double storage_bandwidth_bytes_per_s = 2.0e9;
+  /// Per-snapshot fixed cost (barrier, metadata commit).
+  sim::SimTime fixed_overhead = sim::SimTime::from_ms(50.0);
+};
+
+/// Time to write one snapshot.
+[[nodiscard]] sim::SimTime checkpoint_save_time(const CheckpointConfig& cfg);
+/// Time to read one snapshot back after a failure.
+[[nodiscard]] sim::SimTime checkpoint_restore_time(const CheckpointConfig& cfg);
+
+enum class RecoveryPolicy : std::uint8_t {
+  kNone,           ///< no checkpoints; a failure restarts from step 0
+  kFixedInterval,  ///< checkpoint every `checkpoint_interval` steps
+  kYoungDaly,      ///< checkpoint at the Young/Daly optimal interval
+};
+
+[[nodiscard]] const char* recovery_policy_name(RecoveryPolicy p);
+
+/// Young/Daly optimal checkpoint interval, in steps (>= 1):
+/// W_opt = sqrt(2 * save_time * MTBF), quantized to whole steps.
+[[nodiscard]] std::uint64_t young_daly_interval_steps(sim::SimTime step_time,
+                                                      sim::SimTime save_time,
+                                                      double mtbf_steps);
+
+struct TrainingRunConfig {
+  std::uint64_t steps = 1000;  ///< useful steps the run must complete
+  sim::SimTime step_time = sim::SimTime::from_ms(300.0);
+  std::uint32_t chips = 8;
+  /// MTBF in steps, used for the Young/Daly prediction.  The injector's
+  /// chip_failure_rate decides when failures actually land.
+  double mtbf_steps = 200.0;
+  RecoveryPolicy policy = RecoveryPolicy::kFixedInterval;
+  /// Interval for kFixedInterval (ignored by the other policies).
+  std::uint64_t checkpoint_interval = 50;
+  CheckpointConfig checkpoint{};
+  /// Relaunch cost after a failure, on top of the snapshot restore:
+  /// process restart, ring re-formation, cache warm-up.
+  sim::SimTime restart_overhead = sim::SimTime::from_ms(500.0);
+};
+
+struct TrainingRunReport {
+  /// False when the run hit its attempt budget before completing — with no
+  /// checkpoints and MTBF much shorter than the run, restart-from-zero never
+  /// converges; the report then covers the truncated attempt.
+  bool finished = true;
+  std::uint64_t useful_steps = 0;      ///< == cfg.steps on completion
+  std::uint64_t recomputed_steps = 0;  ///< work redone after rollbacks
+  std::uint64_t failures = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
+  std::uint64_t interval = 0;  ///< effective checkpoint interval (0 = none)
+  sim::SimTime total_time{};
+  sim::SimTime compute_time{};     ///< useful step execution
+  sim::SimTime recompute_time{};   ///< re-executed + partially-failed steps
+  sim::SimTime checkpoint_time{};  ///< snapshot saves
+  sim::SimTime restore_time{};     ///< snapshot reads + restart overhead
+  sim::SimTime stall_time{};       ///< straggler / HBM pressure stalls
+  /// Sustained useful throughput: (useful_steps * step_time) / total_time.
+  double goodput = 0.0;
+};
+
+/// One line per report, stable formatting — byte-comparable across runs.
+[[nodiscard]] std::string to_string(const TrainingRunReport& r);
+
+/// Simulates an N-step run under the injector's fault schedule: steps
+/// execute (stretched by stragglers / HBM pressure), snapshots land per the
+/// policy, and each chip failure rolls the run back to the latest snapshot
+/// (step 0 for kNone) before it grinds forward again.  Deterministic: the
+/// same (cfg, injector seed/profile) reproduces the report byte-for-byte.
+[[nodiscard]] TrainingRunReport resilient_training_run(
+    const TrainingRunConfig& cfg, const sim::FaultInjector& faults);
+
+}  // namespace gaudi::scaleout

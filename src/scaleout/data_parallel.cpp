@@ -13,6 +13,8 @@ DataParallelStep data_parallel_step(const DataParallelConfig& cfg,
   GAUDI_CHECK(cfg.chips >= 1, "need at least one chip");
   GAUDI_CHECK(single_chip_step > sim::SimTime::zero(),
               "single-chip step time must be positive");
+  GAUDI_CHECK(cfg.overlappable_fraction >= 0.0 && cfg.overlappable_fraction <= 1.0,
+              "overlappable_fraction must lie in [0, 1]");
 
   DataParallelStep step;
   step.compute = single_chip_step;
@@ -29,6 +31,9 @@ DataParallelStep data_parallel_step(const DataParallelConfig& cfg,
   }
   step.total = step.compute + step.exposed_comm;
 
+  // The checks above keep total positive, but guard the divisions anyway so
+  // a zero step can never turn into inf/nan rates downstream.
+  if (step.total <= sim::SimTime::zero()) return step;
   const double tokens = static_cast<double>(tokens_per_chip) * cfg.chips;
   step.tokens_per_second = tokens / step.total.seconds();
   const double single_rate =

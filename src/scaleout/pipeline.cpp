@@ -28,6 +28,9 @@ PipelineStep pipeline_step(const PipelineConfig& cfg, sim::SimTime full_model_st
                          static_cast<double>(slots);
   step.utilization = 1.0 - step.bubble_fraction;
 
+  // full_model_step > 0 makes total positive, but guard the divisions so a
+  // zero step can never turn into inf/nan rates downstream.
+  if (step.total <= sim::SimTime::zero()) return step;
   const double tokens =
       static_cast<double>(tokens_per_microbatch) * cfg.microbatches;
   step.tokens_per_second = tokens / step.total.seconds();

@@ -1,0 +1,315 @@
+#include "scaleout/resilience.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/error.hpp"
+
+namespace gaudi::scaleout {
+
+namespace {
+
+/// Scales a duration by a slowdown factor >= 1 (e.g. 1/bandwidth-factor).
+sim::SimTime stretch(sim::SimTime t, double factor) {
+  if (factor <= 1.0) return t;
+  return sim::SimTime::from_ps(
+      static_cast<std::int64_t>(static_cast<double>(t.ps()) * factor + 0.5));
+}
+
+/// Site for per-(step, link) retry attempt `a`.  Attempt 0 reuses the
+/// canonical (step, unit) site so `fault_schedule` enumerates the same
+/// first-failure draws this code consumes; later attempts derive from it.
+std::uint64_t attempt_site(std::uint64_t step, std::uint32_t link,
+                           std::uint32_t attempt) {
+  const std::uint64_t s0 = sim::FaultInjector::site(step, link);
+  return attempt == 0 ? s0 : sim::splitmix64(s0) + attempt;
+}
+
+/// Chips the injector kills at `step`, ascending.  Throws when nobody
+/// survives — there is no ring to re-form.
+std::vector<std::uint32_t> chips_lost_at(const sim::FaultInjector& faults,
+                                         std::uint64_t step,
+                                         std::uint32_t chips) {
+  std::vector<std::uint32_t> lost;
+  for (std::uint32_t c = 0; c < chips; ++c) {
+    if (faults.fires(sim::FaultKind::kChipFailure,
+                     sim::FaultInjector::site(step, c))) {
+      lost.push_back(c);
+    }
+  }
+  if (lost.size() == chips) {
+    throw sim::ResourceExhausted(
+        "every chip failed at step " + std::to_string(step) +
+        "; no surviving ring to re-form");
+  }
+  return lost;
+}
+
+}  // namespace
+
+sim::SimTime backoff_delay(const RetryPolicy& policy, std::uint32_t attempt) {
+  return stretch(policy.base_backoff,
+                 std::pow(policy.backoff_multiplier, attempt));
+}
+
+ResilientAllReduceResult resilient_ring_all_reduce_time(
+    const ResilienceConfig& cfg, const sim::FaultInjector& faults,
+    std::uint64_t step, std::size_t bytes, std::uint32_t chips) {
+  GAUDI_CHECK(chips >= 1 && chips <= cfg.roce.num_chips,
+              "chip count outside the box");
+  GAUDI_CHECK(cfg.retry.max_attempts >= 1, "retry policy needs >= 1 attempt");
+
+  ResilientAllReduceResult r;
+  r.surviving_chips = chips;
+
+  // Chip failures first: they decide the ring the exchange actually runs on.
+  if (faults.enabled()) {
+    r.lost_chips = chips_lost_at(faults, step, chips);
+    if (!r.lost_chips.empty()) {
+      r.faults.chips_lost = static_cast<std::uint32_t>(r.lost_chips.size());
+      r.surviving_chips = chips - r.faults.chips_lost;
+      // Simultaneous losses share one membership round: detection of the
+      // dead peer(s), then one re-formation redistributing shard ownership.
+      r.faults.reformation_overhead =
+          cfg.retry.detection_timeout + cfg.reformation_latency;
+      r.duration += r.faults.reformation_overhead;
+    }
+  }
+
+  const std::uint32_t ring = r.surviving_chips;
+  if (ring == 1 || bytes == 0) return r;
+
+  const std::size_t chunk = (bytes + ring - 1) / ring;
+  const std::uint64_t steps = 2ull * (ring - 1);
+  r.exchange.steps = steps;
+  r.exchange.bytes_moved_per_chip = static_cast<std::size_t>(steps) * chunk;
+  const sim::SimTime base = p2p_time(cfg.roce, chunk);
+  r.exchange.duration = base * static_cast<std::int64_t>(steps);
+
+  // Link state for this step: ring position l is the link chip l sends on
+  // after any re-formation.  A degraded link paces every ring step it
+  // carries (all of them — the ring rotates through every link each step).
+  sim::SimTime slowest = base;
+  sim::SimTime max_retry_overhead = sim::SimTime::zero();
+  if (faults.enabled()) {
+    const double degrade =
+        1.0 / std::max(1e-6, faults.profile().degraded_bandwidth_factor);
+    for (std::uint32_t l = 0; l < ring; ++l) {
+      if (faults.fires(sim::FaultKind::kLinkDegradation,
+                       sim::FaultInjector::site(step, l))) {
+        ++r.faults.degraded_links;
+        slowest = std::max(slowest, stretch(base, degrade));
+      }
+      // Transient errors: the link drops its transfer; each failed attempt
+      // costs the ack timeout plus exponential backoff, then the retry
+      // succeeds (the last permitted attempt always goes through).
+      sim::SimTime link_overhead = sim::SimTime::zero();
+      for (std::uint32_t a = 0; a + 1 < cfg.retry.max_attempts; ++a) {
+        if (!faults.fires(sim::FaultKind::kTransientLink,
+                          attempt_site(step, l, a))) {
+          break;
+        }
+        ++r.faults.transient_faults;
+        ++r.faults.retries;
+        link_overhead += cfg.retry.detection_timeout + backoff_delay(cfg.retry, a);
+      }
+      max_retry_overhead = std::max(max_retry_overhead, link_overhead);
+    }
+  }
+  // Links run in parallel within a ring step, so the slowest link paces each
+  // step and the worst retry chain gates the pipeline once.
+  r.faults.retry_overhead = max_retry_overhead;
+  r.faults.degradation_overhead =
+      (slowest - base) * static_cast<std::int64_t>(steps);
+  r.duration += slowest * static_cast<std::int64_t>(steps) + max_retry_overhead;
+  return r;
+}
+
+ResilientAllReduceResult resilient_ring_all_reduce(
+    const ResilienceConfig& cfg, const sim::FaultInjector& faults,
+    std::uint64_t step, std::vector<tensor::Tensor>& shards, ReduceOp op) {
+  GAUDI_CHECK(!shards.empty(), "all-reduce needs at least one shard");
+  for (const auto& s : shards) {
+    GAUDI_CHECK(s.defined() && s.dtype() == tensor::DType::F32,
+                "all-reduce shards must be real f32 tensors");
+    GAUDI_CHECK(s.shape() == shards[0].shape(),
+                "all-reduce shards must have equal shapes");
+  }
+  const auto chips = static_cast<std::uint32_t>(shards.size());
+  const std::size_t bytes = static_cast<std::size_t>(shards[0].numel()) * 4;
+
+  ResilientAllReduceResult r =
+      resilient_ring_all_reduce_time(cfg, faults, step, bytes, chips);
+
+  // Elastic re-formation: drop the failed chips' shards (their gradient
+  // contribution died with them) and reduce over the survivors.  The
+  // exchange is functional, so the survivors' sum/mean is exact.
+  for (auto it = r.lost_chips.rbegin(); it != r.lost_chips.rend(); ++it) {
+    shards.erase(shards.begin() + *it);
+  }
+  if (shards.size() > 1) {
+    (void)ring_all_reduce(cfg.roce, shards, op);
+  }
+  return r;
+}
+
+ResilientStepResult resilient_data_parallel_step(
+    const ResilienceConfig& cfg, const DataParallelConfig& dp,
+    const sim::FaultInjector& faults, std::uint64_t step_index,
+    sim::SimTime single_chip_step, std::size_t grad_bytes,
+    std::int64_t tokens_per_chip) {
+  GAUDI_CHECK(dp.chips >= 1, "need at least one chip");
+  GAUDI_CHECK(single_chip_step > sim::SimTime::zero(),
+              "single-chip step time must be positive");
+  GAUDI_CHECK(dp.overlappable_fraction >= 0.0 && dp.overlappable_fraction <= 1.0,
+              "overlappable_fraction must lie in [0, 1]");
+
+  ResilientStepResult out;
+
+  // Gradient sync first: its chip-failure draws decide who survives the
+  // step, and a synchronous step only completes on the survivors.
+  ResilienceConfig comm_cfg = cfg;
+  comm_cfg.roce = dp.roce;
+  const ResilientAllReduceResult comm = resilient_ring_all_reduce_time(
+      comm_cfg, faults, step_index, grad_bytes, dp.chips);
+  out.chips_used = comm.surviving_chips;
+  out.faults = comm.faults;
+
+  // The slowest surviving chip paces the synchronous compute phase.
+  double slow = 1.0;
+  if (faults.enabled()) {
+    for (std::uint32_t c = 0; c < out.chips_used; ++c) {
+      if (faults.fires(sim::FaultKind::kTpcStraggler,
+                       sim::FaultInjector::site(step_index, c))) {
+        ++out.faults.stragglers;
+        slow = std::max(slow, faults.profile().straggler_slowdown);
+      }
+    }
+    if (faults.fires(sim::FaultKind::kHbmPressure,
+                     sim::FaultInjector::site(step_index, 0))) {
+      out.hbm_stall = faults.profile().hbm_pressure_stall;
+    }
+  }
+  sim::SimTime compute = stretch(single_chip_step, slow);
+  out.straggler_stall = compute - single_chip_step;
+  compute += out.hbm_stall;
+
+  DataParallelStep& step = out.step;
+  step.compute = compute;
+  step.comm = comm.duration;
+  // Only the clean exchange can hide behind the backward pass; retry,
+  // degradation, and re-formation overheads are exposed by construction
+  // (the bucket schedule stalls while recovery runs).
+  const sim::SimTime overhead = comm.duration - comm.exchange.duration;
+  if (dp.overlap_comm && out.chips_used > 1) {
+    const sim::SimTime window = sim::SimTime::from_seconds(
+        compute.seconds() * dp.overlappable_fraction);
+    step.exposed_comm = (comm.exchange.duration > window
+                             ? comm.exchange.duration - window
+                             : sim::SimTime::zero()) +
+                        overhead;
+  } else {
+    step.exposed_comm = step.comm;
+  }
+  step.total = step.compute + step.exposed_comm;
+
+  if (step.total <= sim::SimTime::zero()) return out;
+  const double tokens =
+      static_cast<double>(tokens_per_chip) * out.chips_used;
+  step.tokens_per_second = tokens / step.total.seconds();
+  const double single_rate =
+      static_cast<double>(tokens_per_chip) / single_chip_step.seconds();
+  // Efficiency is judged against the full box: chip loss shows up here.
+  step.scaling_efficiency =
+      step.tokens_per_second / (single_rate * static_cast<double>(dp.chips));
+  return out;
+}
+
+ResilientPipelineResult resilient_pipeline_step(
+    const ResilienceConfig& cfg, const PipelineConfig& pp,
+    const sim::FaultInjector& faults, std::uint64_t step_index,
+    sim::SimTime full_model_step, std::size_t activation_bytes,
+    std::int64_t tokens_per_microbatch) {
+  GAUDI_CHECK(pp.stages >= 1, "pipeline needs at least one stage");
+  GAUDI_CHECK(pp.microbatches >= 1, "pipeline needs at least one microbatch");
+  GAUDI_CHECK(full_model_step > sim::SimTime::zero(),
+              "model step time must be positive");
+
+  ResilientPipelineResult out;
+  out.stages_used = pp.stages;
+
+  sim::SimTime reformation = sim::SimTime::zero();
+  double slow = 1.0;
+  sim::SimTime retry_overhead = sim::SimTime::zero();
+  double boundary_degrade = 1.0;
+  if (faults.enabled()) {
+    const std::vector<std::uint32_t> lost =
+        chips_lost_at(faults, step_index, pp.stages);
+    if (!lost.empty()) {
+      out.faults.chips_lost = static_cast<std::uint32_t>(lost.size());
+      out.stages_used = pp.stages - out.faults.chips_lost;
+      // Losing a stage forces a re-partition of the layers over the
+      // survivors before the step can run.
+      out.faults.reformation_overhead =
+          cfg.retry.detection_timeout + cfg.reformation_latency;
+      reformation = out.faults.reformation_overhead;
+    }
+    for (std::uint32_t s = 0; s < out.stages_used; ++s) {
+      if (faults.fires(sim::FaultKind::kTpcStraggler,
+                       sim::FaultInjector::site(step_index, s))) {
+        ++out.faults.stragglers;
+        slow = std::max(slow, faults.profile().straggler_slowdown);
+      }
+      if (s + 1 < out.stages_used) {  // boundary link s -> s+1
+        if (faults.fires(sim::FaultKind::kLinkDegradation,
+                         sim::FaultInjector::site(step_index, s))) {
+          ++out.faults.degraded_links;
+          boundary_degrade = std::max(
+              boundary_degrade,
+              1.0 / std::max(1e-6, faults.profile().degraded_bandwidth_factor));
+        }
+        for (std::uint32_t a = 0; a + 1 < cfg.retry.max_attempts; ++a) {
+          if (!faults.fires(sim::FaultKind::kTransientLink,
+                            attempt_site(step_index, s, a))) {
+            break;
+          }
+          ++out.faults.transient_faults;
+          ++out.faults.retries;
+          retry_overhead +=
+              cfg.retry.detection_timeout + backoff_delay(cfg.retry, a);
+        }
+      }
+    }
+    out.faults.retry_overhead = retry_overhead;
+  }
+
+  PipelineStep& step = out.step;
+  // A straggling stage paces every slot: the GPipe schedule is synchronous
+  // per slot, so the whole pipeline marches at the slowest stage's beat.
+  step.stage_time = stretch(
+      sim::SimTime::from_seconds(full_model_step.seconds() /
+                                 static_cast<double>(out.stages_used)),
+      slow);
+  step.boundary_comm =
+      out.stages_used > 1
+          ? stretch(p2p_time(pp.roce, activation_bytes), boundary_degrade)
+          : sim::SimTime::zero();
+  step.slot_time = step.stage_time + step.boundary_comm;
+  const std::uint64_t slots = pp.microbatches + out.stages_used - 1;
+  step.total = step.slot_time * static_cast<std::int64_t>(slots) + reformation +
+               retry_overhead;
+  step.bubble_fraction = static_cast<double>(out.stages_used - 1) /
+                         static_cast<double>(slots);
+  step.utilization = 1.0 - step.bubble_fraction;
+
+  if (step.total <= sim::SimTime::zero()) return out;
+  const double tokens =
+      static_cast<double>(tokens_per_microbatch) * pp.microbatches;
+  step.tokens_per_second = tokens / step.total.seconds();
+  const double single_chip_s =
+      full_model_step.seconds() * static_cast<double>(pp.microbatches);
+  step.speedup_vs_single_chip = single_chip_s / step.total.seconds();
+  return out;
+}
+
+}  // namespace gaudi::scaleout

@@ -1,0 +1,127 @@
+// Fault-tolerant scale-out: retry/backoff on RoCE, elastic ring re-formation.
+//
+// The happy-path collectives in allreduce/data_parallel/pipeline assume
+// every link is up and every chip survives the step.  This layer wraps them
+// with the recovery machinery a production stack runs:
+//
+//  * transient link errors — the affected ring step retries with exponential
+//    backoff until it succeeds (a later attempt always does; transient means
+//    transient), the wall-clock absorbing the wasted attempts;
+//  * persistent link degradation — the slowest link paces each ring step, so
+//    one degraded port stretches the whole exchange;
+//  * chip failure mid-step — elastic re-formation: the ring shrinks from P
+//    to P-1 chips, shards redistribute, and the bucket schedule recomputes.
+//    The exchange is functional (host tensors), so the surviving chips'
+//    reduction stays numerically exact;
+//  * TPC stragglers / HBM pressure — the slowest chip paces a synchronous
+//    data-parallel step, and capacity pressure stalls it outright.
+//
+// All fault draws go through sim::FaultInjector, so the same (seed, step)
+// reproduces the same recovery sequence bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scaleout/allreduce.hpp"
+#include "scaleout/data_parallel.hpp"
+#include "scaleout/pipeline.hpp"
+#include "sim/fault.hpp"
+
+namespace gaudi::scaleout {
+
+/// Retry/backoff policy for transient-fault recovery.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;  ///< attempts per transfer before escalation
+  sim::SimTime base_backoff = sim::SimTime::from_us(100.0);
+  double backoff_multiplier = 2.0;
+  /// Time to detect a dead transfer / dead peer (ack timeout).
+  sim::SimTime detection_timeout = sim::SimTime::from_us(500.0);
+};
+
+/// Backoff delay before retry attempt `attempt` (0-based: the delay paid
+/// after the first failed attempt is backoff_delay(policy, 0)).
+[[nodiscard]] sim::SimTime backoff_delay(const RetryPolicy& policy,
+                                         std::uint32_t attempt);
+
+struct ResilienceConfig {
+  RoceConfig roce{};
+  RetryPolicy retry{};
+  /// Cost of elastic ring re-formation after a chip loss: membership
+  /// agreement plus shard-ownership redistribution over the fabric.
+  sim::SimTime reformation_latency = sim::SimTime::from_ms(2.0);
+};
+
+/// Fault accounting for one wrapped operation.
+struct FaultStats {
+  std::uint32_t transient_faults = 0;
+  std::uint32_t retries = 0;
+  std::uint32_t degraded_links = 0;
+  std::uint32_t chips_lost = 0;
+  std::uint32_t stragglers = 0;
+  sim::SimTime retry_overhead{};        ///< wasted attempts + backoff
+  sim::SimTime degradation_overhead{};  ///< slow-link stretch
+  sim::SimTime reformation_overhead{};  ///< detection + ring re-formation
+};
+
+struct ResilientAllReduceResult {
+  /// Ideal timing of the exchange actually performed (over the survivors).
+  AllReduceResult exchange;
+  /// Wall-clock including retries, degradation, and re-formation.
+  sim::SimTime duration{};
+  std::uint32_t surviving_chips = 0;
+  std::vector<std::uint32_t> lost_chips;  ///< original indices, ascending
+  FaultStats faults;
+};
+
+/// Timing-only fault-aware ring all-reduce.  `step` keys the deterministic
+/// fault draws; with a disabled injector the result equals
+/// `ring_all_reduce_time(cfg.roce, bytes, chips)` exactly.
+/// Throws sim::ResourceExhausted when every chip fails.
+[[nodiscard]] ResilientAllReduceResult resilient_ring_all_reduce_time(
+    const ResilienceConfig& cfg, const sim::FaultInjector& faults,
+    std::uint64_t step, std::size_t bytes, std::uint32_t chips);
+
+/// Functional fault-aware ring all-reduce.  On chip loss the failed chips'
+/// shards are dropped (their gradient contribution is lost with them) and
+/// `shards` shrinks to the survivors, which then hold the exact element-wise
+/// sum (or mean over the survivor count) of the surviving inputs.
+ResilientAllReduceResult resilient_ring_all_reduce(
+    const ResilienceConfig& cfg, const sim::FaultInjector& faults,
+    std::uint64_t step, std::vector<tensor::Tensor>& shards,
+    ReduceOp op = ReduceOp::kSum);
+
+struct ResilientStepResult {
+  DataParallelStep step;          ///< totals include fault overheads
+  std::uint32_t chips_used = 0;   ///< survivors running the step
+  sim::SimTime straggler_stall{};
+  sim::SimTime hbm_stall{};
+  FaultStats faults;
+};
+
+/// Fault-aware synchronous data-parallel step: the slowest (possibly
+/// straggling) chip paces compute, HBM pressure stalls the step, and the
+/// gradient sync runs the resilient all-reduce above.  On chip loss the step
+/// completes on the survivors (throughput and tokens scale down with them).
+[[nodiscard]] ResilientStepResult resilient_data_parallel_step(
+    const ResilienceConfig& cfg, const DataParallelConfig& dp,
+    const sim::FaultInjector& faults, std::uint64_t step_index,
+    sim::SimTime single_chip_step, std::size_t grad_bytes,
+    std::int64_t tokens_per_chip);
+
+struct ResilientPipelineResult {
+  PipelineStep step;
+  std::uint32_t stages_used = 0;
+  FaultStats faults;
+};
+
+/// Fault-aware GPipe step: a straggling stage paces every slot, boundary
+/// transfers retry transient faults, and a failed chip re-partitions the
+/// model over P-1 stages after the re-formation latency.
+[[nodiscard]] ResilientPipelineResult resilient_pipeline_step(
+    const ResilienceConfig& cfg, const PipelineConfig& pp,
+    const sim::FaultInjector& faults, std::uint64_t step_index,
+    sim::SimTime full_model_step, std::size_t activation_bytes,
+    std::int64_t tokens_per_microbatch);
+
+}  // namespace gaudi::scaleout

@@ -1,0 +1,81 @@
+#include "sim/env.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <string>
+
+namespace gaudi::sim {
+
+namespace {
+
+std::string lower(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*s))));
+  }
+  return out;
+}
+
+/// Warn once per (variable, value) pair so a misspelled setting surfaces
+/// without flooding stderr from per-run parses.
+void warn_once(const std::string& key, const std::string& message) {
+  static std::mutex mu;
+  static std::set<std::string> warned;
+  const std::lock_guard<std::mutex> lock(mu);
+  if (warned.insert(key).second) {
+    std::fprintf(stderr, "gaudisim: %s\n", message.c_str());
+  }
+}
+
+}  // namespace
+
+EnvFlag classify_env_flag(const char* value) {
+  if (value == nullptr) return EnvFlag::kUnset;
+  const std::string v = lower(value);
+  if (v.empty() || v == "0" || v == "false" || v == "off" || v == "no") {
+    return EnvFlag::kOff;
+  }
+  if (v == "1" || v == "true" || v == "on" || v == "yes") {
+    return EnvFlag::kOn;
+  }
+  return EnvFlag::kUnrecognized;
+}
+
+bool env_flag(const char* name, bool fallback_for_unrecognized) {
+  const char* value = std::getenv(name);
+  switch (classify_env_flag(value)) {
+    case EnvFlag::kUnset:
+    case EnvFlag::kOff:
+      return false;
+    case EnvFlag::kOn:
+      return true;
+    case EnvFlag::kUnrecognized:
+      break;
+  }
+  warn_once(std::string(name) + "=" + value,
+            std::string(name) + "=\"" + value +
+                "\" is not a recognized boolean (use 0/1/true/false/on/off/"
+                "yes/no); treating it as " +
+                (fallback_for_unrecognized ? "on" : "off"));
+  return fallback_for_unrecognized;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 0);
+  if (end == value || *end != '\0') {
+    warn_once(std::string(name) + "=" + value,
+              std::string(name) + "=\"" + value +
+                  "\" is not an unsigned integer; using " +
+                  std::to_string(fallback));
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace gaudi::sim

@@ -1,0 +1,36 @@
+// Environment-variable parsing for simulator opt-ins.
+//
+// The validator (GAUDI_VALIDATE) and the fault-injection layer (GAUDI_FAULTS,
+// GAUDI_FAULT_SEED) are switched through the environment so existing benches
+// pick them up without flag plumbing.  Parsing is centralized here so every
+// variable shares one contract: recognized spellings map to on/off, anything
+// else warns once to stderr instead of being silently coerced.
+#pragma once
+
+#include <cstdint>
+
+namespace gaudi::sim {
+
+/// Outcome of parsing one environment-variable value as a boolean flag.
+enum class EnvFlag : std::uint8_t {
+  kUnset,         ///< variable absent
+  kOff,           ///< "", "0", "false", "off", "no" (case-insensitive)
+  kOn,            ///< "1", "true", "on", "yes" (case-insensitive)
+  kUnrecognized,  ///< anything else
+};
+
+/// Pure classification of a value string (nullptr means unset).  Exposed
+/// separately from the getenv wrapper so the parse itself is unit-testable.
+[[nodiscard]] EnvFlag classify_env_flag(const char* value);
+
+/// Reads `name` from the environment and classifies it.  An unrecognized
+/// value warns once per variable to stderr (naming the value and the
+/// fallback) and yields `fallback_for_unrecognized`; kUnset/kOff/kOn map to
+/// false/false/true.
+[[nodiscard]] bool env_flag(const char* name, bool fallback_for_unrecognized);
+
+/// Reads an unsigned integer variable; a malformed value warns once to
+/// stderr and yields `fallback`.
+[[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+}  // namespace gaudi::sim

@@ -96,5 +96,59 @@ TEST(Cli, BadOptionValuesFailCleanly) {
   EXPECT_EQ(run({"profile-model", "--optimizer", "rmsprop"}, &out), 1);
 }
 
+TEST(Cli, ProfileLayerAcceptsFaultFlags) {
+  std::string out;
+  EXPECT_EQ(run({"profile-layer", "--seq", "128", "--batch", "2", "--faults",
+                 "--fault-seed", "7", "--validate"},
+                &out),
+            0);
+  EXPECT_NE(out.find("layer /"), std::string::npos);
+  // Same seed, same flags: the fault-injected profile is deterministic.
+  std::string again;
+  EXPECT_EQ(run({"profile-layer", "--seq", "128", "--batch", "2", "--faults",
+                 "--fault-seed", "7", "--validate"},
+                &again),
+            0);
+  EXPECT_EQ(out, again);
+}
+
+TEST(Cli, TrainResilientReportsGoodputDeterministically) {
+  std::string out;
+  EXPECT_EQ(run({"train-resilient", "--steps", "300", "--mtbf", "50",
+                 "--recovery", "young-daly"},
+                &out),
+            0);
+  EXPECT_NE(out.find("policy young-daly"), std::string::npos);
+  EXPECT_NE(out.find("goodput"), std::string::npos);
+  std::string again;
+  EXPECT_EQ(run({"train-resilient", "--steps", "300", "--mtbf", "50",
+                 "--recovery", "young-daly"},
+                &again),
+            0);
+  EXPECT_EQ(out, again);
+
+  EXPECT_EQ(run({"train-resilient", "--steps", "300", "--mtbf", "50",
+                 "--recovery", "fixed", "--interval", "25"},
+                &out),
+            0);
+  EXPECT_NE(out.find("policy fixed-interval"), std::string::npos);
+}
+
+TEST(Cli, TrainResilientRejectsBadFlags) {
+  std::string out;
+  EXPECT_EQ(run({"train-resilient", "--recovery", "hope"}, &out), 1);
+  EXPECT_NE(out.find("unknown recovery policy"), std::string::npos);
+  EXPECT_EQ(run({"train-resilient", "--mtbf", "-5"}, &out), 1);
+  EXPECT_EQ(run({"train-resilient", "--nonsense", "1"}, &out), 1);
+}
+
+TEST(Cli, UsageMentionsFaultTooling) {
+  std::string out;
+  run({"help"}, &out);
+  EXPECT_NE(out.find("train-resilient"), std::string::npos);
+  EXPECT_NE(out.find("--faults"), std::string::npos);
+  EXPECT_NE(out.find("GAUDI_FAULTS"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gaudi::core

@@ -80,6 +80,67 @@ TEST(RingAllReduce, RejectsMismatchedShards) {
   EXPECT_THROW(ring_all_reduce(cfg, shards), sim::InvalidArgument);
 }
 
+TEST(RingAllReduce, RejectsEmptyShardVector) {
+  std::vector<Tensor> shards;
+  RoceConfig cfg;
+  EXPECT_THROW(ring_all_reduce(cfg, shards), sim::InvalidArgument);
+}
+
+TEST(RingAllReduce, RejectsShapeMismatchEvenAtEqualNumel) {
+  // [2,3] vs [3,2] hold the same element count but are different tensors;
+  // silently reinterpreting one as the other would corrupt the reduction.
+  std::vector<Tensor> shards{Tensor::zeros(Shape{{2, 3}}),
+                             Tensor::zeros(Shape{{3, 2}})};
+  RoceConfig cfg;
+  EXPECT_THROW(ring_all_reduce(cfg, shards), sim::InvalidArgument);
+}
+
+TEST(RingAllReduce, TimeEdgeCasesAreFreeNotDivideByZero) {
+  const RoceConfig cfg;
+  // Zero bytes: nothing to move, whatever the ring size.
+  const auto zero = ring_all_reduce_time(cfg, 0, 8);
+  EXPECT_EQ(zero.duration, sim::SimTime::zero());
+  EXPECT_EQ(zero.bytes_moved_per_chip, 0u);
+  // One chip: no exchange at all.
+  const auto one = ring_all_reduce_time(cfg, 1ull << 20, 1);
+  EXPECT_EQ(one.duration, sim::SimTime::zero());
+  EXPECT_EQ(one.steps, 0u);
+  // Out-of-box chip counts are rejected, not wrapped.
+  EXPECT_THROW((void)ring_all_reduce_time(cfg, 1 << 20, 0), sim::InvalidArgument);
+  EXPECT_THROW((void)ring_all_reduce_time(cfg, 1 << 20, cfg.num_chips + 1),
+               sim::InvalidArgument);
+}
+
+TEST(DataParallel, RejectsDegenerateConfigs) {
+  DataParallelConfig cfg;
+  const auto step = sim::SimTime::from_ms(100.0);
+  cfg.chips = 0;
+  EXPECT_THROW((void)data_parallel_step(cfg, step, 1 << 20, 1024),
+               sim::InvalidArgument);
+  cfg.chips = 8;
+  EXPECT_THROW((void)data_parallel_step(cfg, sim::SimTime::zero(), 1 << 20, 1024),
+               sim::InvalidArgument);
+  cfg.overlappable_fraction = 1.5;
+  EXPECT_THROW((void)data_parallel_step(cfg, step, 1 << 20, 1024),
+               sim::InvalidArgument);
+  cfg.overlappable_fraction = -0.1;
+  EXPECT_THROW((void)data_parallel_step(cfg, step, 1 << 20, 1024),
+               sim::InvalidArgument);
+}
+
+TEST(Pipeline, RejectsDegenerateConfigs) {
+  PipelineConfig cfg;
+  const auto step = sim::SimTime::from_ms(100.0);
+  cfg.stages = 0;
+  EXPECT_THROW((void)pipeline_step(cfg, step, 1 << 20, 1024), sim::InvalidArgument);
+  cfg.stages = 4;
+  cfg.microbatches = 0;
+  EXPECT_THROW((void)pipeline_step(cfg, step, 1 << 20, 1024), sim::InvalidArgument);
+  cfg.microbatches = 8;
+  EXPECT_THROW((void)pipeline_step(cfg, sim::SimTime::zero(), 1 << 20, 1024),
+               sim::InvalidArgument);
+}
+
 TEST(RingAllReduce, TimeApproachesBandwidthOptimalBound) {
   // For large N, ring all-reduce moves 2(P-1)/P * N bytes per chip.
   const RoceConfig cfg;

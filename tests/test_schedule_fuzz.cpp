@@ -212,6 +212,144 @@ TEST(ScheduleFuzz, FusionPreservesFunctionalOutputs) {
   }
 }
 
+TEST(ScheduleFuzz, FaultInjectedTracesSatisfyAllInvariants) {
+  // Random fault schedules over random DAGs: injected TPC stalls and DMA
+  // retry chains must still satisfy every validator invariant under both
+  // policies, and the trace must be a pure function of the injector seed.
+  int stall_events = 0;
+  int retry_events = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 4) {
+    const RandomDag dag = random_dag(seed);
+    const ProfileResult res = run_timing(dag.graph, SchedulePolicy::kBarrier);
+    const sim::FaultInjector faults{seed ^ 0xFA517,
+                                    sim::FaultProfile::stress()};
+    for (const SchedulePolicy policy :
+         {SchedulePolicy::kBarrier, SchedulePolicy::kOverlap}) {
+      const Trace trace =
+          schedule(dag.graph, res.node_execs, chip(), policy, &faults);
+      ASSERT_EQ(violations_for(dag.graph, res.node_execs, trace, policy), "")
+          << "seed " << seed << " policy " << schedule_policy_name(policy);
+      // Determinism: the same injector reproduces the trace byte-for-byte.
+      const Trace again =
+          schedule(dag.graph, res.node_execs, chip(), policy, &faults);
+      ASSERT_EQ(trace.to_chrome_json(), again.to_chrome_json())
+          << "seed " << seed;
+      for (const auto& e : trace.events()) {
+        stall_events += e.kind == TraceEventKind::kStall;
+        retry_events += e.retry > 0;
+      }
+    }
+  }
+  // The stress profile must actually exercise both fault paths.
+  EXPECT_GT(stall_events, 0);
+  EXPECT_GT(retry_events, 0);
+}
+
+TEST(ScheduleFuzz, FusionPreservesFunctionalOutputsUnderFaults) {
+  // Faults perturb timing, never numerics: fusion on/off stays bit-identical
+  // with an injector attached to the run.
+  const sim::FaultInjector faults{99, sim::FaultProfile::stress()};
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 32) {
+    const RandomDag dag = random_dag(seed);
+    const auto feeds = random_feeds(dag.graph, seed);
+
+    Runtime rt(chip());
+    RunOptions opts;
+    opts.mode = tpc::ExecMode::kFunctional;
+    opts.faults = &faults;
+    const ProfileResult plain = rt.run(dag.graph, feeds, opts);
+    opts.fuse_elementwise = true;
+    const ProfileResult fused = rt.run(dag.graph, feeds, opts);
+
+    ASSERT_EQ(plain.outputs.size(), fused.outputs.size()) << "seed " << seed;
+    for (const auto& [v, t] : plain.outputs) {
+      ASSERT_TRUE(fused.outputs.count(v)) << "seed " << seed;
+      EXPECT_EQ(ops::max_abs_diff(t, fused.outputs.at(v)), 0.0)
+          << "seed " << seed << " value '" << dag.graph.value(v).name << "'";
+    }
+  }
+}
+
+TEST(ScheduleFuzz, ValidatorFlagsCorruptedFaultTraces) {
+  // The fault invariants are only evidence if they can fail: find a fuzz
+  // seed whose fault-injected schedule carries both a stall and a retried
+  // DMA, then break each invariant in a targeted way.
+  const sim::FaultInjector faults{5, sim::FaultProfile::stress()};
+  std::uint64_t seed = kSeeds;
+  Trace trace;
+  RandomDag dag;
+  std::vector<NodeExec> execs;
+  for (std::uint64_t s = 0; s < kSeeds; ++s) {
+    RandomDag d = random_dag(s);
+    ProfileResult res = run_timing(d.graph, SchedulePolicy::kBarrier);
+    Trace t = schedule(d.graph, res.node_execs, chip(),
+                       SchedulePolicy::kBarrier, &faults);
+    bool has_stall = false;
+    bool has_retry = false;
+    for (const auto& e : t.events()) {
+      has_stall |= e.kind == TraceEventKind::kStall;
+      has_retry |= e.retry > 0;
+    }
+    if (has_stall && has_retry) {
+      seed = s;
+      dag = std::move(d);
+      execs = std::move(res.node_execs);
+      trace = std::move(t);
+      break;
+    }
+  }
+  ASSERT_LT(seed, kSeeds) << "no fuzz seed carried both fault paths";
+  ASSERT_EQ(violations_for(dag.graph, execs, trace, SchedulePolicy::kBarrier),
+            "");
+
+  auto corrupted = [&](auto mutate) {
+    Trace t;
+    for (std::size_t i = 0; i < trace.events().size(); ++i) {
+      TraceEvent e = trace.events()[i];
+      mutate(i, e);
+      t.add(e);
+    }
+    return TraceValidator::format(TraceValidator::validate(
+        dag.graph, execs, t, SchedulePolicy::kBarrier, chip()));
+  };
+
+  // Shove a stall outside its parent span: stall-nesting.
+  std::size_t stall = trace.events().size();
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    if (trace.events()[i].kind == TraceEventKind::kStall) stall = i;
+  }
+  ASSERT_LT(stall, trace.events().size());
+  const auto span = trace.events()[stall].end - trace.events()[stall].start;
+  const std::string dangling = corrupted([&](std::size_t i, TraceEvent& e) {
+    if (i == stall) {
+      e.start = trace.makespan() + span;
+      e.end = e.start + span;
+    }
+  });
+  EXPECT_NE(dangling.find("stall-nesting"), std::string::npos);
+
+  // Break a retry chain's attempt numbering: retry-overlap.
+  std::size_t retried = trace.events().size();
+  for (std::size_t i = 0; i < trace.events().size(); ++i) {
+    if (trace.events()[i].retry > 0) retried = i;
+  }
+  ASSERT_LT(retried, trace.events().size());
+  const std::string renumbered = corrupted([&](std::size_t i, TraceEvent& e) {
+    if (i == retried) e.retry += 1;
+  });
+  EXPECT_NE(renumbered.find("retry-overlap"), std::string::npos);
+
+  // Make a retry start before its predecessor finished: retry-overlap.
+  const std::string overlapping = corrupted([&](std::size_t i, TraceEvent& e) {
+    if (i == retried) {
+      const auto d = e.end - e.start;
+      e.start = sim::SimTime::zero();
+      e.end = d;
+    }
+  });
+  EXPECT_NE(overlapping.find("retry-overlap"), std::string::npos);
+}
+
 TEST(ScheduleFuzz, ValidatorFlagsInjectedCorruption) {
   // The fuzz is only evidence if the validator can actually fail: corrupt a
   // scheduled trace in targeted ways and expect the matching invariant.
