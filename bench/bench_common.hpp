@@ -1,14 +1,25 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 
 #include "core/advisor.hpp"
 #include "core/analysis.hpp"
 #include "core/experiments.hpp"
+#include "core/table.hpp"
 
 namespace gaudi::bench {
+
+/// Achieved-TFLOPS table cell.  Zero-FLOP or zero-duration runs (a phantom
+/// op, an empty trace) have no defined rate and render "n/a" instead of
+/// "inf"/"nan".
+inline std::string tflops_cell(std::uint64_t flops, sim::SimTime duration) {
+  if (flops == 0 || duration <= sim::SimTime::zero()) return "n/a";
+  return core::TextTable::num(static_cast<double>(flops) /
+                              duration.seconds() * 1e-12);
+}
 
 /// Prints the standard per-figure report: summary, ASCII timeline, advisor
 /// findings; optionally dumps a Chrome trace next to the binary.

@@ -2,15 +2,9 @@
 
 #include <sstream>
 
+#include "core/table.hpp"
+
 namespace gaudi::core {
-
-namespace {
-
-std::string pct(double f) {
-  return std::to_string(static_cast<int>(f * 100.0 + 0.5)) + "%";
-}
-
-}  // namespace
 
 std::vector<Finding> advise(const AdvisorInput& input) {
   const TraceSummary& s = input.summary;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "core/table.hpp"
 #include "graph/validate.hpp"
 #include "sim/error.hpp"
 
@@ -44,7 +46,18 @@ TraceSummary summarize(const graph::Trace& trace) {
   const double m = s.mme_busy.seconds();
   const double t = s.tpc_busy.seconds();
   const double mx = std::max(m, t);
-  s.engine_imbalance = mx > 0.0 ? std::abs(m - t) / mx : 0.0;
+
+  // Ratios over a zero denominator are undefined, not zero: carry NaN so
+  // report renderers show "n/a" instead of a misleading 0%.
+  const double undefined = std::numeric_limits<double>::quiet_NaN();
+  if (s.makespan <= sim::SimTime::zero()) {
+    s.mme_utilization = s.tpc_utilization = undefined;
+    s.mme_idle_fraction = undefined;
+  }
+  if (s.tpc_busy <= sim::SimTime::zero()) {
+    s.softmax_share_of_tpc = s.exp_share_of_tpc = undefined;
+  }
+  s.engine_imbalance = mx > 0.0 ? std::abs(m - t) / mx : undefined;
   return s;
 }
 
@@ -53,22 +66,18 @@ std::string to_report(const TraceSummary& s, const std::string& title) {
   os << "== " << title << " ==\n";
   os << "  total time       : " << sim::to_string(s.makespan) << "\n";
   os << "  MME busy         : " << sim::to_string(s.mme_busy) << "  ("
-     << static_cast<int>(s.mme_utilization * 100.0 + 0.5) << "% util, "
-     << static_cast<int>(s.mme_idle_fraction * 100.0 + 0.5) << "% idle, "
-     << s.mme_gap_count << " gaps, longest "
+     << pct(s.mme_utilization) << " util, " << pct(s.mme_idle_fraction)
+     << " idle, " << s.mme_gap_count << " gaps, longest "
      << sim::to_string(s.mme_longest_gap) << ")\n";
   os << "  TPC busy         : " << sim::to_string(s.tpc_busy) << "  ("
-     << static_cast<int>(s.tpc_utilization * 100.0 + 0.5) << "% util)\n";
+     << pct(s.tpc_utilization) << " util)\n";
   os << "  DMA busy         : " << sim::to_string(s.dma_busy) << "\n";
   if (s.host_busy > sim::SimTime::zero()) {
     os << "  compiler stalls  : " << sim::to_string(s.host_busy) << "\n";
   }
-  os << "  softmax / TPC    : "
-     << static_cast<int>(s.softmax_share_of_tpc * 100.0 + 0.5) << "%\n";
-  os << "  exp-ops / TPC    : "
-     << static_cast<int>(s.exp_share_of_tpc * 100.0 + 0.5) << "%\n";
-  os << "  engine imbalance : "
-     << static_cast<int>(s.engine_imbalance * 100.0 + 0.5) << "%\n";
+  os << "  softmax / TPC    : " << pct(s.softmax_share_of_tpc) << "\n";
+  os << "  exp-ops / TPC    : " << pct(s.exp_share_of_tpc) << "\n";
+  os << "  engine imbalance : " << pct(s.engine_imbalance) << "\n";
   return os.str();
 }
 

@@ -15,9 +15,12 @@ Baseline baseline_from(const TraceSummary& summary) {
   b.metrics["mme_busy_ms"] = summary.mme_busy.ms();
   b.metrics["tpc_busy_ms"] = summary.tpc_busy.ms();
   b.metrics["dma_busy_ms"] = summary.dma_busy.ms();
-  b.metrics["mme_idle_fraction"] = summary.mme_idle_fraction;
-  b.metrics["softmax_share_of_tpc"] = summary.softmax_share_of_tpc;
-  b.metrics["engine_imbalance"] = summary.engine_imbalance;
+  // Degenerate (zero-duration) summaries carry NaN ratios; the key=value
+  // format stays parseable only with finite numbers, so store 0.
+  auto finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  b.metrics["mme_idle_fraction"] = finite(summary.mme_idle_fraction);
+  b.metrics["softmax_share_of_tpc"] = finite(summary.softmax_share_of_tpc);
+  b.metrics["engine_imbalance"] = finite(summary.engine_imbalance);
   return b;
 }
 

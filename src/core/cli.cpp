@@ -1,5 +1,7 @@
 #include "core/cli.hpp"
 
+#include <cmath>
+#include <optional>
 #include <sstream>
 
 #include "core/advisor.hpp"
@@ -9,9 +11,11 @@
 #include "graph/printer.hpp"
 #include "graph/runtime.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/train.hpp"
 #include "scaleout/checkpoint.hpp"
 #include "sim/error.hpp"
 #include "sim/fault.hpp"
+#include "sim/numerics.hpp"
 
 namespace gaudi::core {
 
@@ -35,9 +39,11 @@ commands:
       --trace FILE               write a Chrome trace
       --html FILE                write a self-contained HTML report
       --seed N                   execution seed               (0x6A0D1)
+      --guard off|warn|trap      numerics guard policy (default: GAUDI_GUARD)
       --faults                   inject deterministic hardware faults
       --fault-seed N --mtbf N    fault seed / MTBF in steps (stress profile
                                  when --mtbf is omitted)
+      --sdc-rate R               per-node HBM bit-flip probability (0)
   profile-model [options]        profile an LLM training step (Figs 8-9)
       --arch gpt2|bert           (gpt2)
       --seq N --batch B --layers L
@@ -45,7 +51,21 @@ commands:
       --policy barrier|overlap --fuse --validate --trace FILE
       --compile-stats            print per-pass compiler timings and plans
       --dot FILE                 write the graph as Graphviz DOT
-      --seed N --faults --fault-seed N --mtbf N               (as above)
+      --seed N --guard P --faults --fault-seed N --mtbf N --sdc-rate R
+  train [options]                run a bf16 training loop (functional) with
+                                 dynamic loss scaling and the numerics guard
+      --arch gpt2|bert           tiny config of the arch      (gpt2)
+      --steps N                  training steps               (8)
+      --optimizer sgd|sgd_momentum|adam                       (sgd)
+      --no-loss-scaling          differentiate the raw loss; apply every step
+      --no-bf16-grads            keep gradients in f32
+      --init-scale S             starting loss scale          (65536)
+      --growth-interval N        clean steps before scale-up  (50)
+      --corrupt-step N           overwrite a gradient element with NaN at
+                                 step N (deterministic SDC stand-in)
+      --guard off|warn|trap      numerics guard policy (default: GAUDI_GUARD)
+      --sdc-rate R --fault-seed N   seeded HBM bit flips in live buffers
+      --seed N                   model/data seed              (0x7A11)
   train-resilient [options]      simulate an N-step run under faults with
                                  checkpoint/rollback recovery
       --steps N                  useful steps to complete     (1000)
@@ -86,21 +106,46 @@ graph::SchedulePolicy parse_policy(const std::string& s) {
   throw sim::InvalidArgument("unknown scheduler policy: " + s);
 }
 
-/// Parses --faults / --fault-seed / --mtbf into an injector.  Disabled (all
-/// rates zero) when --faults is absent; --mtbf picks calibrated rates, its
-/// absence the aggressive stress profile.
+/// Parses --guard into an explicit policy override; absent defers to the
+/// GAUDI_GUARD environment variable (a bare --guard flag means warn).
+std::optional<sim::NumericsPolicy> parse_guard(ArgParser& args) {
+  const std::string s = args.get("guard", "\x01");
+  if (s == "\x01") return std::nullopt;
+  if (s == "off") return sim::NumericsPolicy::kOff;
+  if (s.empty() || s == "warn") return sim::NumericsPolicy::kWarn;
+  if (s == "trap") return sim::NumericsPolicy::kTrap;
+  throw sim::InvalidArgument("unknown guard policy: " + s +
+                             " (expected off|warn|trap)");
+}
+
+/// Parses --faults / --fault-seed / --mtbf / --sdc-rate into an injector.
+/// Disabled (all rates zero) when --faults is absent and --sdc-rate is zero;
+/// --mtbf picks calibrated rates, its absence the aggressive stress profile.
+/// --sdc-rate layers HBM bit flips on top (or alone, without --faults).
 sim::FaultInjector parse_fault_injector(ArgParser& args,
                                         std::uint32_t chips = 8) {
   const bool on = args.has("faults");
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA517));
   const std::int64_t mtbf = args.get_int("mtbf", 0);
-  if (!on) return {};
+  const std::string sdc_text = args.get("sdc-rate", "0");
+  double sdc_rate = 0.0;
+  try {
+    sdc_rate = std::stod(sdc_text);
+  } catch (const std::exception&) {
+    throw sim::InvalidArgument("option --sdc-rate expects a number, got '" +
+                               sdc_text + "'");
+  }
+  GAUDI_CHECK(sdc_rate >= 0.0 && sdc_rate <= 1.0 && std::isfinite(sdc_rate),
+              "--sdc-rate expects a probability in [0, 1]");
+  if (!on && sdc_rate == 0.0) return {};
   GAUDI_CHECK(mtbf >= 0, "--mtbf expects a positive step count");
-  const sim::FaultProfile profile =
-      mtbf > 0 ? sim::FaultProfile::from_mtbf_steps(static_cast<double>(mtbf),
-                                                    chips)
-               : sim::FaultProfile::stress();
+  sim::FaultProfile profile =
+      !on ? sim::FaultProfile::disabled()
+      : mtbf > 0
+          ? sim::FaultProfile::from_mtbf_steps(static_cast<double>(mtbf), chips)
+          : sim::FaultProfile::stress();
+  profile.sdc_bit_flip_rate = sdc_rate;
   return sim::FaultInjector{seed, profile};
 }
 
@@ -121,6 +166,15 @@ void print_profile(std::ostream& out, const std::string& title,
   out << "peak HBM: "
       << TextTable::num(static_cast<double>(result.hbm_peak_bytes) / (1 << 30), 2)
       << " GB of 32 GB\n";
+  if (result.guard_policy != sim::NumericsPolicy::kOff) {
+    out << "guard: " << sim::numerics_policy_name(result.guard_policy)
+        << ", swept " << result.numerics.count << " elements, "
+        << result.sdc_injections.size() << " bit flips injected, "
+        << result.anomalies.size() << " anomalies\n";
+    if (!result.anomalies.empty()) {
+      out << result.anomalies.front().report << "\n";
+    }
+  }
   AdvisorInput in;
   in.summary = summary;
   out << format_findings(advise(in));
@@ -166,6 +220,7 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   const std::string trace_path = args.get("trace", "");
   const std::string html_path = args.get("html", "");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x6A0D1));
+  const std::optional<sim::NumericsPolicy> guard = parse_guard(args);
   const sim::FaultInjector faults = parse_fault_injector(args);
   check_unused(args);
 
@@ -194,6 +249,7 @@ int cmd_profile_layer(ArgParser& args, std::ostream& out) {
   opts.policy = exp.policy;
   opts.validate = validate;
   opts.seed = seed;
+  opts.guard = guard;
   if (faults.enabled()) opts.faults = &faults;
   print_profile(out,
                 std::string("layer / ") +
@@ -220,6 +276,7 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   const std::string dot_path = args.get("dot", "");
   const std::string html_path = args.get("html", "");
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 0x6A0D1));
+  const std::optional<sim::NumericsPolicy> guard = parse_guard(args);
   const sim::FaultInjector faults = parse_fault_injector(args);
   check_unused(args);
 
@@ -254,6 +311,7 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   opts.policy = policy;
   opts.validate = validate;
   opts.seed = seed;
+  opts.guard = guard;
   if (faults.enabled()) opts.faults = &faults;
   out << "model: " << nn::lm_arch_name(cfg.arch) << ", "
       << model.param_count(g) << " parameters, " << g.num_nodes()
@@ -261,6 +319,61 @@ int cmd_profile_model(ArgParser& args, std::ostream& out) {
   print_profile(out, std::string(nn::lm_arch_name(cfg.arch)) + " training step",
                 rt.run(compiled, {}, opts), trace_path, html_path);
   return 0;
+}
+
+int cmd_train(ArgParser& args, std::ostream& out) {
+  nn::TrainOptions topts;
+  const std::string arch = args.get("arch", "gpt2");
+  if (arch == "gpt2") {
+    topts.model = nn::LmConfig::tiny(nn::LmArch::kGpt2);
+  } else if (arch == "bert") {
+    topts.model = nn::LmConfig::tiny(nn::LmArch::kBert);
+  } else {
+    throw sim::InvalidArgument("unknown arch: " + arch);
+  }
+  topts.steps = static_cast<std::int32_t>(args.get_int("steps", 8));
+  const std::string optimizer = args.get("optimizer", "sgd");
+  if (optimizer == "sgd") {
+    topts.optimizer.kind = nn::OptimizerKind::kSgd;
+  } else if (optimizer == "sgd_momentum") {
+    topts.optimizer.kind = nn::OptimizerKind::kSgdMomentum;
+  } else if (optimizer == "adam") {
+    topts.optimizer.kind = nn::OptimizerKind::kAdam;
+  } else {
+    throw sim::InvalidArgument("unknown optimizer: " + optimizer);
+  }
+  topts.loss_scaling = !args.has("no-loss-scaling");
+  topts.bf16_grads = !args.has("no-bf16-grads");
+  topts.scaler.init_scale =
+      static_cast<float>(args.get_int("init-scale", 65536));
+  topts.scaler.growth_interval =
+      static_cast<std::int32_t>(args.get_int("growth-interval", 50));
+  topts.corrupt_grad_step =
+      static_cast<std::int32_t>(args.get_int("corrupt-step", -1));
+  topts.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x7A11));
+  topts.run.guard = parse_guard(args);
+  const sim::FaultInjector faults = parse_fault_injector(args);
+  check_unused(args);
+  if (faults.enabled()) topts.run.faults = &faults;
+
+  const nn::TrainResult r = nn::train_language_model(topts);
+  out << "train: " << arch << " (tiny), " << topts.steps << " steps, "
+      << optimizer << ", loss scaling "
+      << (topts.loss_scaling ? "on" : "off") << ", bf16 grads "
+      << (topts.bf16_grads ? "on" : "off") << "\n";
+  for (std::size_t i = 0; i < r.steps.size(); ++i) {
+    const nn::TrainStepInfo& s = r.steps[i];
+    out << "  step " << i << ": loss " << TextTable::num(s.loss, 4)
+        << "  scale " << TextTable::num(s.scale, 0) << "  "
+        << (s.applied ? "applied" : "skipped (overflow)") << "\n";
+  }
+  out << "skipped steps: " << r.skipped_steps
+      << "   final scale: " << TextTable::num(r.final_scale, 0)
+      << "   sdc bit flips: " << r.sdc_injections
+      << "   guard anomalies: " << r.anomalies << "\n";
+  out << "final loss: " << TextTable::num(r.final_loss, 4) << " ("
+      << (r.finite ? "finite" : "NOT finite") << ")\n";
+  return r.finite ? 0 : 1;
 }
 
 int cmd_train_resilient(ArgParser& args, std::ostream& out) {
@@ -382,6 +495,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "mme-vs-tpc") return cmd_mme_vs_tpc(parser, out);
     if (command == "profile-layer") return cmd_profile_layer(parser, out);
     if (command == "profile-model") return cmd_profile_model(parser, out);
+    if (command == "train") return cmd_train(parser, out);
     if (command == "train-resilient") return cmd_train_resilient(parser, out);
     out << "unknown command: " << command << "\n\n" << kUsage;
     return 1;

@@ -93,9 +93,7 @@ void emit_summary_table(std::ostream& os, const TraceSummary& s) {
   auto row = [&](const char* k, const std::string& v) {
     os << "<tr><td>" << k << "</td><td>" << v << "</td></tr>\n";
   };
-  auto pct = [](double f) {
-    return std::to_string(static_cast<int>(f * 100.0 + 0.5)) + "%";
-  };
+  using gaudi::core::pct;
   os << "<table>\n";
   row("total time", sim::to_string(s.makespan));
   row("MME busy", sim::to_string(s.mme_busy) + " (" + pct(s.mme_utilization) +

@@ -1,6 +1,7 @@
 #include "core/table.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
@@ -19,9 +20,15 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 std::string TextTable::num(double v, int precision) {
+  if (!std::isfinite(v)) return "n/a";
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
   return buf;
+}
+
+std::string pct(double fraction) {
+  if (!std::isfinite(fraction)) return "n/a";
+  return std::to_string(static_cast<int>(fraction * 100.0 + 0.5)) + "%";
 }
 
 std::string TextTable::to_string() const {

@@ -12,7 +12,9 @@ class TextTable {
 
   void add_row(std::vector<std::string> cells);
 
-  /// Convenience: formats doubles with the given precision.
+  /// Convenience: formats doubles with the given precision.  Non-finite
+  /// values (a ratio over a zero-duration or zero-FLOP trace) render as
+  /// "n/a" rather than leaking "nan"/"inf" into reports.
   [[nodiscard]] static std::string num(double v, int precision = 2);
 
   [[nodiscard]] std::string to_string() const;
@@ -21,5 +23,11 @@ class TextTable {
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+/// Renders a fraction as a rounded integer percentage ("42%"); non-finite
+/// fractions — 0/0 utilization of an empty trace, a share of a zero-busy
+/// engine — render as "n/a".  Shared by every report surface so degenerate
+/// traces never print "nan%".
+[[nodiscard]] std::string pct(double fraction);
 
 }  // namespace gaudi::core

@@ -276,14 +276,26 @@ BackwardResult build_backward(Graph& g, ValueId loss,
         break;
       }
       case OpKind::kCrossEntropyMean: {
-        GAUDI_CHECK(grads.is_implicit_one(n.outputs[0]),
-                    "autodiff: cross_entropy_mean must be the terminal loss "
-                    "(its incoming gradient must be the seed)");
         OpAttrs attrs;
         attrs.scale =
             1.0f / static_cast<float>(g.value(n.inputs[0]).shape[0]);
-        acc(0, g.add_op(OpKind::kCrossEntropyGrad, {n.inputs[0], n.inputs[1]},
-                        attrs, n.label + ".dlogits")[0]);
+        ValueId dl = g.add_op(OpKind::kCrossEntropyGrad,
+                              {n.inputs[0], n.inputs[1]}, attrs,
+                              n.label + ".dlogits")[0];
+        if (!grads.is_implicit_one(n.outputs[0])) {
+          // A scalar upstream gradient (the dynamic loss scale) multiplies
+          // the whole gradient: broadcast it across the vocab axis.
+          const ValueId gyv = gy();
+          GAUDI_CHECK(g.value(gyv).shape.numel() == 1,
+                      "autodiff: cross_entropy_mean upstream gradient must "
+                      "be scalar");
+          const ValueId row =
+              g.broadcast_last(gyv, g.value(n.inputs[0]).shape[1],
+                               n.label + ".dscale_row");
+          dl = g.add_op(OpKind::kMulRowvec, {dl, row}, {},
+                        n.label + ".dlogits_scaled")[0];
+        }
+        acc(0, dl);
         break;
       }
       default:

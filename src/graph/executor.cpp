@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "tensor/ops.hpp"
 #include "tpc/kernels.hpp"
 
 namespace gaudi::graph {
@@ -11,20 +12,20 @@ namespace {
 using tensor::Tensor;
 using tpc::ExecMode;
 
-/// Makes an output tensor: real & zeroed in functional mode, phantom in
-/// timing mode.
-Tensor make_out(const ValueInfo& info, ExecMode mode) {
+}  // namespace
+
+Tensor make_output_tensor(const ValueInfo& info, ExecMode mode, bool poison) {
   if (mode == ExecMode::kFunctional) {
-    return Tensor::zeros(info.shape, info.dtype);
+    Tensor t = Tensor::zeros(info.shape, info.dtype);
+    if (poison) tensor::ops::poison_fill(t);
+    return t;
   }
   return Tensor::phantom(info.shape, info.dtype);
 }
 
-}  // namespace
-
 NodeExec NodeExecutor::run(const Graph& g, NodeId nid,
                            std::vector<tensor::Tensor>& tensors,
-                           ExecMode mode) const {
+                           ExecMode mode, bool poison_outputs) const {
   const Node& n = g.node(nid);
   auto in = [&](std::size_t i) -> const Tensor& {
     const Tensor& t = tensors[static_cast<std::size_t>(n.inputs[i])];
@@ -39,7 +40,15 @@ NodeExec NodeExecutor::run(const Graph& g, NodeId nid,
     tensors[static_cast<std::size_t>(n.outputs[i])] = std::move(t);
   };
   auto fresh_out = [&](std::size_t i) {
-    Tensor t = make_out(out_info(i), mode);
+    Tensor t = make_output_tensor(out_info(i), mode, poison_outputs);
+    set_out(i, t);
+    return t;
+  };
+  // For kernels that legitimately read-accumulate into their own output
+  // (embedding grad scatter-adds rows): poisoning would turn the honest
+  // zero-initialized accumulator into NaNs.
+  auto fresh_zero_out = [&](std::size_t i) {
+    Tensor t = make_output_tensor(out_info(i), mode, /*poison=*/false);
     set_out(i, t);
     return t;
   };
@@ -85,7 +94,7 @@ NodeExec NodeExecutor::run(const Graph& g, NodeId nid,
         }
         set_out(0, std::move(y));
       } else {
-        set_out(0, make_out(out_info(0), mode));
+        set_out(0, make_output_tensor(out_info(0), mode, poison_outputs));
       }
       return exec;
     }
@@ -231,7 +240,7 @@ NodeExec NodeExecutor::run(const Graph& g, NodeId nid,
       run_tpc(tpc::EmbeddingGatherKernel(in(0), in(1), fresh_out(0)));
       return exec;
     case OpKind::kEmbeddingGrad:
-      run_tpc(tpc::EmbeddingGradKernel(in(0), in(1), fresh_out(0)));
+      run_tpc(tpc::EmbeddingGradKernel(in(0), in(1), fresh_zero_out(0)));
       return exec;
 
     case OpKind::kCrossEntropyMean: {

@@ -13,6 +13,7 @@
 #include "graph/graph.hpp"
 #include "mme/mme.hpp"
 #include "sim/chip_config.hpp"
+#include "sim/numerics.hpp"
 #include "tensor/tensor.hpp"
 #include "tpc/cluster.hpp"
 
@@ -28,7 +29,22 @@ struct NodeExec {
   std::size_t bytes = 0;
   /// Display label overriding the node's own (used by fused groups).
   std::string label;
+  /// Guarded runs only: simulated cost of sweeping/checksumming this node's
+  /// retiring outputs (the scheduler nests it as a kGuard span at the tail
+  /// of the exec span), and the sweep's results.  All-zero defaults keep
+  /// unguarded schedules byte-identical to pre-guard builds.
+  sim::SimTime guard_time{};
+  bool has_stats = false;
+  sim::NumericsStats stats{};
 };
+
+/// Makes an output tensor for one node output: real in functional mode
+/// (zeroed, or poison-filled with the signaling-NaN pattern when `poison` is
+/// set — guarded runs use this so reads-before-writes trip the sweep),
+/// phantom in timing mode.
+[[nodiscard]] tensor::Tensor make_output_tensor(const ValueInfo& info,
+                                                tpc::ExecMode mode,
+                                                bool poison);
 
 class NodeExecutor {
  public:
@@ -39,9 +55,12 @@ class NodeExecutor {
 
   /// Executes node `n`.  `tensors` is indexed by ValueId; inputs must be
   /// present (real in functional mode, phantom in timing mode); outputs are
-  /// created by this call.
+  /// created by this call.  `poison_outputs` pre-fills fresh functional
+  /// outputs with the signaling-NaN pattern (guarded runs); kernels that
+  /// legitimately accumulate into their own zeroed output (embedding grad)
+  /// are exempt.
   NodeExec run(const Graph& g, NodeId n, std::vector<tensor::Tensor>& tensors,
-               tpc::ExecMode mode) const;
+               tpc::ExecMode mode, bool poison_outputs = false) const;
 
   [[nodiscard]] const tpc::TpcCluster& cluster() const { return cluster_; }
   [[nodiscard]] const mme::MmeEngine& mme() const { return mme_; }

@@ -223,4 +223,41 @@ std::unordered_map<ValueId, tensor::Tensor> random_feeds(const Graph& g,
   return feeds;
 }
 
+ValueId pick_corruption_target(const Graph& g, std::uint64_t seed) {
+  std::vector<ValueId> candidates;
+  for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
+    const ValueInfo& info = g.value(v);
+    if (info.producer < 0) continue;  // feeds are checksummed, not corrupted
+    if (!tensor::is_floating(info.dtype)) continue;
+    if (info.consumers.empty()) continue;  // must be read for blame to land
+    candidates.push_back(v);
+  }
+  if (candidates.empty()) return kInvalidValue;
+  const sim::CounterRng rng(seed ^ 0xC0881u);
+  return candidates[rng.below(0, candidates.size())];
+}
+
+std::vector<ValueId> contamination_cone(const Graph& g, ValueId v) {
+  std::vector<char> in_cone(g.num_values(), 0);
+  std::vector<ValueId> stack{v};
+  in_cone[static_cast<std::size_t>(v)] = 1;
+  while (!stack.empty()) {
+    const ValueId cur = stack.back();
+    stack.pop_back();
+    for (const NodeId nid : g.value(cur).consumers) {
+      for (const ValueId out : g.node(nid).outputs) {
+        if (!in_cone[static_cast<std::size_t>(out)]) {
+          in_cone[static_cast<std::size_t>(out)] = 1;
+          stack.push_back(out);
+        }
+      }
+    }
+  }
+  std::vector<ValueId> cone;
+  for (ValueId u = 0; u < static_cast<ValueId>(g.num_values()); ++u) {
+    if (in_cone[static_cast<std::size_t>(u)]) cone.push_back(u);
+  }
+  return cone;
+}
+
 }  // namespace gaudi::graph

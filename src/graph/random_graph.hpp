@@ -40,4 +40,19 @@ struct RandomDag {
 [[nodiscard]] std::unordered_map<ValueId, tensor::Tensor> random_feeds(
     const Graph& g, std::uint64_t seed);
 
+/// Inject-NaN-at-a-random-node fuzz mode: picks a deterministic corruption
+/// target — a produced, consumed, floating-point value — for
+/// RunOptions::corrupt_value.  A guarded run must then blame exactly this
+/// value (or one downstream of it) when the corruption is read, and an
+/// unguarded run must stay silent.  Returns kInvalidValue when the DAG has
+/// no such value.
+[[nodiscard]] ValueId pick_corruption_target(const Graph& g,
+                                             std::uint64_t seed);
+
+/// Value ids reachable downstream of `v` through consumer edges, including
+/// `v` itself: the set an anomaly report may legitimately blame after `v`
+/// is corrupted.  Blaming anything outside this set is a false positive.
+[[nodiscard]] std::vector<ValueId> contamination_cone(const Graph& g,
+                                                      ValueId v);
+
 }  // namespace gaudi::graph

@@ -1,11 +1,15 @@
 #include "graph/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <iostream>
 #include <sstream>
 #include <utility>
 
 #include "graph/fusion.hpp"
 #include "graph/validate.hpp"
+#include "memory/checksum.hpp"
+#include "tensor/ops.hpp"
 #include "tpc/cluster.hpp"
 
 namespace gaudi::graph {
@@ -19,6 +23,12 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
                            const RunOptions& opts) const {
   const Graph& g = cg.graph;
   const bool functional = opts.mode == tpc::ExecMode::kFunctional;
+  const sim::NumericsPolicy guard_policy =
+      opts.guard.has_value() ? *opts.guard : sim::numerics_policy_from_env();
+  const bool guarded = guard_policy != sim::NumericsPolicy::kOff;
+  const sim::FaultInjector* faults =
+      opts.faults != nullptr ? opts.faults : sim::fault_injector_from_env();
+  if (faults != nullptr && !faults->enabled()) faults = nullptr;
 
   std::vector<tensor::Tensor> tensors(g.num_values());
   // The static plan already fixed every buffer's offset; the dynamic
@@ -28,6 +38,18 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
   std::vector<memory::Allocation> allocs(g.num_values());
   // Remaining consumers per value; storage is dropped when it reaches zero.
   std::vector<std::int32_t> pending(g.num_values(), 0);
+
+  // Numerics-guard state (functional guarded runs).  The ledger holds a
+  // checksum of every live external buffer; a mismatch at a consumer means
+  // the bytes changed between ops — silent data corruption.  value_anomalous
+  // tracks which values carry NaN/Inf so an anomaly report can walk the
+  // contamination path back to its origin.
+  memory::ChecksumLedger ledger;
+  std::vector<char> value_anomalous(g.num_values(), 0);
+  std::vector<NumericsAnomaly> anomalies;
+  std::vector<SdcInjection> sdc_injections;
+  sim::NumericsStats total_stats;
+  bool warned_first = false;
 
   // Bind inputs/params and allocate their device residency.
   for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
@@ -45,6 +67,16 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
       GAUDI_CHECK(it->second.dtype() == info.dtype,
                   "feed dtype mismatch for '" + info.name + "'");
       tensors[static_cast<std::size_t>(v)] = it->second;
+      if (guarded) {
+        const tensor::Tensor& t = it->second;
+        ledger.record(v, t.raw(), t.nbytes());
+        // A non-finite feed is the user's data, not an op's fault: mark it so
+        // contamination paths can start at the feed, but report nothing here.
+        if (tensor::is_floating(t.dtype()) &&
+            tensor::ops::numerics_sweep(t).anomalous()) {
+          value_anomalous[static_cast<std::size_t>(v)] = 1;
+        }
+      }
     } else {
       tensors[static_cast<std::size_t>(v)] =
           tensor::Tensor::phantom(info.shape, info.dtype);
@@ -74,6 +106,194 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
     }
   };
 
+  auto node_desc = [&](NodeId nid) {
+    return "'" + g.node(nid).label + "' (node " + std::to_string(nid) + ")";
+  };
+  auto value_desc = [&](ValueId v) {
+    return "'" + g.value(v).name + "' (value " + std::to_string(v) + ")";
+  };
+  auto producer_desc = [&](ValueId v) -> std::string {
+    const NodeId p = g.value(v).producer;
+    if (p < 0) return "graph feed";
+    return node_desc(p);
+  };
+
+  // Raises one detected anomaly according to the policy: kTrap aborts the
+  // run at the first one; kWarn prints the first to stderr and collects all.
+  auto raise_anomaly = [&](NumericsAnomaly a) {
+    if (guard_policy == sim::NumericsPolicy::kTrap) {
+      throw sim::NumericsError(a.report);
+    }
+    if (!warned_first) {
+      std::cerr << "[gaudisim] numerics guard: " << a.report << "\n";
+      warned_first = true;
+    }
+    anomalies.push_back(std::move(a));
+  };
+
+  // Walks the contamination back from `bad` through anomalous inputs to the
+  // earliest tainted value, then narrates the path feed-to-fault in
+  // topological order.
+  auto contamination_report = [&](NodeId nid, ValueId bad,
+                                  const sim::NumericsStats& s) {
+    std::vector<ValueId> path;
+    ValueId cur = bad;
+    while (cur != kInvalidValue) {
+      path.push_back(cur);
+      const NodeId p = g.value(cur).producer;
+      if (p < 0) break;
+      ValueId next = kInvalidValue;
+      for (ValueId in : g.node(p).inputs) {
+        if (value_anomalous[static_cast<std::size_t>(in)] != 0) {
+          next = in;
+          break;
+        }
+      }
+      cur = next;
+    }
+    std::reverse(path.begin(), path.end());
+    std::ostringstream os;
+    os << "non-finite output at " << node_desc(nid) << ": " << value_desc(bad)
+       << " has " << s.to_string() << "\n";
+    os << "  contamination path (feed -> fault):\n";
+    for (ValueId v : path) {
+      os << "    " << value_desc(v) << " <- " << producer_desc(v) << "\n";
+    }
+    return os.str();
+  };
+
+  // Checksum verification of one external input buffer before a consumer
+  // reads it: a mismatch means the bytes changed since the producer retired.
+  auto verify_input = [&](NodeId nid, ValueId v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const tensor::Tensor& t = tensors[vi];
+    if (!t.defined() || !ledger.has(static_cast<std::int64_t>(v))) return;
+    if (ledger.verify(static_cast<std::int64_t>(v), t.raw(), t.nbytes())) return;
+    value_anomalous[vi] = 1;
+    NumericsAnomaly a;
+    a.kind = NumericsAnomaly::Kind::kSdc;
+    a.node = nid;
+    a.value = v;
+    a.report = "silent data corruption: " + value_desc(v) +
+               " failed its checksum when read by " + node_desc(nid) +
+               "; produced by " + producer_desc(v) +
+               " (bytes changed after the producer retired)";
+    // Accept the corrupted bytes as the new baseline so kWarn reports each
+    // corruption once, not at every later consumer.
+    ledger.record(static_cast<std::int64_t>(v), t.raw(), t.nbytes());
+    raise_anomaly(std::move(a));
+  };
+
+  // Sweeps one retiring external output, merges stats into the node's exec,
+  // and originates an anomaly when NaN/Inf appear that no input carried.
+  auto sweep_output = [&](NodeExec& exec, NodeId nid, ValueId v,
+                          bool inherited) {
+    const auto vi = static_cast<std::size_t>(v);
+    const tensor::Tensor& t = tensors[vi];
+    if (!t.defined()) return;
+    if (tensor::is_floating(t.dtype())) {
+      const sim::NumericsStats s = tensor::ops::numerics_sweep(t);
+      exec.stats.merge(s);
+      total_stats.merge(s);
+      if (s.anomalous()) {
+        value_anomalous[vi] = 1;
+        if (!inherited) {
+          NumericsAnomaly a;
+          a.node = nid;
+          a.value = v;
+          a.stats = s;
+          a.report = contamination_report(nid, v, s);
+          raise_anomaly(std::move(a));
+        }
+      }
+    }
+    exec.has_stats = true;
+    ledger.record(static_cast<std::int64_t>(v), t.raw(), t.nbytes());
+  };
+
+  // Simulated cost of the guard pass over this node's retiring outputs (one
+  // fused sweep + checksum per buffer).  Charged in both execution modes so
+  // timing studies see the guard's overhead.
+  auto guard_cost = [&](NodeExec& exec, const std::vector<ValueId>& outs) {
+    if (exec.engine == Engine::kNone) return;
+    std::size_t bytes = 0;
+    for (ValueId v : outs) {
+      if (!is_internal(v)) bytes += g.value(v).nbytes();
+    }
+    exec.guard_time = sim::guard_sweep_time(
+        bytes, cg.config.memory.hbm_bandwidth_bytes_per_s);
+    if (!functional) {
+      // Timing mode has no data to sweep; the stats record only coverage.
+      exec.has_stats = true;
+      for (ValueId v : outs) {
+        if (!is_internal(v)) {
+          exec.stats.count +=
+              static_cast<std::uint64_t>(g.value(v).shape.numel());
+        }
+      }
+      total_stats.count += exec.stats.count;
+    }
+  };
+
+  // Deterministic corruption of a just-retired buffer, after its checksum is
+  // recorded — so the damage is silent until a guarded consumer looks.
+  auto inject_sdc = [&](NodeId nid, const std::vector<ValueId>& outs) {
+    if (opts.corrupt_value != kInvalidValue) {
+      for (ValueId v : outs) {
+        if (v != opts.corrupt_value) continue;
+        tensor::Tensor& t = tensors[static_cast<std::size_t>(v)];
+        if (!t.defined() || t.numel() == 0 ||
+            !tensor::is_floating(t.dtype())) {
+          break;
+        }
+        if (t.dtype() == tensor::DType::F32) {
+          const std::uint32_t qnan = 0x7FC00000u;
+          std::memcpy(t.raw(), &qnan, sizeof(qnan));
+        } else {
+          const std::uint16_t qnan = 0x7FC0u;
+          std::memcpy(t.raw(), &qnan, sizeof(qnan));
+        }
+      }
+    }
+    if (faults == nullptr ||
+        !faults->fires(sim::FaultKind::kSdcBitFlip,
+                       sim::FaultInjector::site(
+                           opts.fault_epoch, static_cast<std::uint64_t>(
+                                                 static_cast<std::uint32_t>(nid))))) {
+      return;
+    }
+    for (ValueId v : outs) {
+      if (is_internal(v)) continue;
+      tensor::Tensor& t = tensors[static_cast<std::size_t>(v)];
+      if (!t.defined() || t.numel() == 0 || !tensor::is_floating(t.dtype())) {
+        continue;
+      }
+      const std::uint64_t site = sim::FaultInjector::site(
+          opts.fault_epoch, static_cast<std::uint64_t>(
+                                static_cast<std::uint32_t>(nid)));
+      const std::uint64_t element =
+          faults->sdc_element(site, static_cast<std::uint64_t>(t.numel()));
+      const std::uint32_t element_bits =
+          t.dtype() == tensor::DType::F32 ? 32u : 16u;
+      const std::uint32_t bit = faults->sdc_bit(site, element_bits);
+      std::byte* base = t.raw() + element * (element_bits / 8);
+      if (element_bits == 32) {
+        std::uint32_t word;
+        std::memcpy(&word, base, sizeof(word));
+        word ^= (1u << bit);
+        std::memcpy(base, &word, sizeof(word));
+      } else {
+        std::uint16_t word;
+        std::memcpy(&word, base, sizeof(word));
+        word = static_cast<std::uint16_t>(word ^ (1u << bit));
+        std::memcpy(base, &word, sizeof(word));
+      }
+      sdc_injections.push_back(SdcInjection{
+          nid, v, static_cast<std::int64_t>(element), bit});
+      break;  // one flip per firing: a single upset hits one buffer
+    }
+  };
+
   for (const NodeId nid : cg.order) {
     const Node& n = g.node(nid);
     // Allocate outputs (reshape aliases its input; fused-chain intermediates
@@ -88,7 +308,24 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
 
     NodeExec& exec = execs[static_cast<std::size_t>(nid)];
     if (!cg.fusion.fused(nid)) {
-      exec = executor.run(g, nid, tensors, opts.mode);
+      if (guarded && functional) {
+        for (ValueId v : n.inputs) verify_input(nid, v);
+      }
+      exec = executor.run(g, nid, tensors, opts.mode,
+                          /*poison_outputs=*/guarded && functional);
+      if (guarded) {
+        guard_cost(exec, n.outputs);
+        if (functional) {
+          bool inherited = false;
+          for (ValueId v : n.inputs) {
+            inherited |= value_anomalous[static_cast<std::size_t>(v)] != 0;
+          }
+          for (ValueId v : n.outputs) {
+            if (!is_internal(v)) sweep_output(exec, nid, v, inherited);
+          }
+        }
+      }
+      if (functional) inject_sdc(nid, n.outputs);
       for (ValueId v : n.inputs) {
         auto& p = pending[static_cast<std::size_t>(v)];
         GAUDI_ASSERT(p > 0, "consumer refcount underflow");
@@ -104,10 +341,24 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
       const FusedChainSpec& spec =
           cg.chains[static_cast<std::size_t>(
               cg.fusion.group_of[static_cast<std::size_t>(nid)])];
+      const FusionGroup& group =
+          cg.fusion.groups[static_cast<std::size_t>(
+              cg.fusion.group_of[static_cast<std::size_t>(nid)])];
+      // The fused launch reads every chain member's external operands, so
+      // the guard verifies (and blame-checks) the whole group's inputs here.
+      bool inherited = false;
+      if (guarded && functional) {
+        for (const NodeId member : group.nodes) {
+          for (ValueId v : g.node(member).inputs) {
+            if (is_internal(v)) continue;
+            verify_input(nid, v);
+            inherited |= value_anomalous[static_cast<std::size_t>(v)] != 0;
+          }
+        }
+      }
       const ValueInfo& out_info = g.value(spec.output);
-      tensors[static_cast<std::size_t>(spec.output)] =
-          functional ? tensor::Tensor::zeros(out_info.shape, out_info.dtype)
-                     : tensor::Tensor::phantom(out_info.shape, out_info.dtype);
+      tensors[static_cast<std::size_t>(spec.output)] = make_output_tensor(
+          out_info, opts.mode, /*poison=*/guarded && functional);
       const FusedChainKernel kernel(spec, tensors);
       const tpc::RunResult r = executor.cluster().run(kernel, opts.mode);
       exec.engine = Engine::kTpc;
@@ -116,12 +367,18 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
       exec.label = spec.label;
       for (ValueId v : n.inputs) exec.bytes += g.value(v).nbytes();
       for (ValueId v : n.outputs) exec.bytes += g.value(v).nbytes();
+      if (guarded) {
+        guard_cost(exec, n.outputs);
+        if (functional) {
+          for (ValueId v : n.outputs) {
+            if (!is_internal(v)) sweep_output(exec, nid, v, inherited);
+          }
+        }
+      }
+      if (functional) inject_sdc(nid, n.outputs);
       // The fused launch read every chain member's operands just now, so
       // the whole group's consumption lands here — releasing an external at
       // the link that names it would free bytes the tail still reads.
-      const FusionGroup& group =
-          cg.fusion.groups[static_cast<std::size_t>(
-              cg.fusion.group_of[static_cast<std::size_t>(nid)])];
       for (const NodeId member : group.nodes) {
         for (ValueId v : g.node(member).inputs) {
           auto& p = pending[static_cast<std::size_t>(v)];
@@ -139,9 +396,32 @@ ProfileResult Runtime::run(const CompiledGraph& cg,
     }
   }
 
+  // End-of-run audit: a graph output corrupted after its last consumer (or
+  // one nothing ever read) would otherwise leave the run with no verifier.
+  if (guarded && functional) {
+    for (ValueId v = 0; v < static_cast<ValueId>(g.num_values()); ++v) {
+      if (!g.value(v).is_output) continue;
+      const tensor::Tensor& t = tensors[static_cast<std::size_t>(v)];
+      if (!t.defined() || !ledger.has(static_cast<std::int64_t>(v))) continue;
+      if (ledger.verify(static_cast<std::int64_t>(v), t.raw(), t.nbytes())) {
+        continue;
+      }
+      NumericsAnomaly a;
+      a.kind = NumericsAnomaly::Kind::kSdc;
+      a.value = v;
+      a.report = "silent data corruption: graph output " + value_desc(v) +
+                 " failed its checksum at end of run; produced by " +
+                 producer_desc(v) +
+                 " (bytes changed after the producer retired)";
+      raise_anomaly(std::move(a));
+    }
+  }
+
   ProfileResult result;
-  const sim::FaultInjector* faults =
-      opts.faults != nullptr ? opts.faults : sim::fault_injector_from_env();
+  result.guard_policy = guard_policy;
+  result.anomalies = std::move(anomalies);
+  result.sdc_injections = std::move(sdc_injections);
+  result.numerics = total_stats;
   result.trace = schedule(cg, execs, opts.policy, faults);
   if (opts.validate || validation_requested_from_env()) {
     validate_or_throw(g, execs, result.trace, opts.policy, cg.config);

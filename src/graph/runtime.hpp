@@ -13,6 +13,8 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +25,7 @@
 #include "graph/trace.hpp"
 #include "memory/device_memory.hpp"
 #include "sim/chip_config.hpp"
+#include "sim/numerics.hpp"
 
 namespace gaudi::graph {
 
@@ -53,6 +56,48 @@ struct RunOptions {
   /// GAUDI_FAULTS / GAUDI_FAULT_SEED; when that is absent too, the schedule
   /// is bit-identical to a fault-free build.
   const sim::FaultInjector* faults = nullptr;
+  /// Numerics guard (see sim/numerics.hpp).  Unset falls back to the
+  /// GAUDI_GUARD environment variable.  Under kWarn/kTrap a functional run
+  /// sweeps every op's retiring outputs for NaN/Inf/denormals, checksums
+  /// live buffers to catch silent data corruption between ops, and
+  /// poison-fills fresh outputs with a signaling-NaN pattern so
+  /// reads-before-writes surface; the sweep cost is billed as a nested
+  /// kGuard trace span.  kTrap throws sim::NumericsError at the first
+  /// anomaly; kWarn collects them in ProfileResult::anomalies.  kOff keeps
+  /// traces and numerics byte-identical to a guard-free build.
+  std::optional<sim::NumericsPolicy> guard{};
+  /// Epoch mixed into SDC bit-flip fault sites so multi-step callers (the
+  /// training loop) draw fresh corruption sites each step.
+  std::uint64_t fault_epoch = 0;
+  /// Test hook: right after this value's producer retires (and its checksum
+  /// is recorded), overwrite element 0 with a quiet NaN — a deterministic
+  /// stand-in for an SDC hit on exactly this buffer.
+  ValueId corrupt_value = kInvalidValue;
+};
+
+/// One anomaly detected by the numerics guard (functional runs only).
+struct NumericsAnomaly {
+  enum class Kind {
+    kNonFinite,  ///< NaN/Inf appeared in an op's swept output
+    kSdc,        ///< a live buffer's checksum changed between ops
+  };
+  Kind kind = Kind::kNonFinite;
+  /// Op at which the anomaly was detected (-1: end-of-run output audit).
+  NodeId node = -1;
+  /// Offending value (the non-finite output, or the corrupted buffer).
+  ValueId value = kInvalidValue;
+  sim::NumericsStats stats{};
+  /// Human-readable report naming the offending node, its producers, and the
+  /// feed-to-fault contamination path in topological order.
+  std::string report;
+};
+
+/// One bit flip the fault injector landed in a live buffer (kSdcBitFlip).
+struct SdcInjection {
+  NodeId node = -1;           ///< producer whose retired output was hit
+  ValueId value = kInvalidValue;
+  std::int64_t element = 0;   ///< flat element index
+  std::uint32_t bit = 0;      ///< flipped bit position within the element
 };
 
 struct ProfileResult {
@@ -66,6 +111,18 @@ struct ProfileResult {
   std::size_t hbm_capacity_bytes = 0;
   /// Per-node execution records (indexed by NodeId).
   std::vector<NodeExec> node_execs;
+  /// Guard policy the run resolved (RunOptions::guard or GAUDI_GUARD).
+  sim::NumericsPolicy guard_policy = sim::NumericsPolicy::kOff;
+  /// Anomalies in detection order (kWarn collects every origination; kTrap
+  /// throws at the first, so trapped runs never return this).
+  std::vector<NumericsAnomaly> anomalies;
+  /// Bit flips the fault injector landed in live buffers this run —
+  /// recorded whether or not the guard was on, so tests can cross-check
+  /// detection against injection.
+  std::vector<SdcInjection> sdc_injections;
+  /// Merged numerics stats over every swept output (guarded functional
+  /// runs; zero otherwise).
+  sim::NumericsStats numerics{};
 };
 
 class Runtime {

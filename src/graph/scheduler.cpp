@@ -197,6 +197,14 @@ Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
       straggle = stretched - dur;
       dur = stretched;
     }
+    // Numerics guard: the sweep of the retiring outputs extends the exec
+    // span; like the straggler stall it is made explicit as a nested
+    // annotation (kGuard, carrying the sweep's stats) over the tail, so
+    // guard overhead is visible in the trace instead of silently inflating
+    // the kernel.  The guard runs after any straggle (sweeps wait for the
+    // data).
+    const sim::SimTime guard = ex.guard_time;
+    dur += guard;
     TraceEvent ev;
     ev.engine = ex.engine;
     ev.name = ex.label.empty() ? n.label : ex.label;
@@ -210,9 +218,21 @@ Trace schedule_impl(const Graph& g, const std::vector<NodeExec>& execs,
       stall.kind = TraceEventKind::kStall;
       stall.name = (ex.label.empty() ? n.label : ex.label) + ".straggle";
       stall.node = nid;
-      stall.start = end - straggle;
-      stall.end = end;
+      stall.start = end - guard - straggle;
+      stall.end = end - guard;
       trace.add(std::move(stall));
+    }
+    if (guard > sim::SimTime::zero()) {
+      TraceEvent sweep;
+      sweep.engine = ex.engine;
+      sweep.kind = TraceEventKind::kGuard;
+      sweep.name = (ex.label.empty() ? n.label : ex.label) + ".guard";
+      sweep.node = nid;
+      sweep.start = end - guard;
+      sweep.end = end;
+      sweep.has_stats = ex.has_stats;
+      sweep.stats = ex.stats;
+      trace.add(std::move(sweep));
     }
 
     for (ValueId v : n.outputs) {

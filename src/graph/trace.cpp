@@ -25,8 +25,9 @@ sim::SimTime Trace::makespan() const {
 sim::SimTime Trace::busy(Engine eng) const {
   sim::SimTime b = sim::SimTime::zero();
   for (const auto& e : events_) {
-    // kStall nests inside its parent span; counting it would double-bill.
-    if (e.kind == TraceEventKind::kStall) continue;
+    // kStall/kGuard nest inside their parent span; counting them would
+    // double-bill.
+    if (is_nested_annotation(e.kind)) continue;
     if (e.engine == eng) b += e.duration();
   }
   return b;
@@ -86,7 +87,7 @@ bool matches_on_token_boundary(const std::string& name,
 sim::SimTime Trace::busy_matching(const std::string& substr, Engine eng) const {
   sim::SimTime b = sim::SimTime::zero();
   for (const auto& e : events_) {
-    if (e.kind == TraceEventKind::kStall) continue;
+    if (is_nested_annotation(e.kind)) continue;
     if (eng != Engine::kNone && e.engine != eng) continue;
     if (matches_on_token_boundary(e.name, substr)) b += e.duration();
   }
@@ -102,7 +103,7 @@ double Trace::share_of_engine(const std::string& substr, Engine eng) const {
 std::map<std::string, sim::SimTime> Trace::busy_by_name(Engine eng) const {
   std::map<std::string, sim::SimTime> by_name;
   for (const auto& e : events_) {
-    if (e.kind == TraceEventKind::kStall) continue;
+    if (is_nested_annotation(e.kind)) continue;
     if (e.engine == eng) by_name[e.name] += e.duration();
   }
   return by_name;
@@ -150,10 +151,17 @@ std::string Trace::to_chrome_json() const {
        << "\",\"ts\":" << e.start.us() << ",\"dur\":" << e.duration().us()
        << ",\"args\":{\"node\":" << e.node << ",\"flops\":" << e.flops
        << ",\"bytes\":" << e.bytes;
-    // Fault-only fields are emitted conditionally so fault-free traces stay
-    // byte-identical to pre-fault builds.
+    // Fault-only and guard-only fields are emitted conditionally so
+    // fault-free, unguarded traces stay byte-identical to earlier builds.
     if (e.retry > 0) os << ",\"retry\":" << e.retry;
     if (e.kind == TraceEventKind::kStall) os << ",\"stall\":true";
+    if (e.kind == TraceEventKind::kGuard) os << ",\"guard\":true";
+    if (e.has_stats) {
+      os << ",\"nan\":" << e.stats.nan_count << ",\"inf\":" << e.stats.inf_count
+         << ",\"denormal\":" << e.stats.denormal_count
+         << ",\"bf16_overflow\":" << e.stats.bf16_overflow_count
+         << ",\"max_abs\":" << e.stats.max_abs;
+    }
     os << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
@@ -180,17 +188,20 @@ std::string Trace::ascii_timeline(int width) const {
   for (Engine eng : rows) {
     std::string line(static_cast<std::size_t>(width), '.');
     bool any = false;
-    // Two passes: stall markers ('~') paint over the busy span they nest in.
-    for (const bool stall_pass : {false, true}) {
+    // Two passes: stall ('~') and guard ('+') markers paint over the busy
+    // span they nest in.
+    for (const bool annotation_pass : {false, true}) {
       for (const auto& e : events_) {
         if (e.engine != eng) continue;
-        if ((e.kind == TraceEventKind::kStall) != stall_pass) continue;
+        if (is_nested_annotation(e.kind) != annotation_pass) continue;
         any = true;
         auto b = static_cast<std::int64_t>(static_cast<double>(e.start.ps()) * scale);
         auto en = static_cast<std::int64_t>(static_cast<double>(e.end.ps()) * scale);
         b = std::clamp<std::int64_t>(b, 0, width - 1);
         en = std::clamp<std::int64_t>(en, b, width - 1);
-        const char mark = stall_pass ? '~' : (e.engine == Engine::kHost ? '!' : '#');
+        const char mark = annotation_pass
+                              ? (e.kind == TraceEventKind::kGuard ? '+' : '~')
+                              : (e.engine == Engine::kHost ? '!' : '#');
         for (std::int64_t i = b; i <= en; ++i) line[static_cast<std::size_t>(i)] = mark;
       }
     }

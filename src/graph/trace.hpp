@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/op.hpp"
+#include "sim/numerics.hpp"
 #include "sim/time.hpp"
 
 namespace gaudi::graph {
@@ -25,7 +26,15 @@ enum class TraceEventKind : std::uint8_t {
   kDma,        ///< inter-engine transfer inserted by the scheduler
   kRecompile,  ///< one-time graph-compiler stall (HOST row)
   kStall,      ///< injected-fault stall nested inside its parent span
+  kGuard,      ///< numerics-guard sweep nested at the tail of its exec span
 };
+
+/// True for the annotation kinds that nest inside a parent span and are
+/// excluded from busy-time accounting (counting them would double-bill the
+/// engine).
+[[nodiscard]] constexpr bool is_nested_annotation(TraceEventKind k) {
+  return k == TraceEventKind::kStall || k == TraceEventKind::kGuard;
+}
 
 struct TraceEvent {
   Engine engine = Engine::kNone;
@@ -45,6 +54,11 @@ struct TraceEvent {
   /// attempt).  Attempts of one transfer share (value, dma_dst) and carry
   /// strictly increasing retry indices.
   std::uint32_t retry = 0;
+  /// Numerics sweep results attached to kGuard events by guarded runs
+  /// (has_stats is false on every event of an unguarded run, keeping those
+  /// traces byte-identical to pre-guard builds).
+  bool has_stats = false;
+  sim::NumericsStats stats{};
 
   [[nodiscard]] sim::SimTime duration() const { return end - start; }
 };

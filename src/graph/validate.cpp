@@ -45,13 +45,24 @@ std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
     }
   }
 
-  // Per-engine interval non-overlap, independent of insertion order.  kStall
-  // events are excluded: they intentionally nest inside their parent span
-  // (checked separately below).
+  // Guard-only payloads stay off every other event kind so unguarded traces
+  // serialize byte-identically to pre-guard builds.
+  for (const auto& e : events) {
+    if (e.has_stats && e.kind != TraceEventKind::kGuard) {
+      report(out, "guard-stats",
+             "event '" + e.name + "' carries numerics stats but is not a "
+                 "kGuard sweep",
+             e.node);
+    }
+  }
+
+  // Per-engine interval non-overlap, independent of insertion order.
+  // kStall/kGuard events are excluded: they intentionally nest inside their
+  // parent span (checked separately below).
   for (std::size_t eng = 0; eng + 1 < kEngineCount; ++eng) {
     std::vector<const TraceEvent*> mine;
     for (const auto& e : events) {
-      if (e.kind == TraceEventKind::kStall) continue;
+      if (is_nested_annotation(e.kind)) continue;
       if (e.engine == static_cast<Engine>(eng)) mine.push_back(&e);
     }
     std::sort(mine.begin(), mine.end(), [](const TraceEvent* a, const TraceEvent* b) {
@@ -69,14 +80,14 @@ std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
     }
   }
 
-  // Stall nesting: every kStall must lie inside a non-stall event with the
-  // same (engine, node) — a stall is an annotation over a span, never free-
-  // standing engine time.
+  // Stall/guard nesting: every kStall and kGuard must lie inside a
+  // non-annotation event with the same (engine, node) — annotations mark a
+  // portion of a span, never free-standing engine time.
   for (const auto& s : events) {
-    if (s.kind != TraceEventKind::kStall) continue;
+    if (!is_nested_annotation(s.kind)) continue;
     bool nested = false;
     for (const auto& e : events) {
-      if (e.kind == TraceEventKind::kStall) continue;
+      if (is_nested_annotation(e.kind)) continue;
       if (e.engine == s.engine && e.node == s.node && e.start <= s.start &&
           s.end <= e.end) {
         nested = true;
@@ -85,7 +96,9 @@ std::vector<Violation> TraceValidator::validate_trace(const Trace& trace) {
     }
     if (!nested) {
       report(out, "stall-nesting",
-             "stall '" + s.name + "' [" + ts(s.start) + ", " + ts(s.end) +
+             std::string(s.kind == TraceEventKind::kGuard ? "guard sweep '"
+                                                          : "stall '") +
+                 s.name + "' [" + ts(s.start) + ", " + ts(s.end) +
                  ") is not nested inside any event of its node",
              s.node);
     }
@@ -162,8 +175,8 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
     Engine last = Engine::kNone;
     sim::SimTime global_end = sim::SimTime::zero();
     for (const auto& e : events) {
-      // Stalls nest inside an already-issued span; they are not issues.
-      if (e.kind == TraceEventKind::kStall) continue;
+      // Stalls/guards nest inside an already-issued span; they are not issues.
+      if (is_nested_annotation(e.kind)) continue;
       if (last != Engine::kNone && e.engine != last && e.start < global_end) {
         report(out, "barrier",
                "engine switch to '" + e.name + "' on " +
@@ -187,6 +200,9 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
   // Injected stall time nested in each node's compute span: the span is the
   // NodeExec duration plus these stalls.
   std::map<NodeId, sim::SimTime> stall_of;
+  // Guard-sweep time nested in each node's compute span (guarded runs only);
+  // cross-checked against NodeExec::guard_time below.
+  std::map<NodeId, sim::SimTime> guard_of;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
     switch (e.kind) {
@@ -239,6 +255,15 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
       }
       case TraceEventKind::kStall: {
         if (e.node >= 0) stall_of[e.node] += e.duration();
+        break;
+      }
+      case TraceEventKind::kGuard: {
+        if (e.node >= 0) {
+          guard_of[e.node] += e.duration();
+        } else {
+          report(out, "guard-span",
+                 "guard sweep '" + e.name + "' names no node");
+        }
         break;
       }
     }
@@ -359,19 +384,34 @@ std::vector<Violation> TraceValidator::validate(const Graph& g,
                  ", NodeExec says " + std::string(engine_name(ex.engine)),
              nid);
     }
-    // A fault-stretched span must equal the NodeExec duration plus exactly
-    // the stall time nested inside it — no silent mistiming either way.
+    // A stretched span must equal the NodeExec duration plus exactly the
+    // stall and guard time nested inside it — no silent mistiming either way.
     const auto stall_it = stall_of.find(nid);
-    const sim::SimTime expected_dur =
-        ex.duration + (stall_it == stall_of.end() ? sim::SimTime::zero()
-                                                  : stall_it->second);
+    const auto guard_it = guard_of.find(nid);
+    const sim::SimTime stall_time =
+        stall_it == stall_of.end() ? sim::SimTime::zero() : stall_it->second;
+    const sim::SimTime guard_time =
+        guard_it == guard_of.end() ? sim::SimTime::zero() : guard_it->second;
+    const sim::SimTime expected_dur = ex.duration + stall_time + guard_time;
     if (e.duration() != expected_dur) {
       report(out, "exec-match",
              "'" + e.name + "' lasts " + ts(e.duration()) + ", NodeExec says " +
                  ts(ex.duration) +
                  (stall_it == stall_of.end()
                       ? std::string()
-                      : " plus " + ts(stall_it->second) + " injected stall"),
+                      : " plus " + ts(stall_time) + " injected stall") +
+                 (guard_it == guard_of.end()
+                      ? std::string()
+                      : " plus " + ts(guard_time) + " guard sweep"),
+             nid);
+    }
+    // The guard sweep nested in the span must match the NodeExec exactly: a
+    // guarded exec with no kGuard event (or vice versa) means the schedule
+    // dropped or invented sweep time.
+    if (guard_time != ex.guard_time) {
+      report(out, "guard-span",
+             "'" + e.name + "' nests " + ts(guard_time) +
+                 " of guard sweeps, NodeExec says " + ts(ex.guard_time),
              nid);
     }
     if (e.flops != ex.flops || e.bytes != ex.bytes) {

@@ -23,11 +23,18 @@
 //  * barrier         — under kBarrier, every engine switch serializes
 //  * overlap-slower  — kOverlap makespan must not exceed kBarrier on the
 //                      same (graph, execs)
-//  * stall-nesting   — injected kStall events nest inside an event of their
-//                      own (engine, node); never free-standing engine time
+//  * stall-nesting   — injected kStall and kGuard events nest inside an
+//                      event of their own (engine, node); never free-standing
+//                      engine time
 //  * retry-overlap   — fault-retried DMA attempts of one transfer carry
 //                      consecutive retry indices and never overlap their
 //                      failed predecessor
+//  * guard-span      — the kGuard sweep time nested in each compute span
+//                      equals the node's NodeExec::guard_time (zero for
+//                      unguarded runs: no kGuard events at all)
+//  * guard-stats     — numerics stats appear only on kGuard events, so
+//                      unguarded traces serialize byte-identically to
+//                      pre-guard builds
 //
 // Wire-up: `Runtime::run` validates when RunOptions::validate is set or the
 // GAUDI_VALIDATE environment variable is enabled (covers every figure

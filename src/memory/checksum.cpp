@@ -1,0 +1,26 @@
+#include "memory/checksum.hpp"
+
+namespace gaudi::memory {
+
+std::uint64_t fnv1a64(const std::byte* data, std::size_t n) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<std::uint64_t>(data[i]);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void ChecksumLedger::record(std::int64_t id, const std::byte* data,
+                            std::size_t n) {
+  sums_[id] = fnv1a64(data, n);
+}
+
+bool ChecksumLedger::verify(std::int64_t id, const std::byte* data,
+                            std::size_t n) const {
+  const auto it = sums_.find(id);
+  if (it == sums_.end()) return true;
+  return it->second == fnv1a64(data, n);
+}
+
+}  // namespace gaudi::memory

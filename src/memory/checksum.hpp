@@ -1,0 +1,43 @@
+// Per-buffer integrity checksums for silent-data-corruption detection.
+//
+// The SDC fault class (sim/fault.hpp kSdcBitFlip) flips a bit in a live HBM
+// buffer *between* ops — after the producer retires, before a consumer
+// reads.  A sweep of the producer's output cannot see that; what catches it
+// is remembering a checksum of every buffer as it retires and re-verifying
+// it at each read.  The ledger stores one 64-bit FNV-1a hash per value id;
+// guarded runs record on production and verify on consumption, turning a
+// silent flip into a localized, attributable anomaly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace gaudi::memory {
+
+/// 64-bit FNV-1a over a raw byte range.  Not cryptographic — a fast
+/// order-sensitive hash with good single-bit diffusion, which is exactly the
+/// corruption model the SDC fault class injects.
+[[nodiscard]] std::uint64_t fnv1a64(const std::byte* data, std::size_t n);
+
+/// Checksums of live buffers, keyed by the owning value id.
+class ChecksumLedger {
+ public:
+  /// Records (or refreshes) the checksum of `id`'s bytes.
+  void record(std::int64_t id, const std::byte* data, std::size_t n);
+
+  [[nodiscard]] bool has(std::int64_t id) const { return sums_.count(id) != 0; }
+
+  /// True when `id` has a recorded checksum and the bytes still match it.
+  /// Unrecorded ids verify trivially (nothing to compare against).
+  [[nodiscard]] bool verify(std::int64_t id, const std::byte* data,
+                            std::size_t n) const;
+
+  void forget(std::int64_t id) { sums_.erase(id); }
+  [[nodiscard]] std::size_t size() const { return sums_.size(); }
+
+ private:
+  std::unordered_map<std::int64_t, std::uint64_t> sums_;
+};
+
+}  // namespace gaudi::memory

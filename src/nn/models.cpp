@@ -151,8 +151,19 @@ LanguageModel build_language_model(Graph& g, const LmConfig& cfg,
     model.loss = g.cross_entropy_mean(model.logits, model.targets,
                                       name + ".loss");
     g.mark_output(model.loss);
+    // Dynamic loss scaling differentiates S * loss: every gradient comes
+    // back multiplied by S, lifting small bf16 gradients away from the
+    // denormal floor.  The host unscales before the update (nn/train.cpp).
+    ValueId root = model.loss;
+    if (cfg.scaled_loss) {
+      model.loss_scale = g.input(tensor::Shape{{1}}, tensor::DType::F32,
+                                 name + ".loss_scale");
+      model.scaled_loss = g.mul(model.loss, model.loss_scale,
+                                name + ".scaled_loss");
+      root = model.scaled_loss;
+    }
     const std::vector<ValueId> wrt = params.trainable();
-    const graph::BackwardResult back = graph::build_backward(g, model.loss, wrt);
+    const graph::BackwardResult back = graph::build_backward(g, root, wrt);
     model.grad_values.reserve(wrt.size());
     for (ValueId p : wrt) {
       const ValueId grad = back.grads.at(p);

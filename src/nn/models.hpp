@@ -32,6 +32,12 @@ struct LmConfig {
   float dropout_p = 0.0f;
   /// Append loss + backward nodes (a full training step).
   bool training = false;
+  /// Training only: differentiate `loss * loss_scale` instead of the raw
+  /// loss, where loss_scale is an extra [1] graph input the host feeds each
+  /// step (dynamic loss scaling for bf16 training — see nn/train.hpp).  The
+  /// unscaled loss stays a graph output; gradients come back scaled and the
+  /// host divides by the scale before the update.
+  bool scaled_loss = false;
 
   [[nodiscard]] std::int64_t d_model() const { return heads * head_dim; }
   [[nodiscard]] std::int64_t tokens() const { return batch * seq_len; }
@@ -52,6 +58,8 @@ struct LanguageModel {
   graph::ValueId causal_mask = graph::kInvalidValue;  ///< [N, N] input (GPT only)
   graph::ValueId logits = graph::kInvalidValue;     ///< [B*N, V]
   graph::ValueId loss = graph::kInvalidValue;       ///< [1] (training only)
+  graph::ValueId loss_scale = graph::kInvalidValue;  ///< [1] input (scaled_loss)
+  graph::ValueId scaled_loss = graph::kInvalidValue;  ///< [1] (scaled_loss)
   std::vector<graph::ValueId> grad_values;          ///< parameter gradients
 
   /// Number of scalar parameters (trainable + buffers).

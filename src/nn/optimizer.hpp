@@ -61,4 +61,16 @@ struct OptimizerState {
                                               const LanguageModel& model,
                                               const OptimizerConfig& cfg);
 
+/// Builds a standalone update graph into `g`: each slot's param, gradient,
+/// and state enter as inputs and the updated param/state come back as
+/// outputs.  Used by the host-driven training loop (nn/train.hpp), which
+/// must inspect — and under dynamic loss scaling, unscale or skip —
+/// gradients between backward and update, so the update cannot live in the
+/// same graph as the backward pass.  `model_graph` is the graph `model` was
+/// built into (shapes/names are read from it).
+[[nodiscard]] OptimizerState build_update_graph(graph::Graph& g,
+                                                const graph::Graph& model_graph,
+                                                const LanguageModel& model,
+                                                const OptimizerConfig& cfg);
+
 }  // namespace gaudi::nn

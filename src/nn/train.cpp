@@ -1,0 +1,154 @@
+#include "nn/train.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "tensor/ops.hpp"
+
+namespace gaudi::nn {
+
+using graph::ValueId;
+using tensor::Tensor;
+
+bool GradScaler::update(bool overflow) {
+  if (overflow) {
+    ++skipped_;
+    streak_ = 0;
+    scale_ = std::max(cfg_.min_scale, scale_ * cfg_.backoff_factor);
+    return false;
+  }
+  if (++streak_ >= cfg_.growth_interval) {
+    streak_ = 0;
+    scale_ = std::min(cfg_.max_scale, scale_ * cfg_.growth_factor);
+  }
+  return true;
+}
+
+TrainResult train_language_model(const TrainOptions& opts,
+                                 const sim::ChipConfig& chip) {
+  GAUDI_CHECK(opts.steps > 0, "training needs at least one step");
+  LmConfig mcfg = opts.model;
+  mcfg.training = true;
+  mcfg.scaled_loss = opts.loss_scaling;
+
+  graph::Graph g;
+  const LanguageModel model = build_language_model(g, mcfg, opts.seed);
+  graph::Graph ug;
+  const OptimizerState ostate =
+      build_update_graph(ug, g, model, opts.optimizer);
+  const std::vector<ValueId> trainable = model.params.trainable();
+
+  graph::Runtime rt(chip);
+  graph::CompileOptions copts;
+  copts.fuse_elementwise = opts.run.fuse_elementwise;
+  copts.enforce_capacity = opts.run.account_memory;
+  const graph::CompiledGraph cg = rt.compile(g, copts);
+  const graph::CompiledGraph cug = rt.compile(ug, copts);
+
+  // Model feeds: parameters (updated in place across steps), a fixed batch,
+  // and the loss-scale scalar rewritten before every run.
+  std::unordered_map<ValueId, Tensor> feeds = model.params.init_feeds(g);
+  sim::CounterRng data_rng{opts.seed ^ 0xDA7Au};
+  feeds.emplace(model.token_ids,
+                Tensor::random_tokens(
+                    tensor::Shape{{mcfg.batch, mcfg.seq_len}},
+                    data_rng.stream(1), mcfg.vocab));
+  feeds.emplace(model.targets,
+                Tensor::random_tokens(tensor::Shape{{mcfg.tokens()}},
+                                      data_rng.stream(2), mcfg.vocab));
+  if (model.causal_mask != graph::kInvalidValue) {
+    feeds.emplace(model.causal_mask, make_causal_mask(mcfg.seq_len));
+  }
+  Tensor scale_feed = Tensor::zeros(tensor::Shape{{1}});
+  if (model.loss_scale != graph::kInvalidValue) {
+    feeds.emplace(model.loss_scale, scale_feed);
+  }
+
+  // Optimizer state, zero on the first step and fed back thereafter.
+  std::unordered_map<ValueId, Tensor> state_feeds = ostate.initial_state(ug);
+
+  GradScaler scaler(opts.scaler);
+  TrainResult result;
+  result.steps.reserve(static_cast<std::size_t>(opts.steps));
+
+  for (std::int32_t step = 0; step < opts.steps; ++step) {
+    const float scale = opts.loss_scaling ? scaler.scale() : 1.0f;
+    if (model.loss_scale != graph::kInvalidValue) {
+      scale_feed.f32()[0] = scale;
+    }
+
+    graph::RunOptions ro = opts.run;
+    ro.mode = tpc::ExecMode::kFunctional;
+    // Even steps of the epoch counter belong to the model graph, odd to the
+    // update graph, so SDC sites never collide across the two.
+    ro.fault_epoch = static_cast<std::uint64_t>(step) * 2;
+    ro.corrupt_value = (step == opts.corrupt_grad_step &&
+                        !model.grad_values.empty())
+                           ? model.grad_values.front()
+                           : graph::kInvalidValue;
+    graph::ProfileResult r = rt.run(cg, feeds, ro);
+    result.sdc_injections += r.sdc_injections.size();
+    result.anomalies += r.anomalies.size();
+
+    TrainStepInfo info;
+    info.loss = r.outputs.at(model.loss).f32()[0];
+    info.scale = scale;
+
+    // Host-side gradient audit: one sweep over every (optionally
+    // bf16-stored) gradient decides overflow before any update applies.
+    std::vector<Tensor> grads;
+    grads.reserve(trainable.size());
+    for (const ValueId gv : model.grad_values) {
+      Tensor t = r.outputs.at(gv).clone();
+      if (opts.bf16_grads) {
+        for (float& x : t.f32()) x = tensor::round_bf16(x);
+      }
+      info.grad_stats.merge(tensor::ops::numerics_sweep(t));
+      grads.push_back(std::move(t));
+    }
+    const bool overflow = info.grad_stats.anomalous();
+    info.applied = opts.loss_scaling ? scaler.update(overflow) : true;
+
+    if (info.applied) {
+      // Unscale into the f32 master gradients and run the update graph.
+      const float inv = 1.0f / scale;
+      std::unordered_map<ValueId, Tensor> ufeeds = state_feeds;
+      for (std::size_t i = 0; i < ostate.slots.size(); ++i) {
+        const OptimizerSlot& slot = ostate.slots[i];
+        if (scale != 1.0f) {
+          for (float& x : grads[i].f32()) x *= inv;
+        }
+        ufeeds.emplace(slot.param, feeds.at(trainable[i]));
+        ufeeds.emplace(slot.grad, std::move(grads[i]));
+      }
+      graph::RunOptions uro = opts.run;
+      uro.mode = tpc::ExecMode::kFunctional;
+      uro.fault_epoch = static_cast<std::uint64_t>(step) * 2 + 1;
+      uro.corrupt_value = graph::kInvalidValue;
+      graph::ProfileResult ur = rt.run(cug, ufeeds, uro);
+      result.sdc_injections += ur.sdc_injections.size();
+      result.anomalies += ur.anomalies.size();
+      for (std::size_t i = 0; i < ostate.slots.size(); ++i) {
+        const OptimizerSlot& slot = ostate.slots[i];
+        feeds[trainable[i]] = ur.outputs.at(slot.new_param);
+        for (const auto [in, outv] :
+             {std::pair{slot.vel_in, slot.vel_out},
+              std::pair{slot.m_in, slot.m_out},
+              std::pair{slot.v_in, slot.v_out}}) {
+          if (in != graph::kInvalidValue) {
+            state_feeds[in] = ur.outputs.at(outv);
+          }
+        }
+      }
+    }
+    result.steps.push_back(info);
+  }
+
+  result.skipped_steps = scaler.skipped_steps();
+  result.final_scale = opts.loss_scaling ? scaler.scale() : 1.0f;
+  result.final_loss = result.steps.back().loss;
+  result.finite = std::isfinite(result.final_loss);
+  return result;
+}
+
+}  // namespace gaudi::nn

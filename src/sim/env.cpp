@@ -19,9 +19,9 @@ std::string lower(const char* s) {
   return out;
 }
 
-/// Warn once per (variable, value) pair so a misspelled setting surfaces
-/// without flooding stderr from per-run parses.
-void warn_once(const std::string& key, const std::string& message) {
+}  // namespace
+
+void env_warn_once(const std::string& key, const std::string& message) {
   static std::mutex mu;
   static std::set<std::string> warned;
   const std::lock_guard<std::mutex> lock(mu);
@@ -29,8 +29,6 @@ void warn_once(const std::string& key, const std::string& message) {
     std::fprintf(stderr, "gaudisim: %s\n", message.c_str());
   }
 }
-
-}  // namespace
 
 EnvFlag classify_env_flag(const char* value) {
   if (value == nullptr) return EnvFlag::kUnset;
@@ -55,7 +53,7 @@ bool env_flag(const char* name, bool fallback_for_unrecognized) {
     case EnvFlag::kUnrecognized:
       break;
   }
-  warn_once(std::string(name) + "=" + value,
+  env_warn_once(std::string(name) + "=" + value,
             std::string(name) + "=\"" + value +
                 "\" is not a recognized boolean (use 0/1/true/false/on/off/"
                 "yes/no); treating it as " +
@@ -69,7 +67,7 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   char* end = nullptr;
   const unsigned long long parsed = std::strtoull(value, &end, 0);
   if (end == value || *end != '\0') {
-    warn_once(std::string(name) + "=" + value,
+    env_warn_once(std::string(name) + "=" + value,
               std::string(name) + "=\"" + value +
                   "\" is not an unsigned integer; using " +
                   std::to_string(fallback));

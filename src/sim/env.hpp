@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace gaudi::sim {
 
@@ -32,5 +33,10 @@ enum class EnvFlag : std::uint8_t {
 /// Reads an unsigned integer variable; a malformed value warns once to
 /// stderr and yields `fallback`.
 [[nodiscard]] std::uint64_t env_u64(const char* name, std::uint64_t fallback);
+
+/// Warns once per `key` to stderr.  Shared by every environment knob (and by
+/// parsers with non-boolean grammars, e.g. GAUDI_GUARD) so a misspelled
+/// setting surfaces without flooding stderr from per-run parses.
+void env_warn_once(const std::string& key, const std::string& message);
 
 }  // namespace gaudi::sim

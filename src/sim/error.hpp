@@ -34,6 +34,14 @@ class InternalError : public Error {
   using Error::Error;
 };
 
+/// A numerical anomaly (NaN/Inf sweep hit or checksum mismatch) trapped by
+/// guarded execution (see sim/numerics.hpp).  The message carries the full
+/// anomaly report: offending node, corrupted value, and producer chain.
+class NumericsError : public Error {
+ public:
+  using Error::Error;
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failed(const char* kind, const char* expr,
                                      const char* file, int line,

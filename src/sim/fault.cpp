@@ -16,6 +16,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kDmaTimeout: return "dma-timeout";
     case FaultKind::kTpcStraggler: return "tpc-straggler";
     case FaultKind::kHbmPressure: return "hbm-pressure";
+    case FaultKind::kSdcBitFlip: return "sdc-bit-flip";
   }
   return "unknown";
 }
@@ -28,6 +29,7 @@ double FaultProfile::rate(FaultKind k) const {
     case FaultKind::kDmaTimeout: return dma_timeout_rate;
     case FaultKind::kTpcStraggler: return tpc_straggler_rate;
     case FaultKind::kHbmPressure: return hbm_pressure_rate;
+    case FaultKind::kSdcBitFlip: return sdc_bit_flip_rate;
   }
   return 0.0;
 }
@@ -35,7 +37,8 @@ double FaultProfile::rate(FaultKind k) const {
 bool FaultProfile::any_rate_positive() const {
   return transient_link_rate > 0.0 || link_degradation_rate > 0.0 ||
          chip_failure_rate > 0.0 || dma_timeout_rate > 0.0 ||
-         tpc_straggler_rate > 0.0 || hbm_pressure_rate > 0.0;
+         tpc_straggler_rate > 0.0 || hbm_pressure_rate > 0.0 ||
+         sdc_bit_flip_rate > 0.0;
 }
 
 FaultProfile FaultProfile::from_mtbf_steps(double mtbf_steps,
@@ -88,6 +91,9 @@ std::vector<FaultEvent> fault_schedule(const FaultInjector& inj,
       if (inj.fires(FaultKind::kTpcStraggler, s)) {
         out.push_back(FaultEvent{FaultKind::kTpcStraggler, step, c,
                                  p.straggler_slowdown});
+      }
+      if (inj.fires(FaultKind::kSdcBitFlip, s)) {
+        out.push_back(FaultEvent{FaultKind::kSdcBitFlip, step, c, 0.0});
       }
     }
     if (inj.fires(FaultKind::kHbmPressure, FaultInjector::site(step, 0))) {

@@ -28,8 +28,9 @@ enum class FaultKind : std::uint8_t {
   kDmaTimeout,       ///< an on-chip DMA transfer times out and retries
   kTpcStraggler,     ///< a TPC kernel runs slower by a multiplicative factor
   kHbmPressure,      ///< HBM capacity pressure stalls a step (paging/compaction)
+  kSdcBitFlip,       ///< silent data corruption: an HBM bit flips in a live buffer
 };
-inline constexpr std::size_t kFaultKindCount = 6;
+inline constexpr std::size_t kFaultKindCount = 7;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
 
@@ -44,6 +45,11 @@ struct FaultProfile {
   double dma_timeout_rate = 0.0;       ///< per DMA transfer attempt
   double tpc_straggler_rate = 0.0;     ///< per TPC node execution
   double hbm_pressure_rate = 0.0;      ///< per training step
+  /// Probability that an HBM bit flips in one node's live output buffer
+  /// between its production and its consumption (silent data corruption).
+  /// Deliberately absent from stress(): the functional cross-check suites
+  /// run under stress rates, and SDC by definition changes the numerics.
+  double sdc_bit_flip_rate = 0.0;
 
   /// Duration multiplier of a straggling TPC kernel (> 1).
   double straggler_slowdown = 2.0;
@@ -108,6 +114,23 @@ class FaultInjector {
   [[nodiscard]] static std::uint64_t site(std::uint64_t step,
                                           std::uint64_t unit) {
     return splitmix64(step) + unit;
+  }
+
+  /// Deterministic coordinates of a fired kSdcBitFlip: which element of the
+  /// corrupted buffer flips, and which bit within the element.  Bits are
+  /// drawn from the high-mantissa/exponent range ([20, 30] for 32-bit
+  /// elements, [4, 14] for 16-bit) — the flips that actually perturb or
+  /// explode a value, as opposed to low-mantissa noise.
+  [[nodiscard]] std::uint64_t sdc_element(std::uint64_t site,
+                                          std::uint64_t count) const {
+    if (count == 0) return 0;
+    return rng_.stream(kFaultKindCount + 1).below(site, count);
+  }
+  [[nodiscard]] std::uint32_t sdc_bit(std::uint64_t site,
+                                      std::uint32_t element_bits) const {
+    const std::uint32_t base = element_bits >= 32 ? 20u : 4u;
+    return base + static_cast<std::uint32_t>(
+                      rng_.stream(kFaultKindCount + 2).below(site, 11));
   }
 
  private:

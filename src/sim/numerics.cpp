@@ -1,0 +1,137 @@
+#include "sim/numerics.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "sim/env.hpp"
+
+namespace gaudi::sim {
+
+const char* numerics_policy_name(NumericsPolicy p) {
+  switch (p) {
+    case NumericsPolicy::kOff: return "off";
+    case NumericsPolicy::kWarn: return "warn";
+    case NumericsPolicy::kTrap: return "trap";
+  }
+  return "?";
+}
+
+NumericsPolicy numerics_policy_from_env() {
+  const char* value = std::getenv("GAUDI_GUARD");
+  if (value == nullptr) return NumericsPolicy::kOff;
+  std::string v;
+  for (const char* c = value; *c != '\0'; ++c) {
+    v.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*c))));
+  }
+  if (v == "trap") return NumericsPolicy::kTrap;
+  if (v == "warn") return NumericsPolicy::kWarn;
+  switch (classify_env_flag(value)) {
+    case EnvFlag::kOn:
+      return NumericsPolicy::kWarn;
+    case EnvFlag::kUnset:
+    case EnvFlag::kOff:
+      return NumericsPolicy::kOff;
+    case EnvFlag::kUnrecognized:
+      break;
+  }
+  env_warn_once(std::string("GAUDI_GUARD=") + value,
+                std::string("GAUDI_GUARD=\"") + value +
+                    "\" is not a recognized guard policy (use off/warn/trap "
+                    "or a boolean spelling); treating it as off");
+  return NumericsPolicy::kOff;
+}
+
+void NumericsStats::merge(const NumericsStats& o) {
+  count += o.count;
+  nan_count += o.nan_count;
+  inf_count += o.inf_count;
+  denormal_count += o.denormal_count;
+  bf16_overflow_count += o.bf16_overflow_count;
+  if (o.max_abs > max_abs) max_abs = o.max_abs;
+}
+
+std::string NumericsStats::to_string() const {
+  std::ostringstream os;
+  os << "nan=" << nan_count << " inf=" << inf_count << " denormal="
+     << denormal_count << " bf16_overflow=" << bf16_overflow_count
+     << " max_abs=" << max_abs << " (" << count << " elements)";
+  return os.str();
+}
+
+namespace {
+
+/// Smallest |f32| that rounds to bf16 infinity under round-to-nearest-even:
+/// bf16's finite max is 0x7F7F; the tie at 0x7F7F8000 already rounds up
+/// (0x7F7F is odd), so everything at or above it overflows.
+constexpr std::uint32_t kBf16OverflowThreshold = 0x7F7F8000u;
+
+}  // namespace
+
+NumericsStats sweep_f32(std::span<const float> data) {
+  NumericsStats s;
+  s.count = data.size();
+  std::uint32_t max_abs_bits = 0;
+  for (const float f : data) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    const std::uint32_t abs = bits & 0x7FFFFFFFu;
+    const std::uint32_t exp = abs >> 23;
+    const std::uint32_t mant = abs & 0x7FFFFFu;
+    if (exp == 0xFF) {
+      if (mant != 0) {
+        ++s.nan_count;
+        continue;  // NaN never contributes to max_abs
+      }
+      ++s.inf_count;
+    } else {
+      if (exp == 0 && mant != 0) ++s.denormal_count;
+      if (abs >= kBf16OverflowThreshold) ++s.bf16_overflow_count;
+    }
+    if (abs > max_abs_bits) max_abs_bits = abs;
+  }
+  // Non-negative floats order like their bit patterns, so the max transfers.
+  std::memcpy(&s.max_abs, &max_abs_bits, sizeof(s.max_abs));
+  return s;
+}
+
+NumericsStats sweep_bf16(std::span<const std::uint16_t> data) {
+  NumericsStats s;
+  s.count = data.size();
+  std::uint16_t max_abs_bits = 0;
+  for (const std::uint16_t b : data) {
+    const std::uint16_t abs = b & 0x7FFFu;
+    const std::uint16_t exp = static_cast<std::uint16_t>(abs >> 7);
+    const std::uint16_t mant = abs & 0x7Fu;
+    if (exp == 0xFF) {
+      if (mant != 0) {
+        ++s.nan_count;
+        continue;
+      }
+      ++s.inf_count;
+    } else if (exp == 0 && mant != 0) {
+      ++s.denormal_count;
+    }
+    if (abs > max_abs_bits) max_abs_bits = abs;
+  }
+  const std::uint32_t widened = static_cast<std::uint32_t>(max_abs_bits) << 16;
+  std::memcpy(&s.max_abs, &widened, sizeof(s.max_abs));
+  return s;
+}
+
+SimTime guard_sweep_time(std::size_t bytes, double hbm_bandwidth_bytes_per_s) {
+  // The sweep re-reads the retiring output at 8x the HBM stream rate (it
+  // piggybacks on data already in flight), plus a fixed issue cost so even
+  // tiny guarded ops carry a visible span.
+  constexpr double kSweepSpeedup = 8.0;
+  const double seconds =
+      hbm_bandwidth_bytes_per_s > 0.0
+          ? static_cast<double>(bytes) /
+                (hbm_bandwidth_bytes_per_s * kSweepSpeedup)
+          : 0.0;
+  return SimTime::from_seconds(seconds) + SimTime::from_ns(60.0);
+}
+
+}  // namespace gaudi::sim

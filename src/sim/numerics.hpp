@@ -1,0 +1,79 @@
+// Numerics sentinel: per-buffer statistics and the guard policy.
+//
+// The paper's workloads train in bf16, where a single overflowing cast or a
+// flipped exponent bit silently poisons every downstream tensor.  This layer
+// gives the simulator the detection primitives real training stacks carry:
+// a single vectorizable sweep classifying every element of a buffer
+// (NaN / Inf / denormal / would-overflow-in-bf16, plus max-abs), and a
+// process-wide policy — off, warn, trap — selecting what a guarded run does
+// when a sweep finds an anomaly.  Policy selection mirrors the other opt-ins:
+// RunOptions::guard wins, else the GAUDI_GUARD environment variable (parsed
+// through the hardened sim::env grammar), else off.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace gaudi::sim {
+
+/// What a guarded run does when a sweep or checksum finds an anomaly.
+enum class NumericsPolicy : std::uint8_t {
+  kOff,   ///< no sweeps, no checksums, byte-identical to an unguarded run
+  kWarn,  ///< record every anomaly in the ProfileResult and keep going
+  kTrap,  ///< throw sim::NumericsError at the first anomaly
+};
+
+[[nodiscard]] const char* numerics_policy_name(NumericsPolicy p);
+
+/// Policy from the GAUDI_GUARD environment variable: "trap" and "warn" name
+/// the policies directly; the boolean grammar of the other GAUDI_* knobs is
+/// honoured too (on-spellings mean warn).  Unrecognized values warn once to
+/// stderr and fall back to off.  Re-read on every call (no caching) so tests
+/// can toggle the variable.
+[[nodiscard]] NumericsPolicy numerics_policy_from_env();
+
+/// Element classification of one buffer, produced by a single sweep.
+struct NumericsStats {
+  std::uint64_t count = 0;           ///< elements swept
+  std::uint64_t nan_count = 0;
+  std::uint64_t inf_count = 0;
+  std::uint64_t denormal_count = 0;  ///< subnormals (exp 0, mantissa != 0)
+  /// Finite f32 values whose round-to-nearest-even bf16 cast overflows to
+  /// infinity (|value| rounds past bf16's finite max): the paper's bf16-first
+  /// pipelines lose these silently on every cast.
+  std::uint64_t bf16_overflow_count = 0;
+  float max_abs = 0.0f;              ///< over non-NaN elements
+
+  void merge(const NumericsStats& o);
+  /// NaN or Inf present — the conditions a guarded run acts on.
+  [[nodiscard]] bool anomalous() const { return nan_count > 0 || inf_count > 0; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Sweeps an f32 buffer.  Pure bit classification (no FP compares on NaN
+/// paths), one pass, vectorizable.
+[[nodiscard]] NumericsStats sweep_f32(std::span<const float> data);
+
+/// Sweeps a buffer of raw bf16 encodings.
+[[nodiscard]] NumericsStats sweep_bf16(std::span<const std::uint16_t> data);
+
+/// Simulated cost of sweeping (and checksumming) `bytes` of retired output:
+/// the sweep rides the kernel's writeback at a multiple of HBM bandwidth,
+/// plus a fixed per-launch issue cost.  This is what guarded scheduling
+/// charges as the nested kGuard span.
+[[nodiscard]] SimTime guard_sweep_time(std::size_t bytes,
+                                       double hbm_bandwidth_bytes_per_s);
+
+/// Poison patterns (signaling-NaN encodings) used to pre-fill freshly
+/// allocated functional output buffers in guarded runs: a kernel that reads
+/// its output before writing it surfaces as a trapped NaN instead of a lucky
+/// zero.  (The DeviceAllocator models occupancy, not contents, so the fill
+/// lands on the host-side functional buffers that stand in for HBM.)
+inline constexpr std::uint32_t kPoisonBitsF32 = 0x7FA00000u;
+inline constexpr std::uint16_t kPoisonBitsBf16 = 0x7FA0u;
+
+}  // namespace gaudi::sim

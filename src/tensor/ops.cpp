@@ -442,6 +442,33 @@ double max_rel_diff(const Tensor& a, const Tensor& b, double floor) {
   return mx;
 }
 
+sim::NumericsStats numerics_sweep(const Tensor& t) {
+  if (!t.defined()) return {};
+  switch (t.dtype()) {
+    case DType::F32:
+      return sim::sweep_f32(t.f32());
+    case DType::BF16:
+      return sim::sweep_bf16(t.bf16());
+    default:
+      return {};
+  }
+}
+
+void poison_fill(Tensor& t) {
+  if (!t.defined()) return;
+  if (t.dtype() == DType::F32) {
+    // Byte-wise copy: assigning a signaling NaN through a float lvalue may
+    // quiet it on some FPUs, which would defeat the sentinel pattern.
+    const std::uint32_t p = sim::kPoisonBitsF32;
+    std::byte* bytes = t.raw();
+    for (std::int64_t i = 0; i < t.numel(); ++i) {
+      std::memcpy(bytes + i * 4, &p, sizeof(p));
+    }
+  } else if (t.dtype() == DType::BF16) {
+    for (std::uint16_t& b : t.bf16()) b = sim::kPoisonBitsBf16;
+  }
+}
+
 bool allclose(const Tensor& a, const Tensor& b, double atol, double rtol) {
   if (!(a.shape() == b.shape())) return false;
   const std::int64_t n = a.numel();

@@ -10,6 +10,7 @@
 #include <functional>
 #include <span>
 
+#include "sim/numerics.hpp"
 #include "tensor/tensor.hpp"
 
 namespace gaudi::tensor::ops {
@@ -82,6 +83,21 @@ void gemm(const Tensor& a, const Tensor& b, Tensor& c, bool accumulate = false);
 /// dLoss/dlogits when `dlogits` is non-null.
 [[nodiscard]] double cross_entropy(const Tensor& logits, const Tensor& targets,
                                    Tensor* dlogits = nullptr);
+
+// ---------------------------------------------------------------------------
+// Numerics sentinel
+// ---------------------------------------------------------------------------
+
+/// Single-pass classification of a tensor's elements (see sim/numerics.hpp).
+/// Undefined (phantom) and integer tensors return empty stats — the sweep
+/// exists for floating data.
+[[nodiscard]] sim::NumericsStats numerics_sweep(const Tensor& t);
+
+/// Fills a floating tensor with the signaling-NaN poison pattern (no-op for
+/// integer dtypes): guarded runs pre-fill fresh output buffers so a kernel
+/// reading its output before writing it trips the sweep instead of seeing
+/// lucky zeros.
+void poison_fill(Tensor& t);
 
 // ---------------------------------------------------------------------------
 // Comparison utilities

@@ -100,19 +100,28 @@ void CrossEntropyKernel::execute(KernelContext& ctx, const Member& m) const {
     vmax = ctx.v_max(vmax, ctx.v_ld_g(logits, base + off, count, neg_inf));
   }
   const float mx = ctx.v_reduce_max(vmax);
+  // A fully-masked row (every logit -inf) assigns the target probability
+  // zero: the defined loss is +inf, not the NaN the generic path's
+  // exp(-inf + inf) would produce.  Host-side selects (subtract 0 instead
+  // of the max, patch the stored loss) keep the instruction stream — and so
+  // the cycle count in both execution modes, where phantom loads splat the
+  // -inf fill — identical to the generic path.
+  const bool masked = mx == neg_inf;
+  const float safe_mx = masked ? 0.0f : mx;
 
   VecF vsum = ctx.v_mov(0.0f);
   for (std::int64_t off = 0; off < vocab_; off += kLanes) {
     const int count = static_cast<int>(std::min<std::int64_t>(kLanes, vocab_ - off));
     VecF x = ctx.v_ld_g(logits, base + off, count, neg_inf);
-    vsum = ctx.v_add(vsum, ctx.v_exp(ctx.v_add_s(x, -mx)));
+    vsum = ctx.v_add(vsum, ctx.v_exp(ctx.v_add_s(x, -safe_mx)));
   }
-  const float lse = ctx.s_add(std::log(ctx.v_reduce_add(vsum)), mx);
+  const float lse = ctx.s_add(std::log(ctx.v_reduce_add(vsum)), safe_mx);
   ctx.s_bookkeeping();  // the scalar log rides the SPU special path
 
   const std::int32_t tgt = ctx.i_ld_g(targets, m.linear);
   const float l = ctx.s_add(lse, -ctx.s_ld_g(logits, base + tgt));
-  ctx.s_st_g(loss, m.linear, l);
+  ctx.s_st_g(loss, m.linear,
+             masked ? std::numeric_limits<float>::infinity() : l);
 }
 
 std::uint64_t CrossEntropyKernel::flop_count() const {
@@ -151,21 +160,30 @@ void CrossEntropyGradKernel::execute(KernelContext& ctx, const Member& m) const 
     vmax = ctx.v_max(vmax, ctx.v_ld_g(logits, base + off, count, neg_inf));
   }
   const float mx = ctx.v_reduce_max(vmax);
+  // Fully-masked row: the softmax (and so its gradient) is undefined; the
+  // defined choice is a zero gradient row rather than NaN contamination.
+  // Same host-side-select treatment as the forward kernel: exponentials
+  // become exp(-inf) = 0, the guarded reciprocal keeps 0 * inv finite, and
+  // the one-hot subtraction is skipped — the instruction stream (and the
+  // cycle count in both execution modes) matches the generic path.
+  const bool masked = mx == neg_inf;
+  const float safe_mx = masked ? 0.0f : mx;
 
   VecF vsum = ctx.v_mov(0.0f);
   for (std::int64_t off = 0; off < vocab_; off += kLanes) {
     const int count = static_cast<int>(std::min<std::int64_t>(kLanes, vocab_ - off));
     VecF x = ctx.v_ld_g(logits, base + off, count, neg_inf);
-    vsum = ctx.v_add(vsum, ctx.v_exp(ctx.v_add_s(x, -mx)));
+    vsum = ctx.v_add(vsum, ctx.v_exp(ctx.v_add_s(x, -safe_mx)));
   }
-  const float inv_sum = ctx.s_recip(ctx.v_reduce_add(vsum));
+  const float inv_sum = ctx.s_recip(std::max(
+      ctx.v_reduce_add(vsum), std::numeric_limits<float>::min()));
 
   const std::int32_t tgt = ctx.i_ld_g(targets, m.linear);
   for (std::int64_t off = 0; off < vocab_; off += kLanes) {
     const int count = static_cast<int>(std::min<std::int64_t>(kLanes, vocab_ - off));
     VecF x = ctx.v_ld_g(logits, base + off, count, neg_inf);
-    VecF p = ctx.v_mul_s(ctx.v_exp(ctx.v_add_s(x, -mx)), inv_sum);
-    if (!ctx.phantom() && !dlogits.empty()) {
+    VecF p = ctx.v_mul_s(ctx.v_exp(ctx.v_add_s(x, -safe_mx)), inv_sum);
+    if (!ctx.phantom() && !dlogits.empty() && !masked) {
       // Subtract the one-hot target lane; branch is on coordinates, not data.
       if (tgt >= off && tgt < off + count) {
         p.lane[static_cast<std::size_t>(tgt - off)] -= 1.0f;

@@ -67,6 +67,14 @@ void SoftmaxKernel::execute(KernelContext& ctx, const Member& m) const {
     vmax = ctx.v_max(vmax, x);
   }
   const float row_max = ctx.v_reduce_max(vmax);
+  // Fully-masked row: every logit is -inf (an attention row whose mask
+  // blanks all positions), so exp(x - row_max) would be exp(-inf + inf) =
+  // NaN.  Subtracting 0 instead makes every exponential exp(-inf) = 0; the
+  // guarded reciprocal below then zeroes the row — the defined result (no
+  // position receives weight).  Both fixups are compiler-folded scalar
+  // selects, so the instruction stream (and the cycle count in both
+  // execution modes) is identical to the generic path.
+  const float safe_max = row_max == neg_inf ? 0.0f : row_max;
 
   // Pass 2: exponentials and their sum; exp(x - max) staged back to local
   // memory (or recomputed into output) so pass 3 only rescales.
@@ -75,7 +83,7 @@ void SoftmaxKernel::execute(KernelContext& ctx, const Member& m) const {
     const std::int64_t off = v * kLanes;
     const int count = static_cast<int>(std::min<std::int64_t>(kLanes, row_len_ - off));
     VecF x = cache_row_ ? ctx.v_ld_l(v) : ctx.v_ld_g(in, base + off, count, neg_inf);
-    VecF e = ctx.v_exp(ctx.v_add_s(x, -row_max));
+    VecF e = ctx.v_exp(ctx.v_add_s(x, -safe_max));
     if (cache_row_) {
       ctx.v_st_l(v, e);
     } else {
@@ -84,7 +92,12 @@ void SoftmaxKernel::execute(KernelContext& ctx, const Member& m) const {
     // Tail lanes hold exp(-inf) = 0 and do not perturb the sum.
     vsum = ctx.v_add(vsum, e);
   }
-  const float inv_sum = ctx.s_recip(ctx.v_reduce_add(vsum));
+  const float sum = ctx.v_reduce_add(vsum);
+  // sum == 0 only on a fully-masked row (otherwise exp(max - max) = 1
+  // contributes); 1/FLT_MIN times the all-zero exponentials keeps the row
+  // zero instead of the 0 * inf = NaN a bare reciprocal would produce.
+  const float inv_sum =
+      ctx.s_recip(std::max(sum, std::numeric_limits<float>::min()));
 
   // Pass 3: normalize.
   for (std::int64_t v = 0; v < nvec; ++v) {
@@ -191,7 +204,10 @@ void LayerNormKernel::execute(KernelContext& ctx, const Member& m) const {
   }
   const float mean = ctx.s_mul(ctx.v_reduce_add(vsum), inv_d);
   const float ex2 = ctx.s_mul(ctx.v_reduce_add(vsq), inv_d);
-  const float var = ctx.s_add(ex2, -mean * mean);
+  // E[x^2] - mean^2 cancels catastrophically on near-constant rows and can
+  // come out slightly negative; if |var| exceeded eps the sqrt would go
+  // NaN.  True variance is non-negative, so clamp before adding eps.
+  const float var = std::max(0.0f, ctx.s_add(ex2, -mean * mean));
   const float rstd = ctx.s_recip(ctx.s_sqrt(ctx.s_add(var, eps_)));
 
   if (!mean_out.empty()) ctx.s_st_g(mean_out, m.linear, mean);

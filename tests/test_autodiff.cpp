@@ -315,16 +315,26 @@ TEST(Autodiff, CrossEntropyTerminalLoss) {
   gc.check();
 }
 
-TEST(Autodiff, CrossEntropyMustBeTerminal) {
-  Graph g;
-  const ValueId logits = g.param(Shape{{4, 9}}, "logits");
-  const ValueId targets = g.input(Shape{{4}}, DType::I32, "targets");
-  const ValueId ce = g.cross_entropy_mean(logits, targets);
-  // A non-seed gradient into cross_entropy_mean is rejected.
-  const ValueId loss = g.reduce_mean(
-      g.mul_scalar(g.reshape(ce, Shape{{1, 1}}), 2.0f));
-  const ValueId wrt[] = {logits};
-  EXPECT_THROW(build_backward(g, loss, wrt), sim::InvalidArgument);
+TEST(Autodiff, CrossEntropyAcceptsScalarUpstreamGradient) {
+  // The loss-scaling path differentiates scale * ce (see nn/train.hpp), so
+  // a scalar gradient flowing into cross_entropy_mean is legal and must
+  // chain through — here the upstream factor is 2, and central differences
+  // confirm the logits gradient doubles with it.
+  GradCheck gc;
+  const ValueId w = gc.g.param(Shape{{6, 9}}, "w");
+  const ValueId x = gc.g.input(Shape{{4, 6}}, DType::F32, "x");
+  const ValueId targets = gc.g.input(Shape{{4}}, DType::I32, "targets");
+  const ValueId logits = gc.g.matmul(x, w);
+  const ValueId ce = gc.g.cross_entropy_mean(logits, targets);
+  gc.loss = gc.g.reduce_mean(
+      gc.g.mul_scalar(gc.g.reshape(ce, Shape{{1, 1}}), 2.0f));
+  Tensor tv = Tensor::zeros(Shape{{4}}, DType::I32);
+  for (int i = 0; i < 4; ++i) tv.i32()[i] = (2 * i) % 9;
+  gc.feeds = {{w, rnd(Shape{{6, 9}}, 29)},
+              {x, rnd(Shape{{4, 6}}, 30)},
+              {targets, tv}};
+  gc.wrt = {w};
+  gc.check();
 }
 
 TEST(Autodiff, DropoutBackwardReusesMask) {

@@ -2,9 +2,13 @@
 // mixed-precision graphs.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include "graph/autodiff.hpp"
+#include "sim/numerics.hpp"
 #include "graph/runtime.hpp"
 #include "mme/mme.hpp"
 #include "tensor/ops.hpp"
@@ -156,6 +160,72 @@ TEST(GraphBf16, CastBackwardRestoresDtype) {
       EXPECT_NEAR(grad.f32()[i * 4 + j], expect, 1e-2f);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// bf16 encoding boundaries (round-to-nearest-even at the edges of the format)
+// ---------------------------------------------------------------------------
+
+TEST(Bf16Boundary, FiniteMaxRoundsToInfinityAtHalfUlp) {
+  // 0x7F7F8000 is exactly halfway between bf16's finite max (0x7F7F) and
+  // infinity (0x7F80); RNE resolves the tie toward the even encoding, which
+  // is infinity.  Everything below stays finite.
+  const float just_over = std::bit_cast<float>(0x7F7F8000u);
+  EXPECT_TRUE(std::isfinite(just_over));
+  EXPECT_EQ(tensor::f32_to_bf16(just_over), 0x7F80);
+  EXPECT_TRUE(std::isinf(tensor::round_bf16(just_over)));
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x7F7F7FFFu)), 0x7F7F);
+  // Sign carries through on the negative side.
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0xFF7F8000u)), 0xFF80);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0xFF7F7FFFu)), 0xFF7F);
+}
+
+TEST(Bf16Boundary, SweepCountsCastOverflowAtTheBoundary) {
+  // The guard sweep must flag exactly the f32 values whose bf16 cast rounds
+  // to infinity — the boundary case included, the value one ulp under not.
+  const float vals[] = {std::bit_cast<float>(0x7F7F8000u),
+                        std::bit_cast<float>(0x7F7F7FFFu),
+                        std::bit_cast<float>(0xFF7F8000u), 1.0f};
+  const sim::NumericsStats s = sim::sweep_f32(vals);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.bf16_overflow_count, 2u);
+  EXPECT_EQ(s.inf_count, 0u);
+  EXPECT_EQ(s.nan_count, 0u);
+  EXPECT_FALSE(s.anomalous());  // a would-overflow cast is a warning, not NaN
+}
+
+TEST(Bf16Boundary, NanPayloadsCanonicalize) {
+  // Every f32 NaN — quiet, signaling, negative — collapses to the canonical
+  // bf16 quiet NaN; payloads are not preserved (truncation could otherwise
+  // quiet a signaling payload into an infinity encoding).
+  EXPECT_EQ(tensor::f32_to_bf16(std::numeric_limits<float>::quiet_NaN()), 0x7FC0);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x7FA00000u)), 0x7FC0);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0xFFC00001u)), 0x7FC0);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x7F800001u)), 0x7FC0);
+  EXPECT_TRUE(std::isnan(tensor::bf16_to_f32(0x7FC0)));
+}
+
+TEST(Bf16Boundary, DenormalsRoundTripExactly) {
+  // bf16 denormals (exp 0, mantissa != 0) widen to f32 denormals and narrow
+  // back without loss; the sweep classifies them as denormal, not zero.
+  const std::uint16_t encodings[] = {0x0001, 0x007F, 0x8001, 0x803F};
+  for (const std::uint16_t b : encodings) {
+    const float f = tensor::bf16_to_f32(b);
+    EXPECT_NE(f, 0.0f);
+    EXPECT_LT(std::abs(f), std::numeric_limits<float>::min());
+    EXPECT_EQ(tensor::f32_to_bf16(f), b);
+  }
+  const sim::NumericsStats s = sim::sweep_bf16(encodings);
+  EXPECT_EQ(s.denormal_count, 4u);
+  EXPECT_EQ(s.nan_count, 0u);
+}
+
+TEST(Bf16Boundary, TiesRoundToEven) {
+  // Exactly-halfway mantissas resolve to the even bf16 encoding; anything
+  // past the tie rounds up.
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x3F808000u)), 0x3F80);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x3F818000u)), 0x3F82);
+  EXPECT_EQ(tensor::f32_to_bf16(std::bit_cast<float>(0x3F808001u)), 0x3F81);
 }
 
 }  // namespace

@@ -148,6 +148,68 @@ TEST(Cli, UsageMentionsFaultTooling) {
   EXPECT_NE(out.find("train-resilient"), std::string::npos);
   EXPECT_NE(out.find("--faults"), std::string::npos);
   EXPECT_NE(out.find("GAUDI_FAULTS"), std::string::npos);
+  EXPECT_NE(out.find("--guard"), std::string::npos);
+  EXPECT_NE(out.find("--sdc-rate"), std::string::npos);
+}
+
+TEST(Cli, ProfileLayerGuardReportsSweepCoverage) {
+  std::string out;
+  EXPECT_EQ(run({"profile-layer", "--seq", "128", "--batch", "2", "--guard",
+                 "warn", "--validate"},
+                &out),
+            0);
+  EXPECT_NE(out.find("guard: warn, swept"), std::string::npos);
+  // Guard off: no guard line at all.
+  std::string plain;
+  EXPECT_EQ(run({"profile-layer", "--seq", "128", "--batch", "2", "--guard",
+                 "off"},
+                &plain),
+            0);
+  EXPECT_EQ(plain.find("guard:"), std::string::npos);
+  EXPECT_EQ(run({"profile-layer", "--guard", "paranoid"}, &out), 1);
+  EXPECT_NE(out.find("unknown guard policy"), std::string::npos);
+}
+
+TEST(Cli, TrainWithLossScalingSurvivesCorruptedGradient) {
+  // The acceptance scenario: a NaN'd gradient without loss scaling ruins
+  // the parameters (non-finite final loss, exit 1); with the GradScaler the
+  // step is skipped, the scale backs off, and training finishes finite.
+  std::string unprotected;
+  EXPECT_EQ(run({"train", "--steps", "3", "--corrupt-step", "1",
+                 "--no-loss-scaling"},
+                &unprotected),
+            1);
+  EXPECT_NE(unprotected.find("NOT finite"), std::string::npos);
+
+  std::string protected_out;
+  EXPECT_EQ(run({"train", "--steps", "3", "--corrupt-step", "1"},
+                &protected_out),
+            0);
+  EXPECT_NE(protected_out.find("skipped (overflow)"), std::string::npos);
+  EXPECT_NE(protected_out.find("skipped steps: 1"), std::string::npos);
+  EXPECT_NE(protected_out.find("final scale: 32768"), std::string::npos);
+  EXPECT_NE(protected_out.find("(finite)"), std::string::npos);
+}
+
+TEST(Cli, TrainGuardedSdcRunIsCaughtAndDeterministic) {
+  // Seeded HBM bit flips with the guard warning: the run reports the flips
+  // and still finishes finite; identical seeds reproduce identical output.
+  std::string out;
+  EXPECT_EQ(run({"train", "--steps", "4", "--sdc-rate", "0.02",
+                 "--fault-seed", "11", "--guard", "warn"},
+                &out),
+            0);
+  EXPECT_NE(out.find("sdc bit flips:"), std::string::npos);
+  EXPECT_EQ(out.find("sdc bit flips: 0 "), std::string::npos);
+  EXPECT_NE(out.find("(finite)"), std::string::npos);
+  std::string again;
+  EXPECT_EQ(run({"train", "--steps", "4", "--sdc-rate", "0.02",
+                 "--fault-seed", "11", "--guard", "warn"},
+                &again),
+            0);
+  EXPECT_EQ(out, again);
+  EXPECT_EQ(run({"train", "--sdc-rate", "1.5"}, &out), 1);
+  EXPECT_EQ(run({"train", "--sdc-rate", "lots"}, &out), 1);
 }
 
 }  // namespace

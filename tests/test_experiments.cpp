@@ -3,7 +3,11 @@
 // binary prints (see EXPERIMENTS.md for the measured-vs-paper record).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "core/advisor.hpp"
+#include "core/baseline.hpp"
 #include "core/experiments.hpp"
 #include "core/table.hpp"
 
@@ -338,6 +342,30 @@ TEST(Reports, TextTableRendersAligned) {
   EXPECT_NE(s.find("| A   | Bee |"), std::string::npos);
   EXPECT_THROW(t.add_row({"only one"}), sim::InvalidArgument);
   EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+}
+
+TEST(Reports, DegenerateRatiosRenderAsNa) {
+  // Ratios over a zero-duration trace are undefined: every renderer must
+  // say "n/a", never "nan"/"inf" (and never cast NaN to int, which is UB).
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(TextTable::num(nan), "n/a");
+  EXPECT_EQ(TextTable::num(std::numeric_limits<double>::infinity()), "n/a");
+  EXPECT_EQ(pct(nan), "n/a");
+  EXPECT_EQ(pct(0.425), "43%");
+
+  const graph::Trace empty;
+  const TraceSummary s = summarize(empty);
+  EXPECT_TRUE(std::isnan(s.mme_utilization));
+  EXPECT_TRUE(std::isnan(s.softmax_share_of_tpc));
+  EXPECT_TRUE(std::isnan(s.engine_imbalance));
+  const std::string report = to_report(s, "empty");
+  EXPECT_NE(report.find("n/a util"), std::string::npos);
+  EXPECT_EQ(report.find("nan"), std::string::npos);
+  EXPECT_EQ(report.find("inf"), std::string::npos);
+
+  // Baselines stay finite (the key=value format round-trips numbers only).
+  const Baseline b = baseline_from(s);
+  EXPECT_EQ(b.metrics.at("engine_imbalance"), 0.0);
 }
 
 TEST(Reports, SummaryReportMentionsKeyMetrics) {

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "sim/chip_config.hpp"
@@ -693,6 +694,98 @@ TEST(CrossEntropyKernels, MatchReference) {
                                      1.0f / static_cast<float>(rows)),
               ExecMode::kFunctional);
   EXPECT_LT(ops::max_abs_diff(dlogits, dlogits_ref), 1e-5);
+}
+
+// ---------------------------------------------------------------------------
+// Numerics edge cases (the guard layer depends on kernels not minting NaN on
+// legal-but-degenerate inputs)
+// ---------------------------------------------------------------------------
+
+TEST(KernelEdgeCases, SoftmaxFullyMaskedRowIsZero) {
+  // An attention row whose mask blanks every position is all -inf; the
+  // defined softmax result is a zero row, not the NaN of exp(-inf + inf).
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const std::int64_t rows = 3, d = 40;
+  Tensor x = rand_tensor(Shape{{rows, d}}, 61);
+  for (std::int64_t j = 0; j < d; ++j) x.f32()[d + j] = ninf;  // row 1
+  x.f32()[2 * d + 5] = ninf;  // row 2: partial mask stays on the normal path
+  Tensor y = Tensor::zeros(Shape{{rows, d}});
+  make_cluster().run(SoftmaxKernel(x, y), ExecMode::kFunctional);
+
+  for (std::int64_t j = 0; j < d; ++j) {
+    EXPECT_EQ(y.f32()[d + j], 0.0f) << "masked row, column " << j;
+  }
+  for (const std::int64_t r : {std::int64_t{0}, std::int64_t{2}}) {
+    float sum = 0.0f;
+    for (std::int64_t j = 0; j < d; ++j) {
+      const float v = y.f32()[r * d + j];
+      EXPECT_TRUE(std::isfinite(v));
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-4f);
+  }
+  EXPECT_EQ(y.f32()[2 * d + 5], 0.0f);  // masked lane of the partial row
+}
+
+TEST(KernelEdgeCases, LayerNormConstantRowsStayFinite) {
+  // E[x^2] - mean^2 cancels catastrophically on constant rows; at large
+  // magnitudes the rounding residue can be negative, and without the clamp
+  // sqrt(var + eps) would go NaN.  Sweep a spread of magnitudes.
+  const std::int64_t d = 33;
+  const float magnitudes[] = {0.0f,    1.0f,     3.14159f, 1000.0f, 8191.5f,
+                              65535.0f, 1.0e6f,  3.3e7f,   1.0e12f, 6.0e18f};
+  const std::int64_t rows = std::size(magnitudes);
+  Tensor x = Tensor::zeros(Shape{{rows, d}});
+  for (std::int64_t r = 0; r < rows; ++r) {
+    for (std::int64_t j = 0; j < d; ++j) x.f32()[r * d + j] = magnitudes[r];
+  }
+  Tensor gamma = Tensor::zeros(Shape{{d}});
+  Tensor beta = Tensor::zeros(Shape{{d}});
+  for (float& v : gamma.f32()) v = 1.0f;
+  for (float& v : beta.f32()) v = 0.25f;
+  Tensor y = Tensor::zeros(Shape{{rows, d}});
+  Tensor mean = Tensor::zeros(Shape{{rows}});
+  Tensor rstd = Tensor::zeros(Shape{{rows}});
+  make_cluster().run(LayerNormKernel(x, gamma, beta, y, mean, rstd),
+                     ExecMode::kFunctional);
+
+  for (std::int64_t r = 0; r < rows; ++r) {
+    EXPECT_TRUE(std::isfinite(rstd.f32()[r])) << "row " << r;
+    for (std::int64_t j = 0; j < d; ++j) {
+      EXPECT_TRUE(std::isfinite(y.f32()[r * d + j]))
+          << "row " << r << " column " << j;
+    }
+  }
+  // A truly constant row normalizes to zero: the output is just beta.
+  for (std::int64_t j = 0; j < d; ++j) {
+    EXPECT_NEAR(y.f32()[j], 0.25f, 1e-3f);  // row of zeros
+  }
+}
+
+TEST(KernelEdgeCases, CrossEntropyFullyMaskedRow) {
+  // All -inf logits assign the target probability zero: the loss is +inf
+  // (not NaN) and the gradient row is zero (not NaN contamination).
+  const float ninf = -std::numeric_limits<float>::infinity();
+  const std::int64_t rows = 2, vocab = 50;
+  Tensor logits = rand_tensor(Shape{{rows, vocab}}, 62, -3.0f, 3.0f);
+  for (std::int64_t j = 0; j < vocab; ++j) logits.f32()[vocab + j] = ninf;
+  const Tensor targets =
+      Tensor::random_tokens(Shape{{rows}}, sim::CounterRng{9}, vocab);
+  const TpcCluster c = make_cluster();
+
+  Tensor loss = Tensor::zeros(Shape{{rows}});
+  c.run(CrossEntropyKernel(logits, targets, loss), ExecMode::kFunctional);
+  EXPECT_TRUE(std::isfinite(loss.f32()[0]));
+  EXPECT_TRUE(std::isinf(loss.f32()[1]));
+  EXPECT_GT(loss.f32()[1], 0.0f);
+
+  Tensor dlogits = Tensor::zeros(Shape{{rows, vocab}});
+  c.run(CrossEntropyGradKernel(logits, targets, dlogits, 1.0f),
+        ExecMode::kFunctional);
+  for (std::int64_t j = 0; j < vocab; ++j) {
+    EXPECT_TRUE(std::isfinite(dlogits.f32()[j])) << "row 0 column " << j;
+    EXPECT_EQ(dlogits.f32()[vocab + j], 0.0f) << "masked row, column " << j;
+  }
 }
 
 }  // namespace
