@@ -66,6 +66,12 @@ commands:
       --guard off|warn|trap      numerics guard policy (default: GAUDI_GUARD)
       --sdc-rate R --fault-seed N   seeded HBM bit flips in live buffers
       --seed N                   model/data seed              (0x7A11)
+      --checkpoint-dir DIR       write crash-consistent snapshots under DIR
+      --checkpoint-every N       snapshot every N steps       (1)
+      --resume                   resume from the newest valid snapshot in
+                                 DIR (empty or missing DIR: fresh start)
+      --resample-data            draw a fresh token batch per step; the
+                                 data-order cursor rides in the snapshot
   train-resilient [options]      simulate an N-step run under faults with
                                  checkpoint/rollback recovery
       --steps N                  useful steps to complete     (1000)
@@ -351,6 +357,11 @@ int cmd_train(ArgParser& args, std::ostream& out) {
   topts.corrupt_grad_step =
       static_cast<std::int32_t>(args.get_int("corrupt-step", -1));
   topts.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x7A11));
+  topts.checkpoint_dir = args.get("checkpoint-dir", "");
+  topts.checkpoint_every =
+      static_cast<std::int32_t>(args.get_int("checkpoint-every", 1));
+  topts.resume = args.has("resume");
+  topts.resample_data = args.has("resample-data");
   topts.run.guard = parse_guard(args);
   const sim::FaultInjector faults = parse_fault_injector(args);
   check_unused(args);
@@ -361,9 +372,20 @@ int cmd_train(ArgParser& args, std::ostream& out) {
       << optimizer << ", loss scaling "
       << (topts.loss_scaling ? "on" : "off") << ", bf16 grads "
       << (topts.bf16_grads ? "on" : "off") << "\n";
+  // Resume/checkpoint bookkeeping prints before the step lines so the tail
+  // of a resumed run (steps + trailer) is byte-comparable against the same
+  // tail of an uninterrupted run.
+  if (!r.resume_report.empty()) out << r.resume_report;
+  if (!topts.checkpoint_dir.empty()) {
+    out << "checkpoints: " << r.checkpoints_saved << " saved under "
+        << topts.checkpoint_dir << "\n";
+  }
+  const std::size_t base =
+      r.resumed_from_step > 0 ? static_cast<std::size_t>(r.resumed_from_step)
+                              : 0;
   for (std::size_t i = 0; i < r.steps.size(); ++i) {
     const nn::TrainStepInfo& s = r.steps[i];
-    out << "  step " << i << ": loss " << TextTable::num(s.loss, 4)
+    out << "  step " << base + i << ": loss " << TextTable::num(s.loss, 4)
         << "  scale " << TextTable::num(s.scale, 0) << "  "
         << (s.applied ? "applied" : "skipped (overflow)") << "\n";
   }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +54,19 @@ struct OptimizerState {
   /// Zero tensors for all state inputs (first iteration).
   [[nodiscard]] std::unordered_map<graph::ValueId, tensor::Tensor> initial_state(
       const graph::Graph& g) const;
+
+  /// Serializable view of one optimizer state tensor: its stable graph name
+  /// ("<param>.velocity" / ".adam_m" / ".adam_v"), the input the host feeds
+  /// and the output the update graph returns.  A checkpoint stores state by
+  /// `name`; resume feeds the loaded tensor back at `in`.
+  struct StateRef {
+    std::string name;
+    graph::ValueId in = graph::kInvalidValue;
+    graph::ValueId out = graph::kInvalidValue;
+  };
+  /// All state refs, in slot order — the complete serializable optimizer
+  /// state (save → load → save round-trips byte-identically).
+  [[nodiscard]] std::vector<StateRef> state_refs(const graph::Graph& g) const;
 };
 
 /// Appends update ops for every trainable parameter of `model`.  New params

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/runtime.hpp"
 #include "nn/models.hpp"
 #include "nn/optimizer.hpp"
+#include "scaleout/checkpoint.hpp"
 
 namespace gaudi::nn {
 
@@ -52,6 +54,12 @@ class GradScaler {
   /// apply its update; false when it must be skipped.
   bool update(bool overflow);
 
+  /// Restores the full state machine from a checkpoint.  Together with
+  /// scale()/clean_streak()/skipped_steps() this makes the scaler round-trip
+  /// exactly: restore(scale(), clean_streak(), skipped_steps()) is an
+  /// identity.  Values are validated against the configured ranges.
+  void restore(float scale, std::int32_t streak, std::int64_t skipped);
+
  private:
   GradScalerConfig cfg_;
   float scale_;
@@ -80,6 +88,33 @@ struct TrainOptions {
   /// overwritten with a quiet NaN as it retires (deterministic stand-in for
   /// an SDC hit).  -1 disables.
   std::int32_t corrupt_grad_step = -1;
+
+  /// Crash-consistent checkpointing (scaleout/snapshot.hpp).  Empty
+  /// `checkpoint_dir` disables it entirely.  With a directory set, a
+  /// snapshot of the complete training state lands after the steps the
+  /// policy selects — every `checkpoint_every` steps for kFixedInterval, at
+  /// the Young/Daly optimal interval (from `mtbf_steps`, `nominal_step_time`
+  /// and the measured snapshot size) for kYoungDaly — and always after the
+  /// final step.  kNone never saves.
+  std::string checkpoint_dir;
+  std::int32_t checkpoint_every = 1;
+  scaleout::RecoveryPolicy checkpoint_policy =
+      scaleout::RecoveryPolicy::kFixedInterval;
+  /// Resume from the newest *valid* snapshot in `checkpoint_dir` before
+  /// training.  An empty or nonexistent directory is a clean fresh start
+  /// (noted in TrainResult::resume_report); a snapshot whose fingerprint
+  /// disagrees with this configuration throws CheckpointShapeMismatch.
+  bool resume = false;
+  /// Draw a fresh token batch per step (counter streams keyed by the step
+  /// index) instead of one fixed batch, making the checkpointed data-order
+  /// cursor load-bearing.  Off by default to preserve the historical loop.
+  bool resample_data = false;
+  /// Inputs to the Young/Daly interval for kYoungDaly.
+  double mtbf_steps = 200.0;
+  sim::SimTime nominal_step_time = sim::SimTime::from_ms(300.0);
+  /// Storage cost model; state_bytes is overridden by the real serialized
+  /// payload (scaleout::backed_checkpoint_config).
+  scaleout::CheckpointConfig checkpoint_cost{};
 };
 
 struct TrainStepInfo {
@@ -100,6 +135,17 @@ struct TrainResult {
   std::size_t sdc_injections = 0;
   /// Guard anomalies collected across all runs (kWarn only).
   std::size_t anomalies = 0;
+  /// Step count the run resumed from (-1: fresh start).  A resumed result
+  /// covers only the steps it executed; the restored counters above include
+  /// the pre-crash history, so the totals match the uninterrupted run.
+  std::int64_t resumed_from_step = -1;
+  /// Snapshots written by this run.
+  std::uint64_t checkpoints_saved = 0;
+  /// Manifest path of the newest snapshot this run wrote (empty if none).
+  std::string last_checkpoint;
+  /// Structured resume report: the snapshot scan (restored step, every
+  /// rejected candidate with its cause) or the fresh-start note.
+  std::string resume_report;
 };
 
 /// Runs `opts.steps` full training iterations of the configured model on

@@ -42,6 +42,44 @@ class NumericsError : public Error {
   using Error::Error;
 };
 
+/// A checkpoint on disk cannot be trusted (see scaleout/snapshot.hpp).  The
+/// base class covers structurally garbled manifests; the subclasses give
+/// each rejection cause its own type so recovery code can distinguish "this
+/// file is damaged, fall back" from "this checkpoint describes a different
+/// model, refuse to resume".
+class CheckpointError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Data or manifest file ends before the bytes the manifest promises
+/// (a torn write, or a crash between the data write and the commit).
+class CheckpointTruncated : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// The manifest was written by an incompatible format version.
+class CheckpointVersionSkew : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// A section's bytes no longer match their recorded FNV-1a checksum
+/// (bit rot, a flipped storage bit, or a partially overwritten file).
+class CheckpointChecksumMismatch : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
+/// The checkpoint is internally consistent but does not describe the model
+/// being resumed: a section is missing, a tensor shape/dtype disagrees with
+/// the current configuration, or a config fingerprint field differs.
+class CheckpointShapeMismatch : public CheckpointError {
+ public:
+  using CheckpointError::CheckpointError;
+};
+
 namespace detail {
 [[noreturn]] void throw_check_failed(const char* kind, const char* expr,
                                      const char* file, int line,

@@ -17,6 +17,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kTpcStraggler: return "tpc-straggler";
     case FaultKind::kHbmPressure: return "hbm-pressure";
     case FaultKind::kSdcBitFlip: return "sdc-bit-flip";
+    case FaultKind::kCheckpointCorruption: return "checkpoint-corruption";
   }
   return "unknown";
 }
@@ -30,6 +31,7 @@ double FaultProfile::rate(FaultKind k) const {
     case FaultKind::kTpcStraggler: return tpc_straggler_rate;
     case FaultKind::kHbmPressure: return hbm_pressure_rate;
     case FaultKind::kSdcBitFlip: return sdc_bit_flip_rate;
+    case FaultKind::kCheckpointCorruption: return checkpoint_corruption_rate;
   }
   return 0.0;
 }
@@ -38,7 +40,7 @@ bool FaultProfile::any_rate_positive() const {
   return transient_link_rate > 0.0 || link_degradation_rate > 0.0 ||
          chip_failure_rate > 0.0 || dma_timeout_rate > 0.0 ||
          tpc_straggler_rate > 0.0 || hbm_pressure_rate > 0.0 ||
-         sdc_bit_flip_rate > 0.0;
+         sdc_bit_flip_rate > 0.0 || checkpoint_corruption_rate > 0.0;
 }
 
 FaultProfile FaultProfile::from_mtbf_steps(double mtbf_steps,
@@ -99,6 +101,11 @@ std::vector<FaultEvent> fault_schedule(const FaultInjector& inj,
     if (inj.fires(FaultKind::kHbmPressure, FaultInjector::site(step, 0))) {
       out.push_back(FaultEvent{FaultKind::kHbmPressure, step, 0,
                                p.hbm_pressure_stall.seconds()});
+    }
+    // Checkpoint corruption sites are raw step numbers (one snapshot per
+    // step at most), matching the site the snapshot writer queries.
+    if (inj.fires(FaultKind::kCheckpointCorruption, step)) {
+      out.push_back(FaultEvent{FaultKind::kCheckpointCorruption, step, 0, 0.0});
     }
   }
   return out;

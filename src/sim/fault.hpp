@@ -29,8 +29,14 @@ enum class FaultKind : std::uint8_t {
   kTpcStraggler,     ///< a TPC kernel runs slower by a multiplicative factor
   kHbmPressure,      ///< HBM capacity pressure stalls a step (paging/compaction)
   kSdcBitFlip,       ///< silent data corruption: an HBM bit flips in a live buffer
+  /// A checkpoint write is torn or corrupted on the storage path: the data
+  /// file is truncated mid-write, the manifest commit is lost, or a stored
+  /// bit flips.  Fired inside the snapshot writer's simulated torn-write
+  /// window (scaleout/snapshot.hpp); the writer does not observe it — the
+  /// damage is found (and survived) at the next resume.
+  kCheckpointCorruption,
 };
-inline constexpr std::size_t kFaultKindCount = 7;
+inline constexpr std::size_t kFaultKindCount = 8;
 
 [[nodiscard]] const char* fault_kind_name(FaultKind k);
 
@@ -50,6 +56,11 @@ struct FaultProfile {
   /// Deliberately absent from stress(): the functional cross-check suites
   /// run under stress rates, and SDC by definition changes the numerics.
   double sdc_bit_flip_rate = 0.0;
+  /// Probability that one checkpoint save lands torn or bit-flipped on disk
+  /// (per snapshot).  Absent from stress()/from_mtbf_steps() for the same
+  /// reason as SDC: it only matters to runs that write snapshots, and those
+  /// opt in explicitly.
+  double checkpoint_corruption_rate = 0.0;
 
   /// Duration multiplier of a straggling TPC kernel (> 1).
   double straggler_slowdown = 2.0;
@@ -124,16 +135,39 @@ class FaultInjector {
   [[nodiscard]] std::uint64_t sdc_element(std::uint64_t site,
                                           std::uint64_t count) const {
     if (count == 0) return 0;
-    return rng_.stream(kFaultKindCount + 1).below(site, count);
+    return rng_.stream(kSdcElementStream).below(site, count);
   }
   [[nodiscard]] std::uint32_t sdc_bit(std::uint64_t site,
                                       std::uint32_t element_bits) const {
     const std::uint32_t base = element_bits >= 32 ? 20u : 4u;
     return base + static_cast<std::uint32_t>(
-                      rng_.stream(kFaultKindCount + 2).below(site, 11));
+                      rng_.stream(kSdcBitStream).below(site, 11));
+  }
+
+  /// Deterministic shape of a fired kCheckpointCorruption: which of `modes`
+  /// failure shapes the torn write takes (lost commit, truncation, bit
+  /// flip), and a coordinate in [0, n) for where the damage lands.
+  [[nodiscard]] std::uint64_t checkpoint_mode(std::uint64_t site,
+                                              std::uint64_t modes) const {
+    if (modes == 0) return 0;
+    return rng_.stream(kCheckpointModeStream).below(site, modes);
+  }
+  [[nodiscard]] std::uint64_t checkpoint_offset(std::uint64_t site,
+                                                std::uint64_t n) const {
+    if (n == 0) return 0;
+    return rng_.stream(kCheckpointOffsetStream).below(site, n);
   }
 
  private:
+  // Frozen stream indices for the magnitude/coordinate draws above.  fires()
+  // occupies streams 1..kFaultKindCount (kind + 1); these sit beyond it.
+  // The values are pinned rather than derived from kFaultKindCount so that
+  // adding a fault kind never silently reshuffles every seeded schedule.
+  static constexpr std::uint64_t kSdcElementStream = 8;
+  static constexpr std::uint64_t kSdcBitStream = 9;
+  static constexpr std::uint64_t kCheckpointModeStream = 16;
+  static constexpr std::uint64_t kCheckpointOffsetStream = 17;
+
   CounterRng rng_{};
   FaultProfile profile_{};
 };

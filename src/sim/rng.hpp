@@ -55,6 +55,11 @@ class CounterRng {
   }
 
   [[nodiscard]] constexpr std::uint64_t seed() const { return seed_; }
+  /// The derived-stream id, exposed so (seed(), stream_id()) is the
+  /// generator's complete serializable state: a checkpoint stores the pair
+  /// and CounterRng{seed, stream} reconstructs a bitwise-identical
+  /// generator (there is no other state — draws are pure in the counter).
+  [[nodiscard]] constexpr std::uint64_t stream_id() const { return stream_; }
 
  private:
   std::uint64_t seed_ = 0x5EED5EED5EED5EEDull;
