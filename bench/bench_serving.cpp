@@ -1,0 +1,75 @@
+// Serving throughput-latency curves — the multi-tenant regime the paper's
+// single-job profiles feed into.  A Poisson request stream is pushed
+// through the continuous-batching scheduler at increasing arrival rates
+// and batch sizes; the interesting output is the *shape* of the curve:
+// throughput saturates at the chip's token rate while the TTFT/ITL tails
+// grow without bound past the knee — the classic open-loop overload
+// signature that batch-size tuning trades against.
+//
+// Everything here is deterministic: the same (seed, rate, batch) cell
+// reproduces byte-identical metrics, which the final self-check asserts by
+// rendering one cell twice.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "graph/runtime.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+int main() {
+  using namespace gaudi;
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+
+  const std::vector<double> rates = {4.0, 8.0, 16.0, 32.0};
+  const std::vector<std::int64_t> batches = {4, 8};
+
+  auto run_cell = [&](double rate, std::int64_t max_batch) {
+    serve::StreamConfig scfg;
+    scfg.arrival_rate_rps = rate;
+    scfg.num_requests = 48;
+    scfg.prompt = {64, 192};
+    scfg.output = {16, 64};
+    scfg.deadline = sim::SimTime::from_ms(4000.0);
+    serve::ServeConfig cfg;
+    cfg.max_batch = max_batch;
+    cfg.kv_budget_bytes = 16ull * 1024 * 1024;
+    serve::ContinuousBatchScheduler sched(rt, cfg);
+    return sched.run(serve::poisson_stream(scfg));
+  };
+
+  core::TextTable table({"Rate", "Batch", "Tok/s", "Goodput", "TTFT p50",
+                         "TTFT p99", "ITL p50", "ITL p99", "Preempt"});
+  for (const std::int64_t batch : batches) {
+    for (const double rate : rates) {
+      const serve::ServeReport r = run_cell(rate, batch);
+      table.add_row({core::TextTable::num(rate, 0) + " req/s",
+                     std::to_string(batch),
+                     core::TextTable::num(r.summary.throughput_tok_s, 1),
+                     core::TextTable::num(r.summary.goodput_tok_s, 1),
+                     core::TextTable::num(r.summary.ttft_p50_ms, 1) + " ms",
+                     core::TextTable::num(r.summary.ttft_p99_ms, 1) + " ms",
+                     core::TextTable::num(r.summary.itl_p50_ms, 2) + " ms",
+                     core::TextTable::num(r.summary.itl_p99_ms, 2) + " ms",
+                     std::to_string(r.summary.preemptions)});
+    }
+  }
+
+  std::puts("Serving throughput-latency sweep (GPT-2 decode model, Poisson");
+  std::puts("arrivals, 48 requests, prompts 64-192, outputs 16-64, 4 s SLO):");
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts("\nPast the saturation knee the offered load outruns the token");
+  std::puts("rate: throughput flattens while TTFT tails stretch — adding");
+  std::puts("batch slots moves the knee right at the cost of per-token ITL.");
+
+  // Determinism self-check: one cell, rendered twice, must be bytes-equal.
+  const std::string a = run_cell(8.0, 4).to_report();
+  const std::string b = run_cell(8.0, 4).to_report();
+  if (a != b) {
+    std::puts("\nFAIL: same-seed serving runs diverged");
+    return 1;
+  }
+  std::puts("\ndeterminism: same-seed rerun is byte-identical");
+  return 0;
+}

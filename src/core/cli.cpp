@@ -13,6 +13,8 @@
 #include "nn/optimizer.hpp"
 #include "nn/train.hpp"
 #include "scaleout/checkpoint.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
 #include "sim/error.hpp"
 #include "sim/fault.hpp"
 #include "sim/numerics.hpp"
@@ -81,6 +83,23 @@ commands:
       --recovery none|fixed|young-daly                        (young-daly)
       --interval N               checkpoint interval for 'fixed'
       --fault-seed N             fault schedule seed          (0xFA517)
+  serve [options]                multi-tenant serving: continuous batching
+                                 over a paged KV cache, SLO tail metrics
+      --rate R                   Poisson arrival rate, req/s  (8)
+      --requests N               requests in the stream       (32)
+      --prompt-min N --prompt-max N    prompt length range    (64..192)
+      --output-min N --output-max N    output length range    (16..64)
+      --priorities N             priority levels, drawn uniformly (1)
+      --deadline-ms T            per-request completion SLO; 0 = none
+      --arrivals FILE            replay a trace instead of Poisson
+                                 (arrival_ms,prompt,output[,priority
+                                 [,deadline_ms]] per line, # comments)
+      --max-batch N              concurrent batch slots       (8)
+      --prefill-chunk N          prompt tokens prefilled per iteration (128)
+      --block-tokens N           KV block size in tokens      (64)
+      --kv-mb N                  KV pool budget in MiB        (64)
+      --cache-cap N              LRU cap on compiled decode steps; 0 = all
+      --seed N                   workload seed                (0x5E21E)
   help                           this text
 
 Setting GAUDI_VALIDATE=1 in the environment validates every scheduled
@@ -124,6 +143,23 @@ std::optional<sim::NumericsPolicy> parse_guard(ArgParser& args) {
                              " (expected off|warn|trap)");
 }
 
+/// `parse_i64`'s floating-point sibling: rejects non-numeric input and
+/// trailing garbage with an InvalidArgument naming `what`.
+double parse_f64(const std::string& text, const std::string& what) {
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &pos);
+  } catch (const std::exception&) {
+    throw sim::InvalidArgument(what + " expects a number, got '" + text + "'");
+  }
+  if (pos != text.size()) {
+    throw sim::InvalidArgument(what + " expects a number, got '" + text +
+                               "' (trailing '" + text.substr(pos) + "')");
+  }
+  return value;
+}
+
 /// Parses --faults / --fault-seed / --mtbf / --sdc-rate into an injector.
 /// Disabled (all rates zero) when --faults is absent and --sdc-rate is zero;
 /// --mtbf picks calibrated rates, its absence the aggressive stress profile.
@@ -134,14 +170,8 @@ sim::FaultInjector parse_fault_injector(ArgParser& args,
   const auto seed =
       static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA517));
   const std::int64_t mtbf = args.get_int("mtbf", 0);
-  const std::string sdc_text = args.get("sdc-rate", "0");
-  double sdc_rate = 0.0;
-  try {
-    sdc_rate = std::stod(sdc_text);
-  } catch (const std::exception&) {
-    throw sim::InvalidArgument("option --sdc-rate expects a number, got '" +
-                               sdc_text + "'");
-  }
+  const double sdc_rate =
+      parse_f64(args.get("sdc-rate", "0"), "option --sdc-rate");
   GAUDI_CHECK(sdc_rate >= 0.0 && sdc_rate <= 1.0 && std::isfinite(sdc_rate),
               "--sdc-rate expects a probability in [0, 1]");
   if (!on && sdc_rate == 0.0) return {};
@@ -203,7 +233,7 @@ int cmd_mme_vs_tpc(ArgParser& args, std::ostream& out) {
   std::vector<std::int64_t> sizes;
   std::stringstream ss(args.get("sizes", "128,256,512,1024,2048"));
   for (std::string part; std::getline(ss, part, ',');) {
-    sizes.push_back(std::stoll(part));
+    sizes.push_back(parse_i64(part, "option --sizes"));
   }
   check_unused(args);
   out << format_mme_vs_tpc(run_mme_vs_tpc(sim::ChipConfig::hls1(), sizes));
@@ -451,7 +481,73 @@ int cmd_train_resilient(ArgParser& args, std::ostream& out) {
   return 0;
 }
 
+int cmd_serve(ArgParser& args, std::ostream& out) {
+  serve::StreamConfig scfg;
+  scfg.arrival_rate_rps = parse_f64(args.get("rate", "8"), "option --rate");
+  scfg.num_requests = args.get_int("requests", scfg.num_requests);
+  scfg.prompt.lo = args.get_int("prompt-min", scfg.prompt.lo);
+  scfg.prompt.hi = args.get_int("prompt-max", scfg.prompt.hi);
+  scfg.output.lo = args.get_int("output-min", scfg.output.lo);
+  scfg.output.hi = args.get_int("output-max", scfg.output.hi);
+  scfg.priority_levels =
+      static_cast<std::int32_t>(args.get_int("priorities", 1));
+  const std::int64_t deadline_ms = args.get_int("deadline-ms", 0);
+  GAUDI_CHECK(deadline_ms >= 0, "--deadline-ms expects a non-negative time");
+  if (deadline_ms > 0) {
+    scfg.deadline = sim::SimTime::from_ms(static_cast<double>(deadline_ms));
+  }
+  scfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5E21E));
+  const std::string trace_path = args.get("arrivals", "");
+
+  serve::ServeConfig cfg;
+  cfg.max_batch = args.get_int("max-batch", cfg.max_batch);
+  cfg.prefill_chunk = args.get_int("prefill-chunk", cfg.prefill_chunk);
+  cfg.block_tokens = args.get_int("block-tokens", cfg.block_tokens);
+  const std::int64_t kv_mb = args.get_int("kv-mb", 64);
+  GAUDI_CHECK(kv_mb >= 1, "--kv-mb expects a positive MiB count");
+  cfg.kv_budget_bytes = static_cast<std::size_t>(kv_mb) * 1024 * 1024;
+  const std::int64_t cache_cap = args.get_int("cache-cap", 0);
+  GAUDI_CHECK(cache_cap >= 0, "--cache-cap expects a non-negative count");
+  cfg.step_cache_entries = static_cast<std::size_t>(cache_cap);
+  check_unused(args);
+
+  const std::vector<serve::Request> stream =
+      trace_path.empty() ? serve::poisson_stream(scfg)
+                         : serve::load_trace(trace_path);
+
+  out << "serve: " << stream.size() << " requests ("
+      << (trace_path.empty()
+              ? "poisson @ " + TextTable::num(scfg.arrival_rate_rps, 1) +
+                    " req/s"
+              : "trace " + trace_path)
+      << "), batch " << cfg.max_batch << ", prefill chunk "
+      << cfg.prefill_chunk << ", kv " << kv_mb << " MiB in "
+      << cfg.block_tokens << "-token blocks\n";
+
+  graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  out << sched.run(stream).to_report();
+  return 0;
+}
+
 }  // namespace
+
+std::int64_t parse_i64(const std::string& text, const std::string& what) {
+  std::size_t pos = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw sim::InvalidArgument(what + " expects an integer, got '" + text +
+                               "'");
+  }
+  // stoll stops at the first non-digit; "12abc" must not silently become 12.
+  if (pos != text.size()) {
+    throw sim::InvalidArgument(what + " expects an integer, got '" + text +
+                               "' (trailing '" + text.substr(pos) + "')");
+  }
+  return value;
+}
 
 ArgParser::ArgParser(std::vector<std::string> args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -485,12 +581,7 @@ std::int64_t ArgParser::get_int(const std::string& key, std::int64_t fallback) c
   const auto it = kv_.find(key);
   if (it == kv_.end()) return fallback;
   read_[key] = true;
-  try {
-    return std::stoll(it->second);
-  } catch (const std::exception&) {
-    throw sim::InvalidArgument("option --" + key + " expects an integer, got '" +
-                               it->second + "'");
-  }
+  return parse_i64(it->second, "option --" + key);
 }
 
 std::vector<std::string> ArgParser::unused() const {
@@ -519,6 +610,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "profile-model") return cmd_profile_model(parser, out);
     if (command == "train") return cmd_train(parser, out);
     if (command == "train-resilient") return cmd_train_resilient(parser, out);
+    if (command == "serve") return cmd_serve(parser, out);
     out << "unknown command: " << command << "\n\n" << kUsage;
     return 1;
   } catch (const sim::Error& e) {

@@ -13,6 +13,14 @@
 
 namespace gaudi::core {
 
+/// Parses `text` as a base-10 signed 64-bit integer.  Unlike bare
+/// `std::stoll`, this throws sim::InvalidArgument (naming `what`, e.g. the
+/// offending flag) on empty input, non-numeric input, trailing garbage
+/// ("12abc"), or overflow — the CLI turns that into a usage error instead
+/// of std::terminate.
+[[nodiscard]] std::int64_t parse_i64(const std::string& text,
+                                     const std::string& what);
+
 /// Minimal --flag / --key value parser.
 class ArgParser {
  public:

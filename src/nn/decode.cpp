@@ -1,6 +1,8 @@
 #include "nn/decode.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "nn/layers.hpp"
 
@@ -85,7 +87,9 @@ ValueId layer_tail(Graph& g, const LayerParams& lp, ValueId x, ValueId attn_out,
 PrefillGraph build_gpt_prefill(Graph& g, const DecodeConfig& cfg,
                                std::int64_t seq_len, std::uint64_t seed) {
   GAUDI_CHECK(seq_len >= 1 && seq_len <= cfg.max_seq,
-              "prefill length must fit the position table");
+              "prefill seq_len " + std::to_string(seq_len) +
+                  " is outside [1, max_seq=" + std::to_string(cfg.max_seq) +
+                  "]: the prompt must fit the position-embedding table");
   PrefillGraph out;
   out.config = cfg;
   out.params = ParamStore(seed);
@@ -153,7 +157,10 @@ DecodeStepGraph build_gpt_decode_step(Graph& g, const DecodeConfig& cfg,
                                       std::int64_t context_len,
                                       std::uint64_t seed) {
   GAUDI_CHECK(context_len >= 1 && context_len < cfg.max_seq,
-              "context must leave room for the new token");
+              "decode context_len " + std::to_string(context_len) +
+                  " is outside [1, max_seq=" + std::to_string(cfg.max_seq) +
+                  "): the appended token at position context_len must fit "
+                  "the position-embedding table");
   DecodeStepGraph out;
   out.config = cfg;
   out.params = ParamStore(seed);
@@ -231,11 +238,31 @@ DecodeStepGraph build_gpt_decode_step(Graph& g, const DecodeConfig& cfg,
 
 const DecodeStepCache::Entry& DecodeStepCache::step(std::int64_t context_len) {
   const auto it = entries_.find(context_len);
-  if (it != entries_.end()) return it->second;
+  if (it != entries_.end()) {
+    if (max_entries_ > 0) {  // refresh recency on hit
+      const auto pos = std::find(recency_.begin(), recency_.end(), context_len);
+      GAUDI_ASSERT(pos != recency_.end(),
+                   "decode-step cache recency list lost a resident entry");
+      recency_.splice(recency_.begin(), recency_, pos);
+    }
+    return it->second;
+  }
   Graph g;
   Entry entry{build_gpt_decode_step(g, cfg_, context_len, seed_),
               rt_.compile(g, copts_)};
-  return entries_.emplace(context_len, std::move(entry)).first->second;
+  auto& inserted = entries_.emplace(context_len, std::move(entry)).first->second;
+  if (max_entries_ > 0) {
+    recency_.push_front(context_len);
+    // Evict from the cold end until we are back under the cap; the entry we
+    // just inserted is at the hot end and always survives.
+    while (entries_.size() > max_entries_) {
+      const std::int64_t victim = recency_.back();
+      recency_.pop_back();
+      entries_.erase(victim);
+      ++evictions_;
+    }
+  }
+  return inserted;
 }
 
 }  // namespace gaudi::nn

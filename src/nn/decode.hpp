@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <vector>
 
@@ -67,12 +68,19 @@ struct DecodeStepGraph {
 };
 
 /// Builds the prompt pass over `seq_len` tokens, exposing the KV caches.
+/// Throws sim::InvalidArgument (naming `seq_len` and the `max_seq` limit)
+/// when the prompt would overrun the position-embedding table — reachable
+/// from serving when a preempted request re-prefills prompt + generated
+/// tokens.
 [[nodiscard]] PrefillGraph build_gpt_prefill(graph::Graph& g,
                                              const DecodeConfig& cfg,
                                              std::int64_t seq_len,
                                              std::uint64_t seed = 0xDEC0DE);
 
-/// Builds one decode step against caches of length `context_len`.
+/// Builds one decode step against caches of length `context_len`.  Throws
+/// sim::InvalidArgument (naming `context_len` and the `max_seq` limit) when
+/// the appended token at position `context_len` would not fit the position
+/// table (`context_len + 1 > max_seq`).
 [[nodiscard]] DecodeStepGraph build_gpt_decode_step(graph::Graph& g,
                                                     const DecodeConfig& cfg,
                                                     std::int64_t context_len,
@@ -85,6 +93,12 @@ struct DecodeStepGraph {
 /// artifacts by context length, so the per-token loop pays the full
 /// compiler pipeline (mapping, fusion, DMA insertion, memory planning)
 /// exactly once per distinct cache length and then just runs.
+///
+/// Under a serving workload the set of live context lengths is unbounded
+/// (long, varied contexts each pin a compiled artifact), so the cache takes
+/// an optional `max_entries` cap: when exceeded, the least-recently-used
+/// entry is discarded and counted in `evictions()`.  The default (0) keeps
+/// every entry, preserving the original behavior.
 class DecodeStepCache {
  public:
   struct Entry {
@@ -94,21 +108,39 @@ class DecodeStepCache {
 
   DecodeStepCache(const graph::Runtime& rt, DecodeConfig cfg,
                   graph::CompileOptions copts = {},
-                  std::uint64_t seed = 0xDEC0DE)
-      : rt_(rt), cfg_(std::move(cfg)), copts_(copts), seed_(seed) {}
+                  std::uint64_t seed = 0xDEC0DE, std::size_t max_entries = 0)
+      : rt_(rt),
+        cfg_(std::move(cfg)),
+        copts_(copts),
+        seed_(seed),
+        max_entries_(max_entries) {}
 
   /// Returns the compiled step for `context_len`, compiling on first use.
+  /// The reference stays valid until `context_len` itself is evicted (it
+  /// survives the eviction its own insertion triggers).
   const Entry& step(std::int64_t context_len);
 
-  /// How many distinct context lengths have been compiled.
+  /// Distinct context lengths currently *resident* — with an entry cap this
+  /// is at most `max_entries`; add `evictions()` for the total number of
+  /// compilations performed minus cache hits.
   [[nodiscard]] std::size_t compiled_steps() const { return entries_.size(); }
+
+  /// Entries discarded by the LRU cap (0 while uncapped).  An evicted
+  /// context length recompiles on its next use.
+  [[nodiscard]] std::size_t evictions() const { return evictions_; }
+
+  [[nodiscard]] std::size_t max_entries() const { return max_entries_; }
 
  private:
   graph::Runtime rt_;  // cheap by-value copy: holds only the chip config
   DecodeConfig cfg_;
   graph::CompileOptions copts_;
   std::uint64_t seed_;
+  std::size_t max_entries_ = 0;  ///< 0 = unlimited
+  std::size_t evictions_ = 0;
   std::map<std::int64_t, Entry> entries_;
+  /// Recency order, most recent first (only maintained when capped).
+  std::list<std::int64_t> recency_;
 };
 
 }  // namespace gaudi::nn

@@ -1,0 +1,162 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "sim/error.hpp"
+
+namespace gaudi::serve {
+
+double percentile(std::vector<double> samples, double p) {
+  GAUDI_CHECK(p >= 0.0 && p <= 100.0 && std::isfinite(p),
+              "percentile expects p in [0, 100]");
+  if (samples.empty()) return std::numeric_limits<double>::quiet_NaN();
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), samples.size());
+  return samples[rank - 1];
+}
+
+namespace {
+
+/// Fixed-precision rendering; non-finite (empty-sample percentiles) → "n/a".
+std::string num(double v, int precision = 2) {
+  if (!std::isfinite(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ServeSummary::to_report() const {
+  std::ostringstream os;
+  os << "requests: " << offered << " offered, " << completed << " completed, "
+     << rejected << " rejected, " << dropped << " dropped, " << preemptions
+     << " preemptions\n";
+  os << "tokens:   " << tokens_out << " generated, " << recomputed_tokens
+     << " recomputed after preemption\n";
+  os << "TTFT:     p50 " << num(ttft_p50_ms) << " ms, p99 "
+     << num(ttft_p99_ms) << " ms, mean " << num(ttft_mean_ms) << " ms\n";
+  os << "ITL:      p50 " << num(itl_p50_ms) << " ms, p99 " << num(itl_p99_ms)
+     << " ms\n";
+  os << "rate:     " << num(throughput_tok_s, 1) << " tok/s throughput, "
+     << num(goodput_tok_s, 1) << " tok/s goodput (" << deadline_met << " of "
+     << completed << " inside deadline) over " << sim::to_string(makespan)
+     << "\n";
+  return os.str();
+}
+
+void MetricsSink::on_offered(const Request& r) {
+  GAUDI_CHECK(index_.count(r.id) == 0,
+              "request id " + std::to_string(r.id) + " offered twice");
+  RequestMetrics m;
+  m.id = r.id;
+  m.arrival = r.arrival;
+  index_.emplace(r.id, records_.size());
+  records_.push_back(m);
+  deadlines_.push_back(r.deadline);
+}
+
+RequestMetrics& MetricsSink::slot(std::int64_t id) {
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    throw sim::InternalError("metrics for unknown request id " +
+                             std::to_string(id));
+  }
+  return records_[it->second];
+}
+
+void MetricsSink::on_first_token(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.first_token = now;
+  m.tokens_out += 1;  // the first token is real output, it just has no gap
+  ttft_ms_.push_back((now - m.arrival).ms());
+}
+
+void MetricsSink::on_token(std::int64_t id, sim::SimTime gap) {
+  slot(id).tokens_out += 1;
+  itl_ms_.push_back(gap.ms());
+}
+
+void MetricsSink::on_preempt(std::int64_t id, std::int64_t recomputed_tokens) {
+  slot(id).preemptions += 1;
+  preemptions_ += 1;
+  recomputed_tokens_ += recomputed_tokens;
+}
+
+void MetricsSink::on_complete(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kCompleted;
+  m.finish = now;
+  const sim::SimTime deadline = deadlines_[index_.at(id)];
+  m.met_deadline =
+      deadline == sim::SimTime::zero() || now - m.arrival <= deadline;
+}
+
+void MetricsSink::on_reject(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kRejected;
+  m.finish = now;
+}
+
+void MetricsSink::on_drop(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kDropped;
+  m.finish = now;
+}
+
+ServeSummary MetricsSink::summary(sim::SimTime makespan) const {
+  ServeSummary s;
+  s.offered = static_cast<std::int64_t>(records_.size());
+  s.preemptions = preemptions_;
+  s.recomputed_tokens = recomputed_tokens_;
+  s.makespan = makespan;
+  std::int64_t good_tokens = 0;
+  for (const RequestMetrics& m : records_) {
+    s.tokens_out += m.tokens_out;
+    switch (m.outcome) {
+      case RequestOutcome::kCompleted:
+        s.completed += 1;
+        if (m.met_deadline) {
+          s.deadline_met += 1;
+          good_tokens += m.tokens_out;
+        }
+        break;
+      case RequestOutcome::kRejected: s.rejected += 1; break;
+      case RequestOutcome::kDropped: s.dropped += 1; break;
+    }
+  }
+  s.ttft_p50_ms = percentile(ttft_ms_, 50.0);
+  s.ttft_p99_ms = percentile(ttft_ms_, 99.0);
+  if (!ttft_ms_.empty()) {
+    double sum = 0.0;
+    for (const double v : ttft_ms_) sum += v;
+    s.ttft_mean_ms = sum / static_cast<double>(ttft_ms_.size());
+  } else {
+    s.ttft_mean_ms = std::numeric_limits<double>::quiet_NaN();
+  }
+  s.itl_p50_ms = percentile(itl_ms_, 50.0);
+  s.itl_p99_ms = percentile(itl_ms_, 99.0);
+  const double seconds = makespan.seconds();
+  s.throughput_tok_s =
+      seconds > 0.0 ? static_cast<double>(s.tokens_out) / seconds : 0.0;
+  s.goodput_tok_s =
+      seconds > 0.0 ? static_cast<double>(good_tokens) / seconds : 0.0;
+  return s;
+}
+
+std::vector<RequestMetrics> MetricsSink::requests() const {
+  std::vector<RequestMetrics> out = records_;
+  std::sort(out.begin(), out.end(),
+            [](const RequestMetrics& a, const RequestMetrics& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace gaudi::serve

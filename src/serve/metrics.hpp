@@ -1,0 +1,91 @@
+// SLO metrics for the serving simulator.
+//
+// Serving quality is distributional: the paper-style mean utilization
+// numbers say nothing about the tail a user-facing SLO is written against.
+// The sink collects per-request time-to-first-token (TTFT), per-token
+// inter-token latencies (ITL), and completion records, and reduces them to
+// p50/p99 tails, throughput, and goodput-under-deadline.  Everything is a
+// pure function of the recorded samples — same simulation, same bytes out.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace gaudi::serve {
+
+/// Nearest-rank percentile of `samples` (p in [0, 100]): the smallest
+/// sample at or above the p-th fraction of the sorted data, computed as
+/// sorted[ceil(p/100 * N)] with rank clamped to [1, N].  Empty input
+/// returns a quiet NaN (rendered as "n/a" downstream), never throws;
+/// a single sample is every percentile of itself.
+[[nodiscard]] double percentile(std::vector<double> samples, double p);
+
+/// Terminal record of one request.
+struct RequestMetrics {
+  std::int64_t id = 0;
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  sim::SimTime arrival{};
+  sim::SimTime first_token{};  ///< absolute time; zero if never reached
+  sim::SimTime finish{};       ///< completion/rejection/drop time
+  std::int64_t tokens_out = 0;
+  std::int64_t preemptions = 0;
+  bool met_deadline = false;  ///< completed within its budget (or no budget)
+};
+
+/// Aggregated serving report.
+struct ServeSummary {
+  std::int64_t offered = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;
+  std::int64_t dropped = 0;
+  std::int64_t preemptions = 0;
+  std::int64_t tokens_out = 0;
+  /// Prompt/output tokens re-prefilled because of preemption.
+  std::int64_t recomputed_tokens = 0;
+  std::int64_t deadline_met = 0;   ///< completed requests inside their budget
+  double ttft_p50_ms = 0.0;
+  double ttft_p99_ms = 0.0;
+  double ttft_mean_ms = 0.0;
+  double itl_p50_ms = 0.0;
+  double itl_p99_ms = 0.0;
+  double throughput_tok_s = 0.0;  ///< generated tokens / makespan
+  double goodput_tok_s = 0.0;     ///< tokens of deadline-met requests / makespan
+  sim::SimTime makespan{};
+
+  /// Deterministic multi-line rendering (the byte-comparable artifact).
+  [[nodiscard]] std::string to_report() const;
+};
+
+/// Collects per-request events during a simulation and reduces them.
+class MetricsSink {
+ public:
+  void on_offered(const Request& r);
+  void on_first_token(std::int64_t id, sim::SimTime now);
+  /// One generated token; `gap` is the latency since the previous token of
+  /// the same request (the ITL sample).
+  void on_token(std::int64_t id, sim::SimTime gap);
+  void on_preempt(std::int64_t id, std::int64_t recomputed_tokens);
+  void on_complete(std::int64_t id, sim::SimTime now);
+  void on_reject(std::int64_t id, sim::SimTime now);
+  void on_drop(std::int64_t id, sim::SimTime now);
+
+  [[nodiscard]] ServeSummary summary(sim::SimTime makespan) const;
+  /// Per-request records sorted by id (terminal states only).
+  [[nodiscard]] std::vector<RequestMetrics> requests() const;
+
+ private:
+  RequestMetrics& slot(std::int64_t id);
+  std::vector<RequestMetrics> records_;  ///< indexed by offer order
+  std::map<std::int64_t, std::size_t> index_;
+  std::vector<sim::SimTime> deadlines_;
+  std::vector<double> ttft_ms_;
+  std::vector<double> itl_ms_;
+  std::int64_t preemptions_ = 0;
+  std::int64_t recomputed_tokens_ = 0;
+};
+
+}  // namespace gaudi::serve

@@ -1,0 +1,135 @@
+// Continuous-batching scheduler: iteration-level serving on the simulated
+// chip.
+//
+// Following Orca's iteration-level scheduling with Sarathi-style chunked
+// prefill, the scheduler admits requests into a bounded set of batch slots
+// and, each iteration, runs (a) one prefill chunk for the oldest request
+// still materializing its KV cache and (b) one fused decode step for every
+// request already generating — new requests join and finished requests
+// leave between iterations, never waiting for a batch to drain.
+//
+// Costs come from the compile/execute split: decode-step graphs are
+// compiled once per bucketed context length through `nn::DecodeStepCache`
+// (batch shape fixed at `max_batch` — partially filled iterations ride the
+// compiled shape with idle slots, exactly as static-shape serving does on
+// real accelerators) and prefill chunks once per bucketed chunk length;
+// both are replayed from a memoized timing table afterwards.  An iteration
+// is billed as prefill-chunk time plus decode-step time: the two phases
+// share the engines serially, which is the pessimistic (barrier) reading
+// of the paper's scheduler study.
+//
+// KV capacity is enforced by the paged allocator: admission reserves the
+// prompt up front, decode grows one token at a time, and when the pool is
+// exhausted the lowest-priority (then youngest) running request is
+// preempted — its blocks freed, its prompt+generated tokens requeued for
+// recomputation.  A request that cannot fit even an empty pool is rejected
+// at admission with the same typed validation the graph builders apply.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/runtime.hpp"
+#include "nn/decode.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace gaudi::serve {
+
+/// HBM bytes one token's K+V rows occupy across all layers of `cfg` for a
+/// single sequence (f32 rows, K and V, every layer).
+[[nodiscard]] std::size_t kv_bytes_per_token(const nn::DecodeConfig& cfg);
+
+struct ServeConfig {
+  nn::DecodeConfig model = nn::DecodeConfig::gpt2_paper();
+  /// Concurrent batch slots (also the compiled decode batch shape).
+  std::int64_t max_batch = 8;
+  /// Prompt tokens prefilled per iteration for the request in prefill.
+  std::int64_t prefill_chunk = 128;
+  /// Context lengths are rounded up to this bucket before compiling a
+  /// decode step, bounding the number of distinct compiled graphs.
+  std::int64_t ctx_bucket = 64;
+  /// KV pool geometry; `num_blocks` is derived from `kv_budget_bytes`.
+  std::int64_t block_tokens = 64;
+  std::size_t kv_budget_bytes = 64ull * 1024 * 1024;
+  /// LRU cap on resident compiled decode steps (0 = unlimited).
+  std::size_t step_cache_entries = 0;
+  graph::CompileOptions compile{};
+  std::uint64_t param_seed = 0xDEC0DE;
+};
+
+/// Everything a serving run reports.
+struct ServeReport {
+  ServeSummary summary;
+  std::vector<RequestMetrics> requests;
+  std::int64_t iterations = 0;
+  std::int64_t decode_steps = 0;
+  std::int64_t prefill_chunks = 0;
+  std::size_t compiled_decode_steps = 0;  ///< resident in the step cache
+  std::size_t step_cache_evictions = 0;
+  std::int64_t kv_total_blocks = 0;
+  std::int64_t kv_peak_blocks = 0;
+  std::int64_t kv_peak_fragmented_tokens = 0;
+
+  /// Deterministic multi-line rendering: summary plus scheduler counters.
+  [[nodiscard]] std::string to_report() const;
+};
+
+class ContinuousBatchScheduler {
+ public:
+  ContinuousBatchScheduler(const graph::Runtime& rt, ServeConfig cfg);
+
+  /// Simulates serving `stream` to completion and returns the metrics.
+  /// Deterministic: same stream + config => byte-identical report.
+  [[nodiscard]] ServeReport run(const std::vector<Request>& stream);
+
+ private:
+  struct Active {
+    Request req;
+    std::int64_t prefill_needed = 0;  ///< prompt (+ regenerated KV on resume)
+    std::int64_t prefilled = 0;
+    std::int64_t generated = 0;
+    sim::SimTime last_token{};
+
+    /// KV rows the request occupies right now.  The first output token
+    /// falls out of prefill's last logits without a cache append, so `g`
+    /// generated tokens pin prompt + max(g - 1, 0) rows; the peak (one row
+    /// before the final token) is prompt + output - 1, which is exactly
+    /// what admission validates against the pool.
+    [[nodiscard]] std::int64_t kv_tokens() const {
+      return req.prompt_len + std::max<std::int64_t>(generated - 1, 0);
+    }
+    [[nodiscard]] bool in_prefill() const { return prefilled < prefill_needed; }
+    [[nodiscard]] bool done() const { return generated >= req.output_len; }
+  };
+
+  [[nodiscard]] std::int64_t ctx_to_bucket(std::int64_t ctx) const;
+  [[nodiscard]] sim::SimTime decode_step_cost(std::int64_t ctx_bucket);
+  [[nodiscard]] sim::SimTime prefill_chunk_cost(std::int64_t chunk);
+  /// Frees KV until `tokens` fit, preempting victims other than `self`.
+  /// Returns false when no victim remains and the pool still cannot fit.
+  bool make_room(std::int64_t tokens, std::int64_t self_id);
+  void preempt(std::size_t victim_index);
+
+  graph::Runtime rt_;
+  ServeConfig cfg_;
+  nn::DecodeStepCache steps_;
+  memory::DeviceAllocator hbm_;
+  PagedKvAllocator kv_;
+  MetricsSink sink_;
+  std::map<std::int64_t, sim::SimTime> decode_cost_;   ///< by ctx bucket
+  std::map<std::int64_t, sim::SimTime> prefill_cost_;  ///< by chunk bucket
+  std::vector<Active> running_;
+  std::deque<Active> requeued_;  ///< preempted, awaiting re-admission
+  std::int64_t iterations_ = 0;
+  std::int64_t decode_steps_ = 0;
+  std::int64_t prefill_chunks_ = 0;
+  std::int64_t kv_peak_frag_ = 0;
+};
+
+}  // namespace gaudi::serve

@@ -1,0 +1,155 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace gaudi::serve {
+
+const char* outcome_name(RequestOutcome o) {
+  switch (o) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kRejected: return "rejected";
+    case RequestOutcome::kDropped: return "dropped";
+  }
+  return "?";
+}
+
+namespace {
+
+// Dedicated RNG streams so adding a field never shifts another field's draws.
+constexpr std::uint64_t kArrivalStream = 1;
+constexpr std::uint64_t kPromptStream = 2;
+constexpr std::uint64_t kOutputStream = 3;
+constexpr std::uint64_t kPriorityStream = 4;
+
+std::int64_t draw_len(const sim::CounterRng& rng, std::uint64_t i,
+                      const LengthRange& r) {
+  return r.lo + static_cast<std::int64_t>(
+                    rng.below(i, static_cast<std::uint64_t>(r.hi - r.lo + 1)));
+}
+
+}  // namespace
+
+std::vector<Request> poisson_stream(const StreamConfig& cfg) {
+  GAUDI_CHECK(cfg.arrival_rate_rps > 0.0 && std::isfinite(cfg.arrival_rate_rps),
+              "arrival rate must be a positive requests/s value");
+  GAUDI_CHECK(cfg.num_requests >= 1, "stream needs at least one request");
+  GAUDI_CHECK(cfg.prompt.lo >= 1 && cfg.prompt.lo <= cfg.prompt.hi,
+              "prompt length range must satisfy 1 <= lo <= hi");
+  GAUDI_CHECK(cfg.output.lo >= 1 && cfg.output.lo <= cfg.output.hi,
+              "output length range must satisfy 1 <= lo <= hi");
+  GAUDI_CHECK(cfg.priority_levels >= 1, "need at least one priority level");
+
+  const sim::CounterRng root{cfg.seed};
+  const sim::CounterRng arrivals = root.stream(kArrivalStream);
+  const sim::CounterRng prompts = root.stream(kPromptStream);
+  const sim::CounterRng outputs = root.stream(kOutputStream);
+  const sim::CounterRng priorities = root.stream(kPriorityStream);
+
+  std::vector<Request> stream;
+  stream.reserve(static_cast<std::size_t>(cfg.num_requests));
+  double t_seconds = 0.0;
+  for (std::int64_t i = 0; i < cfg.num_requests; ++i) {
+    const auto idx = static_cast<std::uint64_t>(i);
+    // Exponential inter-arrival; 1 - u stays in (0, 1] so the log is finite.
+    const double u = arrivals.uniform(idx);
+    t_seconds += -std::log(1.0 - static_cast<double>(u)) / cfg.arrival_rate_rps;
+    Request r;
+    r.id = i;
+    r.arrival = sim::SimTime::from_seconds(t_seconds);
+    r.prompt_len = draw_len(prompts, idx, cfg.prompt);
+    r.output_len = draw_len(outputs, idx, cfg.output);
+    r.priority = static_cast<std::int32_t>(priorities.below(
+        idx, static_cast<std::uint64_t>(cfg.priority_levels)));
+    r.deadline = cfg.deadline;
+    stream.push_back(r);
+  }
+  return stream;  // arrivals are cumulative, so already sorted
+}
+
+namespace {
+
+std::int64_t parse_field(const std::string& text, const char* what,
+                         std::size_t line_no) {
+  std::size_t pos = 0;
+  std::int64_t v = 0;
+  bool ok = !text.empty();
+  if (ok) {
+    try {
+      v = std::stoll(text, &pos);
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  if (!ok || pos != text.size()) {
+    throw sim::InvalidArgument("trace line " + std::to_string(line_no) + ": " +
+                               what + " expects an integer, got '" + text + "'");
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Request> parse_trace(std::istream& in) {
+  std::vector<Request> stream;
+  std::string line;
+  std::size_t line_no = 0;
+  std::int64_t next_id = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    for (std::string part; std::getline(ss, part, ',');) fields.push_back(part);
+    if (fields.size() < 3 || fields.size() > 5) {
+      throw sim::InvalidArgument(
+          "trace line " + std::to_string(line_no) +
+          ": expected arrival_ms,prompt_len,output_len[,priority[,deadline_ms]]");
+    }
+    Request r;
+    r.id = next_id++;
+    const std::int64_t arrival_ms =
+        parse_field(fields[0], "arrival_ms", line_no);
+    GAUDI_CHECK(arrival_ms >= 0, "trace line " + std::to_string(line_no) +
+                                     ": arrival_ms must be >= 0");
+    r.arrival = sim::SimTime::from_ms(static_cast<double>(arrival_ms));
+    r.prompt_len = parse_field(fields[1], "prompt_len", line_no);
+    r.output_len = parse_field(fields[2], "output_len", line_no);
+    GAUDI_CHECK(r.prompt_len >= 1 && r.output_len >= 1,
+                "trace line " + std::to_string(line_no) +
+                    ": prompt_len and output_len must be >= 1");
+    if (fields.size() >= 4) {
+      r.priority =
+          static_cast<std::int32_t>(parse_field(fields[3], "priority", line_no));
+    }
+    if (fields.size() == 5) {
+      const std::int64_t deadline_ms =
+          parse_field(fields[4], "deadline_ms", line_no);
+      GAUDI_CHECK(deadline_ms >= 0, "trace line " + std::to_string(line_no) +
+                                        ": deadline_ms must be >= 0");
+      r.deadline = sim::SimTime::from_ms(static_cast<double>(deadline_ms));
+    }
+    stream.push_back(r);
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival < b.arrival;
+                   });
+  return stream;
+}
+
+std::vector<Request> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw sim::InvalidArgument("cannot open trace file: " + path);
+  }
+  return parse_trace(in);
+}
+
+}  // namespace gaudi::serve

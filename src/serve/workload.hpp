@@ -1,0 +1,55 @@
+// Request-stream generation: the "heavy traffic" side of the serving study.
+//
+// Two sources produce the same `Request` records: a seeded Poisson process
+// (exponential inter-arrivals, per-request length draws through the
+// counter-based RNG, so a (seed, index) pair fully determines every field)
+// and a trace file for replaying captured workloads.  Both are pure
+// functions of their inputs — two runs over the same config are
+// byte-identical, which is what makes serving metrics diffable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace gaudi::serve {
+
+/// Closed integer range a per-request length is drawn from (uniform).
+/// lo == hi pins the value.
+struct LengthRange {
+  std::int64_t lo = 1;
+  std::int64_t hi = 1;
+};
+
+struct StreamConfig {
+  /// Mean arrival rate of the Poisson process, requests per second.
+  double arrival_rate_rps = 8.0;
+  std::int64_t num_requests = 32;
+  LengthRange prompt{64, 192};
+  LengthRange output{16, 64};
+  /// Priorities are drawn uniformly from [0, priority_levels).
+  std::int32_t priority_levels = 1;
+  /// Per-request completion budget from arrival; zero disables deadlines.
+  sim::SimTime deadline{};
+  std::uint64_t seed = 0x5E21E;
+};
+
+/// Generates `cfg.num_requests` Poisson arrivals, sorted by arrival time
+/// (ids follow arrival order).  Throws sim::InvalidArgument on a
+/// non-positive rate/count or an empty/inverted length range.
+[[nodiscard]] std::vector<Request> poisson_stream(const StreamConfig& cfg);
+
+/// Parses a trace: one request per line,
+///   arrival_ms,prompt_len,output_len[,priority[,deadline_ms]]
+/// Blank lines and lines starting with '#' are skipped.  Throws
+/// sim::InvalidArgument naming the offending line on malformed input.
+[[nodiscard]] std::vector<Request> parse_trace(std::istream& in);
+
+/// `parse_trace` over a file path; throws sim::InvalidArgument when the
+/// file cannot be opened.
+[[nodiscard]] std::vector<Request> load_trace(const std::string& path);
+
+}  // namespace gaudi::serve

@@ -1,0 +1,419 @@
+// Serving simulator tests: workload determinism, paged-allocator
+// invariants, percentile edge cases, scheduler end-to-end runs, and
+// regression tests for the decode/CLI input-validation fixes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "graph/runtime.hpp"
+#include "nn/decode.hpp"
+#include "serve/kv_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+#include "sim/error.hpp"
+
+namespace gaudi {
+namespace {
+
+// ---------------------------------------------------------------- percentile
+
+TEST(Percentile, EmptyReturnsNaN) {
+  EXPECT_TRUE(std::isnan(serve::percentile({}, 50.0)));
+}
+
+TEST(Percentile, SingleSampleIsEveryPercentile) {
+  EXPECT_EQ(serve::percentile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(serve::percentile({7.0}, 50.0), 7.0);
+  EXPECT_EQ(serve::percentile({7.0}, 100.0), 7.0);
+}
+
+TEST(Percentile, NearestRankOnKnownData) {
+  const std::vector<double> v = {10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(serve::percentile(v, 0.0), 10.0);    // rank clamps to 1
+  EXPECT_EQ(serve::percentile(v, 50.0), 50.0);   // ceil(5.0) = 5th
+  EXPECT_EQ(serve::percentile(v, 90.0), 90.0);
+  EXPECT_EQ(serve::percentile(v, 91.0), 100.0);  // ceil(9.1) = 10th
+  EXPECT_EQ(serve::percentile(v, 100.0), 100.0);
+  // Order of the input must not matter.
+  EXPECT_EQ(serve::percentile({30, 10, 20}, 50.0), 20.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeP) {
+  EXPECT_THROW((void)serve::percentile({1.0}, -1.0), sim::InvalidArgument);
+  EXPECT_THROW((void)serve::percentile({1.0}, 101.0), sim::InvalidArgument);
+}
+
+TEST(MetricsSink, FirstTokenCountsAsOutput) {
+  serve::MetricsSink sink;
+  serve::Request r;
+  r.id = 3;
+  sink.on_offered(r);
+  sink.on_first_token(3, sim::SimTime::from_ms(5.0));
+  sink.on_token(3, sim::SimTime::from_ms(1.0));
+  sink.on_token(3, sim::SimTime::from_ms(1.0));
+  sink.on_complete(3, sim::SimTime::from_ms(8.0));
+  const serve::ServeSummary s = sink.summary(sim::SimTime::from_ms(8.0));
+  EXPECT_EQ(s.tokens_out, 3);
+  EXPECT_EQ(s.completed, 1);
+  EXPECT_EQ(s.deadline_met, 1);  // no deadline configured counts as met
+}
+
+// ------------------------------------------------------------------ workload
+
+serve::StreamConfig tiny_stream() {
+  serve::StreamConfig cfg;
+  cfg.arrival_rate_rps = 50.0;
+  cfg.num_requests = 10;
+  cfg.prompt = {2, 4};
+  cfg.output = {2, 3};
+  cfg.seed = 0xBEEF;
+  return cfg;
+}
+
+TEST(Workload, PoissonStreamIsDeterministicAndInRange) {
+  const auto a = serve::poisson_stream(tiny_stream());
+  const auto b = serve::poisson_stream(tiny_stream());
+  ASSERT_EQ(a.size(), 10u);
+  ASSERT_EQ(b.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, static_cast<std::int64_t>(i));
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].prompt_len, b[i].prompt_len);
+    EXPECT_EQ(a[i].output_len, b[i].output_len);
+    EXPECT_GE(a[i].prompt_len, 2);
+    EXPECT_LE(a[i].prompt_len, 4);
+    EXPECT_GE(a[i].output_len, 2);
+    EXPECT_LE(a[i].output_len, 3);
+    if (i > 0) EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+  }
+  serve::StreamConfig other = tiny_stream();
+  other.seed = 0xF00D;
+  const auto c = serve::poisson_stream(other);
+  bool differs = false;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    differs = differs || c[i].arrival != a[i].arrival ||
+              c[i].prompt_len != a[i].prompt_len;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Workload, RejectsDegenerateConfigs) {
+  serve::StreamConfig cfg = tiny_stream();
+  cfg.arrival_rate_rps = 0.0;
+  EXPECT_THROW((void)serve::poisson_stream(cfg), sim::InvalidArgument);
+  cfg = tiny_stream();
+  cfg.prompt = {4, 2};  // inverted
+  EXPECT_THROW((void)serve::poisson_stream(cfg), sim::InvalidArgument);
+}
+
+TEST(Workload, ParsesTraceAndNamesBadLine) {
+  std::istringstream good(
+      "# captured workload\n"
+      "0,4,2\n"
+      "12,3,2,1\n"
+      "\n"
+      "3,2,2,0,250\n");
+  const auto reqs = serve::parse_trace(good);
+  ASSERT_EQ(reqs.size(), 3u);
+  EXPECT_EQ(reqs[0].prompt_len, 4);
+  EXPECT_EQ(reqs[1].arrival, sim::SimTime::from_ms(3.0));  // sorted by arrival
+  EXPECT_EQ(reqs[2].priority, 1);
+  EXPECT_EQ(reqs[1].deadline, sim::SimTime::from_ms(250.0));
+
+  std::istringstream bad("0,4,2\nabc,2,3\n");
+  try {
+    (void)serve::parse_trace(bad);
+    FAIL() << "malformed trace line accepted";
+  } catch (const sim::InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- paged allocator
+
+serve::PagedKvConfig pool(std::int64_t blocks, std::int64_t block_tokens = 4) {
+  serve::PagedKvConfig cfg;
+  cfg.block_tokens = block_tokens;
+  cfg.num_blocks = blocks;
+  return cfg;
+}
+
+TEST(PagedKv, ReserveGrowReleaseKeepsAccounting) {
+  serve::PagedKvAllocator kv(pool(4));
+  EXPECT_TRUE(kv.can_reserve(16));
+  EXPECT_FALSE(kv.can_reserve(17));
+
+  ASSERT_TRUE(kv.reserve(1, 5));  // 2 blocks, 3 slots fragmented
+  serve::KvStats s = kv.stats();
+  EXPECT_EQ(s.used_tokens, 5);
+  EXPECT_EQ(s.fragmented_tokens, 3);
+  EXPECT_EQ(s.free_tokens, 8);
+  EXPECT_EQ(s.used_tokens + s.fragmented_tokens + s.free_tokens,
+            s.capacity_tokens);
+  kv.audit();
+
+  ASSERT_TRUE(kv.grow(1, 8));  // fills the tail block, no new allocation
+  EXPECT_EQ(kv.stats().fragmented_tokens, 0);
+  ASSERT_TRUE(kv.grow(1, 9));  // third block
+  EXPECT_EQ(kv.free_blocks(), 1);
+  EXPECT_FALSE(kv.grow(1, 17));  // 5 blocks needed, pool holds 4
+  EXPECT_EQ(kv.reserved_tokens(1), 12);  // the failed grow changed nothing
+  ASSERT_TRUE(kv.grow(1, 13));  // fourth and final block
+  EXPECT_EQ(kv.free_blocks(), 0);
+  EXPECT_FALSE(kv.can_reserve(1));
+  kv.audit();
+
+  kv.release(1);
+  EXPECT_EQ(kv.free_blocks(), 4);
+  EXPECT_FALSE(kv.holds(1));
+  EXPECT_EQ(kv.peak_used_blocks(), 4);
+  kv.audit();
+
+  // Freed blocks are immediately reusable by another request.
+  ASSERT_TRUE(kv.reserve(2, 16));
+  EXPECT_EQ(kv.free_blocks(), 0);
+  kv.release(2);
+  kv.audit();
+}
+
+TEST(PagedKv, FailedOperationsChangeNothing) {
+  serve::PagedKvAllocator kv(pool(2));
+  ASSERT_TRUE(kv.reserve(1, 4));
+  EXPECT_FALSE(kv.reserve(2, 8));  // 2 blocks needed, 1 free
+  EXPECT_FALSE(kv.holds(2));
+  EXPECT_EQ(kv.free_blocks(), 1);
+  EXPECT_FALSE(kv.grow(1, 12));  // 3 blocks needed, pool has 2
+  EXPECT_EQ(kv.reserved_tokens(1), 4);
+  kv.audit();
+  // Double reservation under one id is a caller bug, not a soft failure.
+  EXPECT_THROW((void)kv.reserve(1, 1), sim::InvalidArgument);
+  kv.release(1);
+  EXPECT_THROW(kv.release(1), sim::InvalidArgument);
+}
+
+// ---------------------------------------------------------------- scheduler
+
+serve::ServeConfig tiny_serve() {
+  serve::ServeConfig cfg;
+  cfg.model = nn::DecodeConfig::tiny();
+  cfg.max_batch = 2;
+  cfg.prefill_chunk = 4;
+  cfg.ctx_bucket = 4;
+  cfg.block_tokens = 4;
+  cfg.kv_budget_bytes = 4096;  // 8 blocks of 4 tokens (tiny: 128 B/token)
+  return cfg;
+}
+
+TEST(Scheduler, SameSeedRunsAreByteIdentical) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  serve::ContinuousBatchScheduler a(rt, tiny_serve());
+  serve::ContinuousBatchScheduler b(rt, tiny_serve());
+  const serve::ServeReport ra = a.run(stream);
+  const serve::ServeReport rb = b.run(stream);
+  EXPECT_EQ(ra.to_report(), rb.to_report());
+  EXPECT_EQ(ra.summary.offered, 10);
+  EXPECT_EQ(ra.summary.completed, 10);
+  EXPECT_EQ(ra.summary.rejected, 0);
+  // Every request yields output_len tokens, first token included.
+  std::int64_t want = 0;
+  for (const serve::Request& r : stream) want += r.output_len;
+  EXPECT_EQ(ra.summary.tokens_out, want);
+  EXPECT_GT(ra.summary.throughput_tok_s, 0.0);
+}
+
+TEST(Scheduler, TinyPoolPreemptsAndStillCompletesEveryone) {
+  // 3 blocks of 4 tokens; two co-resident requests peak at 2 blocks each,
+  // so one must preempt the other and recompute its KV after resuming.
+  ::setenv("GAUDI_VALIDATE", "1", 1);  // audit the allocator every iteration
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.kv_budget_bytes = 3 * 4 * 128;
+  std::vector<serve::Request> stream(2);
+  stream[0].id = 0;
+  stream[0].prompt_len = 4;
+  stream[0].output_len = 4;
+  stream[1].id = 1;
+  stream[1].prompt_len = 4;
+  stream[1].output_len = 4;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  ::unsetenv("GAUDI_VALIDATE");
+  EXPECT_EQ(r.summary.completed, 2);
+  EXPECT_GE(r.summary.preemptions, 1);
+  EXPECT_GT(r.summary.recomputed_tokens, 0);
+  EXPECT_EQ(r.kv_total_blocks, 3);
+  EXPECT_LE(r.kv_peak_blocks, 3);
+  EXPECT_EQ(r.summary.tokens_out, 8);
+}
+
+TEST(Scheduler, RejectsRequestsThatCanNeverFit) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();  // tiny model: max_seq = 16
+  std::vector<serve::Request> stream(2);
+  stream[0].id = 0;
+  stream[0].prompt_len = 14;
+  stream[0].output_len = 4;  // peak rows 17 > max_seq
+  stream[1].id = 1;
+  stream[1].prompt_len = 2;
+  stream[1].output_len = 2;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.rejected, 1);
+  EXPECT_EQ(r.summary.completed, 1);
+  ASSERT_EQ(r.requests.size(), 2u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kRejected);
+  EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kCompleted);
+}
+
+// ----------------------------------------------- decode bugfix regressions
+
+TEST(DecodeValidation, PrefillNamesTheLimit) {
+  graph::Graph g;
+  const nn::DecodeConfig cfg = nn::DecodeConfig::tiny();
+  EXPECT_THROW((void)nn::build_gpt_prefill(g, cfg, 0), sim::InvalidArgument);
+  try {
+    (void)nn::build_gpt_prefill(g, cfg, 17);
+    FAIL() << "over-long prefill accepted";
+  } catch (const sim::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_seq=16"), std::string::npos) << what;
+    EXPECT_NE(what.find("17"), std::string::npos) << what;
+  }
+}
+
+TEST(DecodeValidation, DecodeStepNamesTheLimit) {
+  graph::Graph g;
+  const nn::DecodeConfig cfg = nn::DecodeConfig::tiny();
+  EXPECT_THROW((void)nn::build_gpt_decode_step(g, cfg, 0),
+               sim::InvalidArgument);
+  try {
+    (void)nn::build_gpt_decode_step(g, cfg, 16);  // appended token overflows
+    FAIL() << "full-context decode step accepted";
+  } catch (const sim::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("max_seq=16"), std::string::npos) << what;
+    EXPECT_NE(what.find("16"), std::string::npos) << what;
+  }
+}
+
+TEST(DecodeStepCacheLru, UncappedNeverEvicts) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  nn::DecodeStepCache cache(rt, nn::DecodeConfig::tiny());
+  (void)cache.step(2);
+  (void)cache.step(4);
+  (void)cache.step(6);
+  EXPECT_EQ(cache.compiled_steps(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(DecodeStepCacheLru, CapEvictsLeastRecentlyUsed) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  nn::DecodeStepCache cache(rt, nn::DecodeConfig::tiny(), {}, 0xDEC0DE,
+                            /*max_entries=*/2);
+  (void)cache.step(2);
+  (void)cache.step(4);
+  EXPECT_EQ(cache.compiled_steps(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  (void)cache.step(2);  // refresh: 4 is now the LRU entry
+  (void)cache.step(6);  // evicts 4
+  EXPECT_EQ(cache.compiled_steps(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  (void)cache.step(4);  // recompiles, evicting 2
+  EXPECT_EQ(cache.compiled_steps(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  (void)cache.step(6);  // still resident: no further eviction
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+// -------------------------------------------------- CLI bugfix regressions
+
+int run(std::initializer_list<const char*> args, std::string* out = nullptr) {
+  std::vector<std::string> v{"gaudisim_cli"};
+  v.insert(v.end(), args.begin(), args.end());
+  std::ostringstream os;
+  const int rc = core::run_cli(v, os);
+  if (out) *out = os.str();
+  return rc;
+}
+
+TEST(ParseI64, AcceptsIntegersRejectsGarbage) {
+  EXPECT_EQ(core::parse_i64("42", "x"), 42);
+  EXPECT_EQ(core::parse_i64("-7", "x"), -7);
+  EXPECT_THROW((void)core::parse_i64("", "x"), sim::InvalidArgument);
+  EXPECT_THROW((void)core::parse_i64("abc", "x"), sim::InvalidArgument);
+  EXPECT_THROW((void)core::parse_i64("12abc", "x"), sim::InvalidArgument);
+  EXPECT_THROW((void)core::parse_i64("1.5", "x"), sim::InvalidArgument);
+  EXPECT_THROW((void)core::parse_i64("99999999999999999999", "x"),
+               sim::InvalidArgument);
+  try {
+    (void)core::parse_i64("12abc", "option --sizes");
+    FAIL();
+  } catch (const sim::InvalidArgument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("--sizes"), std::string::npos) << what;
+    EXPECT_NE(what.find("12abc"), std::string::npos) << what;
+  }
+}
+
+TEST(CliRegression, MalformedSizesIsUsageErrorNotTerminate) {
+  std::string out;
+  EXPECT_EQ(run({"mme-vs-tpc", "--sizes", "12x"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_NE(out.find("--sizes"), std::string::npos);
+  EXPECT_EQ(run({"mme-vs-tpc", "--sizes", "128,,256"}, &out), 1);
+  EXPECT_EQ(run({"mme-vs-tpc", "--sizes", "99999999999999999999"}, &out), 1);
+}
+
+TEST(CliRegression, TrailingGarbageIntegersAreRejected) {
+  std::string out;
+  EXPECT_EQ(run({"profile-layer", "--batch", "foo"}, &out), 1);
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  EXPECT_EQ(run({"profile-layer", "--seq", "12abc"}, &out), 1);
+  EXPECT_NE(out.find("trailing"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--requests", "3x"}, &out), 1);
+  EXPECT_NE(out.find("--requests"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--rate", "fast"}, &out), 1);
+  EXPECT_NE(out.find("--rate"), std::string::npos);
+  EXPECT_EQ(run({"train", "--sdc-rate", "0.5x"}, &out), 1);
+  EXPECT_NE(out.find("trailing"), std::string::npos);
+}
+
+TEST(CliServe, SmokeRunIsDeterministic) {
+  const std::initializer_list<const char*> cmd = {
+      "serve",         "--requests", "4",  "--rate",       "40",
+      "--prompt-min",  "8",          "--prompt-max", "16",
+      "--output-min",  "4",          "--output-max", "8",
+      "--max-batch",   "2",          "--prefill-chunk", "16",
+      "--kv-mb",       "4"};
+  std::string out;
+  ASSERT_EQ(run(cmd, &out), 0);
+  EXPECT_NE(out.find("serve: 4 requests"), std::string::npos);
+  EXPECT_NE(out.find("4 offered, 4 completed"), std::string::npos);
+  EXPECT_NE(out.find("TTFT:"), std::string::npos);
+  EXPECT_NE(out.find("kv pool:"), std::string::npos);
+  std::string again;
+  ASSERT_EQ(run(cmd, &again), 0);
+  EXPECT_EQ(out, again);
+  // Unknown options still fail loudly.
+  EXPECT_EQ(run({"serve", "--nonsense", "1"}, &out), 1);
+  EXPECT_NE(out.find("unknown option"), std::string::npos);
+}
+
+TEST(CliServe, UsageMentionsServing) {
+  std::string out;
+  run({"help"}, &out);
+  EXPECT_NE(out.find("serve"), std::string::npos);
+  EXPECT_NE(out.find("--max-batch"), std::string::npos);
+  EXPECT_NE(out.find("--kv-mb"), std::string::npos);
+  EXPECT_NE(out.find("--arrivals"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gaudi
