@@ -1,6 +1,7 @@
 // Shared helpers for the paper-reproduction bench binaries.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -11,6 +12,22 @@
 #include "core/table.hpp"
 
 namespace gaudi::bench {
+
+/// Host wall-clock stopwatch for comparing simulator execution modes.
+/// (Simulated time is deterministic; this measures how long the simulator
+/// itself takes to produce it.)
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  /// Seconds elapsed since construction.
+  [[nodiscard]] double seconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Achieved-TFLOPS table cell.  Zero-FLOP or zero-duration runs (a phantom
 /// op, an empty trace) have no defined rate and render "n/a" instead of

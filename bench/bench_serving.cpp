@@ -1,10 +1,11 @@
 // Serving throughput-latency curves — the multi-tenant regime the paper's
-// single-job profiles feed into.  A Poisson request stream is pushed
-// through the continuous-batching scheduler at increasing arrival rates
-// and batch sizes; the interesting output is the *shape* of the curve:
-// throughput saturates at the chip's token rate while the TTFT/ITL tails
-// grow without bound past the knee — the classic open-loop overload
-// signature that batch-size tuning trades against.
+// single-job profiles feed into — run twice: once with full cost
+// derivation (every scheduler builds, compiles, and event-schedules each
+// decode/prefill bucket graph itself) and once in timing-only mode (step
+// costs replayed from the process-wide timing memo).  The two passes must
+// agree on every reported number; the interesting output is the host
+// wall-clock ratio between them, which is what makes wide batch sweeps
+// cheap.
 //
 // Everything here is deterministic: the same (seed, rate, batch) cell
 // reproduces byte-identical metrics, which the final self-check asserts by
@@ -13,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "core/table.hpp"
 #include "graph/runtime.hpp"
+#include "graph/timing_memo.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 
@@ -22,28 +25,74 @@ int main() {
   using namespace gaudi;
   const graph::Runtime rt(sim::ChipConfig::hls1());
 
-  const std::vector<double> rates = {4.0, 8.0, 16.0, 32.0};
+  const std::vector<double> rates = {2.0,  3.0,  4.0,  6.0,  8.0,  12.0,
+                                     16.0, 24.0, 32.0, 48.0, 64.0, 96.0};
   const std::vector<std::int64_t> batches = {4, 8};
 
-  auto run_cell = [&](double rate, std::int64_t max_batch) {
+  // Streams are generated once up front: both execution modes schedule the
+  // exact same requests, so workload generation stays out of the timed
+  // region.
+  std::vector<std::vector<serve::Request>> streams;
+  streams.reserve(rates.size());
+  for (const double rate : rates) {
     serve::StreamConfig scfg;
     scfg.arrival_rate_rps = rate;
     scfg.num_requests = 48;
     scfg.prompt = {64, 192};
     scfg.output = {16, 64};
     scfg.deadline = sim::SimTime::from_ms(4000.0);
+    streams.push_back(serve::poisson_stream(scfg));
+  }
+
+  auto run_cell = [&](std::size_t rate_idx, std::int64_t max_batch,
+                      bool timing_only) {
     serve::ServeConfig cfg;
     cfg.max_batch = max_batch;
     cfg.kv_budget_bytes = 16ull * 1024 * 1024;
+    cfg.ctx_bucket = 16;  // fine-grained step costs: 16-token context buckets
+    cfg.timing_only = timing_only;
     serve::ContinuousBatchScheduler sched(rt, cfg);
-    return sched.run(serve::poisson_stream(scfg));
+    return sched.run(streams[rate_idx]);
   };
+
+  auto run_sweep = [&](bool timing_only) {
+    std::vector<std::string> reports;
+    reports.reserve(rates.size() * batches.size());
+    for (const std::int64_t batch : batches) {
+      for (std::size_t i = 0; i < rates.size(); ++i) {
+        reports.push_back(run_cell(i, batch, timing_only).to_report());
+      }
+    }
+    return reports;
+  };
+
+  graph::TimingMemo::global().clear();
+  const bench::WallClock functional_clock;
+  const std::vector<std::string> functional = run_sweep(false);
+  const double functional_s = functional_clock.seconds();
+
+  graph::TimingMemo::global().clear();
+  const bench::WallClock fast_clock;
+  const std::vector<std::string> fast = run_sweep(true);
+  const double fast_s = fast_clock.seconds();
+
+  // Mode equivalence: the fast path may change how long the *simulator*
+  // takes, never what it reports.
+  for (std::size_t i = 0; i < functional.size(); ++i) {
+    if (functional[i] != fast[i]) {
+      std::printf("\nFAIL: timing-only report diverged in cell %zu\n", i);
+      std::fputs(functional[i].c_str(), stdout);
+      std::fputs(fast[i].c_str(), stdout);
+      return 1;
+    }
+  }
 
   core::TextTable table({"Rate", "Batch", "Tok/s", "Goodput", "TTFT p50",
                          "TTFT p99", "ITL p50", "ITL p99", "Preempt"});
   for (const std::int64_t batch : batches) {
-    for (const double rate : rates) {
-      const serve::ServeReport r = run_cell(rate, batch);
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      const double rate = rates[i];
+      const serve::ServeReport r = run_cell(i, batch, true);
       table.add_row({core::TextTable::num(rate, 0) + " req/s",
                      std::to_string(batch),
                      core::TextTable::num(r.summary.throughput_tok_s, 1),
@@ -63,9 +112,24 @@ int main() {
   std::puts("rate: throughput flattens while TTFT tails stretch — adding");
   std::puts("batch slots moves the knee right at the cost of per-token ITL.");
 
+  const graph::TimingMemo& memo = graph::TimingMemo::global();
+  const double speedup = functional_s / (fast_s > 0.0 ? fast_s : 1e-9);
+  std::printf(
+      "\nexecution modes (%zu cells, identical reports):\n"
+      "  functional   %8.3f s wall\n"
+      "  timing-only  %8.3f s wall  (%.1fx faster)\n"
+      "  timing memo: %zu entries, %lld hits, %lld misses\n",
+      functional.size(), functional_s, fast_s, speedup, memo.size(),
+      static_cast<long long>(memo.hits()),
+      static_cast<long long>(memo.misses()));
+  if (speedup < 3.0) {
+    std::puts("FAIL: timing-only mode is expected to be >=3x faster");
+    return 1;
+  }
+
   // Determinism self-check: one cell, rendered twice, must be bytes-equal.
-  const std::string a = run_cell(8.0, 4).to_report();
-  const std::string b = run_cell(8.0, 4).to_report();
+  const std::string a = run_cell(4, 4, true).to_report();
+  const std::string b = run_cell(4, 4, true).to_report();
   if (a != b) {
     std::puts("\nFAIL: same-seed serving runs diverged");
     return 1;

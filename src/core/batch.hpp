@@ -1,0 +1,88 @@
+// Declarative batch-experiment runner.
+//
+// A plain-text config describes a grid of simulator runs; the runner
+// expands it, executes every replica — in parallel on a host thread pool
+// when asked — and funnels every result through one StatsSink, so a whole
+// paper-style sweep (a serving rate × batch grid, a layer-shape study, an
+// engine comparison) is reproduced by a single `gaudisim_cli batch` line
+// with byte-deterministic CSV output.
+//
+// Grammar (line-oriented; '#' starts a comment, blank lines ignored):
+//
+//   experiment <name>
+//     command <serve|profile-layer|profile-model|mme-vs-tpc>
+//     set <key> <value>          # fixed parameter (CLI option spelling)
+//     sweep <key> <v1> <v2> ...  # one grid axis; axes multiply
+//     seeds <s1> <s2> ...        # workload seeds (0x... accepted)
+//     repeats <n>                # replicas per seed: seed+0 .. seed+n-1
+//     timing-only <on|off>       # serve cells only; default defers to env
+//   end
+//
+// Each point of the sweep grid is one *cell*; each cell runs once per
+// (seed, repeat) pair with effective seed `seed + repeat`, and the cell's
+// replicas aggregate to n/mean/p50/p99 per metric.  Replicas execute on a
+// sim::ThreadPool and merge in replica order, so the report is identical
+// however many worker threads ran it.  Timing costs flow through the
+// process-wide graph::TimingMemo, so replicas of the same model pay for
+// graph construction and scheduling once.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stats_sink.hpp"
+
+namespace gaudi::core {
+
+struct BatchExperiment {
+  std::string name;
+  std::string command;
+  /// Fixed key=value parameters, in file order.
+  std::vector<std::pair<std::string, std::string>> fixed;
+  /// Sweep axes, in file order; the grid is their cartesian product.
+  std::vector<std::pair<std::string, std::vector<std::string>>> sweeps;
+  std::vector<std::uint64_t> seeds{0x5E21E};
+  std::int64_t repeats = 1;
+  /// serve cells only; unset defers to ServeConfig's GAUDI_TIMING_ONLY
+  /// fallback.
+  std::optional<bool> timing_only{};
+};
+
+struct BatchConfig {
+  std::vector<BatchExperiment> experiments;
+};
+
+/// Parses the grammar above.  Throws sim::InvalidArgument naming the line
+/// of the first error (unknown directive, unknown command, empty sweep,
+/// duplicate key, missing end, ...).
+[[nodiscard]] BatchConfig parse_batch_config(std::istream& in);
+
+/// Reads and parses `path`; throws sim::IoError when unreadable.
+[[nodiscard]] BatchConfig load_batch_config(const std::string& path);
+
+struct BatchOptions {
+  /// Worker threads for replica execution; 0 picks the hardware default,
+  /// 1 forces serial execution (the output is identical either way).
+  std::size_t threads = 0;
+  /// Explicit timing-only override for experiments that do not set their
+  /// own; unset keeps each experiment's (or the environment's) choice.
+  std::optional<bool> timing_only{};
+};
+
+struct BatchRunResult {
+  std::string csv;    ///< StatsSink::csv() — the byte-deterministic artifact
+  std::string table;  ///< StatsSink::table()
+  std::size_t cells = 0;
+  std::size_t runs = 0;
+};
+
+/// Expands and executes `cfg`.  Deterministic: same config, same bytes out,
+/// regardless of `opts.threads`.
+[[nodiscard]] BatchRunResult run_batch(const BatchConfig& cfg,
+                                       const BatchOptions& opts = {});
+
+}  // namespace gaudi::core

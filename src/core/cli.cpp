@@ -4,7 +4,10 @@
 #include <optional>
 #include <sstream>
 
+#include <fstream>
+
 #include "core/advisor.hpp"
+#include "core/batch.hpp"
 #include "core/experiments.hpp"
 #include "core/html_report.hpp"
 #include "core/table.hpp"
@@ -100,6 +103,17 @@ commands:
       --kv-mb N                  KV pool budget in MiB        (64)
       --cache-cap N              LRU cap on compiled decode steps; 0 = all
       --seed N                   workload seed                (0x5E21E)
+      --timing-only on|off       memoized timing fast path (default:
+                                 GAUDI_TIMING_ONLY; reports are identical)
+  batch FILE [options]           run a declarative experiment grid: FILE
+                                 sweeps {command, axes, seeds, repeats}
+                                 (see examples/serving_sweep.cfg); replicas
+                                 run in parallel, stats reduce to
+                                 n/mean/p50/p99 per cell
+      --csv FILE                 write the byte-deterministic CSV
+      --threads N                replica worker threads; 0 = hardware, 1 =
+                                 serial (same output either way)
+      --timing-only on|off       default for experiments that do not choose
   help                           this text
 
 Setting GAUDI_VALIDATE=1 in the environment validates every scheduled
@@ -183,6 +197,16 @@ sim::FaultInjector parse_fault_injector(ArgParser& args,
           : sim::FaultProfile::stress();
   profile.sdc_bit_flip_rate = sdc_rate;
   return sim::FaultInjector{seed, profile};
+}
+
+/// Parses --timing-only on|off (a bare flag means on); absent defers to the
+/// GAUDI_TIMING_ONLY environment variable.
+std::optional<bool> parse_timing_only(ArgParser& args) {
+  const std::string s = args.get("timing-only", "\x01");
+  if (s == "\x01") return std::nullopt;
+  if (s.empty() || s == "on") return true;
+  if (s == "off") return false;
+  throw sim::InvalidArgument("--timing-only expects on|off, got '" + s + "'");
 }
 
 void check_unused(const ArgParser& args) {
@@ -509,6 +533,7 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::int64_t cache_cap = args.get_int("cache-cap", 0);
   GAUDI_CHECK(cache_cap >= 0, "--cache-cap expects a non-negative count");
   cfg.step_cache_entries = static_cast<std::size_t>(cache_cap);
+  cfg.timing_only = parse_timing_only(args);
   check_unused(args);
 
   const std::vector<serve::Request> stream =
@@ -527,6 +552,30 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   graph::Runtime rt(sim::ChipConfig::hls1());
   serve::ContinuousBatchScheduler sched(rt, cfg);
   out << sched.run(stream).to_report();
+  return 0;
+}
+
+int cmd_batch(const std::string& config_path, ArgParser& args,
+              std::ostream& out) {
+  const std::string csv_path = args.get("csv", "");
+  const std::int64_t threads = args.get_int("threads", 0);
+  GAUDI_CHECK(threads >= 0, "--threads expects a non-negative count");
+  BatchOptions bopts;
+  bopts.threads = static_cast<std::size_t>(threads);
+  bopts.timing_only = parse_timing_only(args);
+  check_unused(args);
+
+  const BatchConfig cfg = load_batch_config(config_path);
+  const BatchRunResult r = run_batch(cfg, bopts);
+  out << "batch: " << cfg.experiments.size() << " experiment(s), " << r.cells
+      << " cell(s), " << r.runs << " run(s)\n";
+  out << r.table;
+  if (!csv_path.empty()) {
+    std::ofstream csv(csv_path, std::ios::binary);
+    GAUDI_CHECK(static_cast<bool>(csv), "cannot write CSV to " + csv_path);
+    csv << r.csv;
+    out << "csv written to " << csv_path << "\n";
+  }
   return 0;
 }
 
@@ -599,6 +648,14 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out) {
       return args.size() < 2 ? 1 : 0;
     }
     const std::string& command = args[1];
+    if (command == "batch") {
+      // `batch` takes a positional config path before its options, which
+      // the flags-only ArgParser below would reject.
+      GAUDI_CHECK(args.size() >= 3 && args[2].rfind("--", 0) != 0,
+                  "batch expects a config file path");
+      ArgParser bparser(std::vector<std::string>(args.begin() + 3, args.end()));
+      return cmd_batch(args[2], bparser, out);
+    }
     ArgParser parser(std::vector<std::string>(args.begin() + 2, args.end()));
     if (command == "op-mapping") {
       const auto unused = parser.unused();

@@ -1,0 +1,69 @@
+#include "core/stats_sink.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "core/table.hpp"
+#include "serve/metrics.hpp"
+
+namespace gaudi::core {
+
+namespace {
+
+/// "%.9g": enough digits that distinct doubles rarely collide, few enough
+/// that the same double always renders the same bytes on every platform.
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+double mean_of(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+}  // namespace
+
+void StatsSink::add(const std::string& experiment, const std::string& cell,
+                    const std::string& metric, double value) {
+  // \x1f (unit separator) cannot appear in config tokens, so the composite
+  // key is unambiguous.
+  const std::string key = experiment + '\x1f' + cell + '\x1f' + metric;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    cells_[it->second].values.push_back(value);
+  } else {
+    index_.emplace(key, cells_.size());
+    cells_.push_back(Series{experiment, cell, metric, {value}});
+  }
+  ++samples_;
+}
+
+std::string StatsSink::csv() const {
+  std::ostringstream os;
+  os << "experiment,cell,metric,n,mean,p50,p99\n";
+  for (const Series& s : cells_) {
+    os << s.experiment << ',' << s.cell << ',' << s.metric << ','
+       << s.values.size() << ',' << fmt(mean_of(s.values)) << ','
+       << fmt(serve::percentile(s.values, 50.0)) << ','
+       << fmt(serve::percentile(s.values, 99.0)) << '\n';
+  }
+  return os.str();
+}
+
+std::string StatsSink::table() const {
+  TextTable t({"experiment", "cell", "metric", "n", "mean", "p50", "p99"});
+  for (const Series& s : cells_) {
+    t.add_row({s.experiment, s.cell, s.metric,
+               std::to_string(s.values.size()), fmt(mean_of(s.values)),
+               fmt(serve::percentile(s.values, 50.0)),
+               fmt(serve::percentile(s.values, 99.0))});
+  }
+  return t.to_string();
+}
+
+}  // namespace gaudi::core

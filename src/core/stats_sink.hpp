@@ -1,0 +1,51 @@
+// Unified statistics sink for the batch-experiment runner.
+//
+// Every command a batch config can launch (serve, profile-layer,
+// profile-model, mme-vs-tpc) reports through this one funnel: a flat stream
+// of (experiment, cell, metric, value) samples.  The sink groups samples by
+// cell — one cell per point of an experiment's sweep grid, accumulating its
+// seeds × repeats replicas — and reduces each (cell, metric) series to
+// n/mean/p50/p99.  Two renderings share the aggregation: a long-format CSV
+// whose bytes are deterministic (the CI smoke lane `cmp`s two runs), and a
+// fixed-width text table for the terminal.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gaudi::core {
+
+class StatsSink {
+ public:
+  /// Records one replica's value of `metric` for `cell` of `experiment`.
+  /// Cells and metrics render in first-insertion order, so callers that add
+  /// in a deterministic order get deterministic output.
+  void add(const std::string& experiment, const std::string& cell,
+           const std::string& metric, double value);
+
+  /// Long format, one aggregated row per (experiment, cell, metric):
+  ///   experiment,cell,metric,n,mean,p50,p99
+  /// Numbers use "%.9g" so equal doubles always print equal bytes.
+  [[nodiscard]] std::string csv() const;
+
+  /// Fixed-width table of the same rows.
+  [[nodiscard]] std::string table() const;
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] std::size_t series() const { return cells_.size(); }
+
+ private:
+  struct Series {
+    std::string experiment;
+    std::string cell;
+    std::string metric;
+    std::vector<double> values;
+  };
+  std::vector<Series> cells_;                 ///< insertion order
+  std::map<std::string, std::size_t> index_;  ///< composite key -> cells_ idx
+  std::size_t samples_ = 0;
+};
+
+}  // namespace gaudi::core

@@ -33,6 +33,15 @@ struct RunOptions {
   tpc::ExecMode mode = tpc::ExecMode::kFunctional;
   SchedulePolicy policy = SchedulePolicy::kBarrier;
   std::uint64_t seed = 0x6A0D1;
+  /// Timing-only fast path: skip kernel math, buffer traffic, checksums,
+  /// and guard sweeps, and replay the memoized schedule of this compiled
+  /// graph from the process-wide TimingMemo (first run of a fingerprint
+  /// executes the real scheduler once; see graph/timing_memo.hpp).  Unset
+  /// defers to GAUDI_TIMING_ONLY, which applies only to runs already in
+  /// timing mode — a functional run's outputs stay real unless the caller
+  /// explicitly opts in here.  Fault injection and corruption hooks bypass
+  /// the memo (their schedules are epoch-dependent).
+  std::optional<bool> timing_only{};
   /// Replay the dynamic HBM allocator alongside the static plan and enforce
   /// the capacity (throws sim::ResourceExhausted on overflow).  Via the
   /// compile-and-run overload this also gates compile-time capacity
@@ -123,6 +132,15 @@ struct ProfileResult {
   /// Merged numerics stats over every swept output (guarded functional
   /// runs; zero otherwise).
   sim::NumericsStats numerics{};
+  /// True when this result came from the timing-only fast path (first run
+  /// or replay; trace and summaries are byte-identical either way).
+  bool timing_only = false;
+  /// True when the result was replayed from the TimingMemo in O(1) instead
+  /// of re-executing the scheduler.
+  bool memo_hit = false;
+  /// Process-wide TimingMemo hit count observed when this run returned —
+  /// the counter that proves repeated decode steps are table lookups.
+  std::uint64_t memo_hits = 0;
 };
 
 class Runtime {

@@ -1,0 +1,91 @@
+#include "graph/timing_memo.hpp"
+
+#include <sstream>
+
+#include "graph/runtime.hpp"
+#include "sim/env.hpp"
+
+namespace gaudi::graph {
+
+TimingMemo& TimingMemo::global() {
+  static TimingMemo memo;
+  return memo;
+}
+
+std::shared_ptr<const ProfileResult> TimingMemo::find_profile(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = profiles_.find(key);
+  if (it == profiles_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void TimingMemo::insert_profile(const std::string& key,
+                                std::shared_ptr<const ProfileResult> result) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  profiles_.emplace(key, std::move(result));
+}
+
+bool TimingMemo::find_time(const std::string& key, sim::SimTime* out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = times_.find(key);
+  if (it == times_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  *out = it->second;
+  return true;
+}
+
+void TimingMemo::insert_time(const std::string& key, sim::SimTime t) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  times_.emplace(key, t);
+}
+
+std::uint64_t TimingMemo::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t TimingMemo::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::size_t TimingMemo::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return profiles_.size() + times_.size();
+}
+
+void TimingMemo::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  profiles_.clear();
+  times_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+bool timing_only_from_env() { return sim::env_flag("GAUDI_TIMING_ONLY", false); }
+
+bool timing_only_enabled(const RunOptions& opts) {
+  if (opts.timing_only.has_value()) return *opts.timing_only;
+  return opts.mode == tpc::ExecMode::kTiming && timing_only_from_env();
+}
+
+std::string timing_memo_key(const CompiledGraph& cg, const RunOptions& opts) {
+  // The fingerprint covers graph + chip + compile options; of the run
+  // options only the scheduler policy changes a timing-mode trace (the seed
+  // feeds functional RNG, guards are forced off on this path, and faults
+  // bypass the memo entirely).
+  std::ostringstream os;
+  os << "run:" << cg.fingerprint << ':'
+     << static_cast<int>(opts.policy);
+  return os.str();
+}
+
+}  // namespace gaudi::graph

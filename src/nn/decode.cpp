@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <string>
 
+#include "graph/fingerprint.hpp"
+#include "graph/timing_memo.hpp"
 #include "nn/layers.hpp"
 
 namespace gaudi::nn {
@@ -236,7 +239,7 @@ DecodeStepGraph build_gpt_decode_step(Graph& g, const DecodeConfig& cfg,
   return out;
 }
 
-const DecodeStepCache::Entry& DecodeStepCache::step(std::int64_t context_len) {
+DecodeStepCache::Entry& DecodeStepCache::touch(std::int64_t context_len) {
   const auto it = entries_.find(context_len);
   if (it != entries_.end()) {
     if (max_entries_ > 0) {  // refresh recency on hit
@@ -247,10 +250,7 @@ const DecodeStepCache::Entry& DecodeStepCache::step(std::int64_t context_len) {
     }
     return it->second;
   }
-  Graph g;
-  Entry entry{build_gpt_decode_step(g, cfg_, context_len, seed_),
-              rt_.compile(g, copts_)};
-  auto& inserted = entries_.emplace(context_len, std::move(entry)).first->second;
+  auto& inserted = entries_[context_len];  // default: unmaterialized
   if (max_entries_ > 0) {
     recency_.push_front(context_len);
     // Evict from the cold end until we are back under the cap; the entry we
@@ -263,6 +263,55 @@ const DecodeStepCache::Entry& DecodeStepCache::step(std::int64_t context_len) {
     }
   }
   return inserted;
+}
+
+void DecodeStepCache::materialize(std::int64_t context_len, Entry& e) {
+  Graph g;
+  e.step = build_gpt_decode_step(g, cfg_, context_len, seed_);
+  e.compiled = rt_.compile(g, copts_);
+  e.materialized = true;
+}
+
+const DecodeStepCache::Entry& DecodeStepCache::step(std::int64_t context_len) {
+  Entry& e = touch(context_len);
+  if (!e.materialized) materialize(context_len, e);
+  return e;
+}
+
+std::string DecodeStepCache::time_key(std::int64_t context_len,
+                                      graph::SchedulePolicy policy) const {
+  graph::Fingerprint fp;
+  fp.u64(graph::chip_fingerprint(rt_.config()));
+  fp.i64(cfg_.vocab);
+  fp.i64(cfg_.batch);
+  fp.i64(cfg_.heads);
+  fp.i64(cfg_.head_dim);
+  fp.i64(cfg_.n_layers);
+  fp.i64(cfg_.ffn_dim);
+  fp.i64(cfg_.max_seq);
+  fp.boolean(copts_.fuse_elementwise);
+  fp.boolean(copts_.enforce_capacity);
+  fp.u64(seed_);
+  fp.i64(context_len);
+  fp.u8(static_cast<std::uint8_t>(policy));
+  std::ostringstream os;
+  os << "decode-step:" << std::hex << fp.digest();
+  return os.str();
+}
+
+sim::SimTime DecodeStepCache::step_time(std::int64_t context_len,
+                                        const graph::RunOptions& opts) {
+  Entry& e = touch(context_len);
+  graph::TimingMemo& memo = graph::TimingMemo::global();
+  const std::string key = time_key(context_len, opts.policy);
+  sim::SimTime cached{};
+  if (memo.find_time(key, &cached)) return cached;
+  if (!e.materialized) materialize(context_len, e);
+  graph::RunOptions ropts = opts;
+  ropts.mode = tpc::ExecMode::kTiming;
+  const sim::SimTime cost = rt_.run(e.compiled, {}, ropts).makespan;
+  memo.insert_time(key, cost);
+  return cost;
 }
 
 }  // namespace gaudi::nn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "graph/fingerprint.hpp"
+#include "graph/timing_memo.hpp"
 #include "sim/env.hpp"
 #include "sim/error.hpp"
 
@@ -44,6 +46,9 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const graph::Runtime& rt,
                                                    ServeConfig cfg)
     : rt_(rt),
       cfg_(std::move(cfg)),
+      timing_only_(cfg_.timing_only.has_value()
+                       ? *cfg_.timing_only
+                       : graph::timing_only_from_env()),
       steps_(rt_, decode_model(cfg_), cfg_.compile, cfg_.param_seed,
              cfg_.step_cache_entries),
       hbm_(rt_.config().memory),
@@ -63,12 +68,41 @@ sim::SimTime ContinuousBatchScheduler::decode_step_cost(
     std::int64_t ctx_bucket) {
   const auto it = decode_cost_.find(ctx_bucket);
   if (it != decode_cost_.end()) return it->second;
-  const nn::DecodeStepCache::Entry& entry = steps_.step(ctx_bucket);
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
-  const sim::SimTime cost = rt_.run(entry.compiled, {}, opts).makespan;
+  opts.timing_only = timing_only_;
+  // Cost tables are pure timing: guard sweeps (e.g. a process-wide
+  // GAUDI_GUARD) must not inflate serving costs in one mode and not the
+  // other.
+  opts.guard = sim::NumericsPolicy::kOff;
+  sim::SimTime cost{};
+  if (timing_only_) {
+    cost = steps_.step_time(ctx_bucket, opts);
+  } else {
+    const nn::DecodeStepCache::Entry& entry = steps_.step(ctx_bucket);
+    cost = rt_.run(entry.compiled, {}, opts).makespan;
+  }
   decode_cost_.emplace(ctx_bucket, cost);
   return cost;
+}
+
+std::string ContinuousBatchScheduler::prefill_time_key(
+    std::int64_t bucket) const {
+  graph::Fingerprint fp;
+  fp.u64(graph::chip_fingerprint(rt_.config()));
+  fp.i64(cfg_.model.vocab);
+  fp.i64(cfg_.model.heads);
+  fp.i64(cfg_.model.head_dim);
+  fp.i64(cfg_.model.n_layers);
+  fp.i64(cfg_.model.ffn_dim);
+  fp.i64(cfg_.model.max_seq);
+  fp.boolean(cfg_.compile.fuse_elementwise);
+  fp.boolean(cfg_.compile.enforce_capacity);
+  fp.u64(cfg_.param_seed);
+  fp.i64(bucket);
+  std::ostringstream os;
+  os << "prefill-chunk:" << std::hex << fp.digest();
+  return os.str();
 }
 
 sim::SimTime ContinuousBatchScheduler::prefill_chunk_cost(std::int64_t chunk) {
@@ -76,6 +110,15 @@ sim::SimTime ContinuousBatchScheduler::prefill_chunk_cost(std::int64_t chunk) {
       std::min(ctx_to_bucket(chunk), cfg_.model.max_seq);
   const auto it = prefill_cost_.find(bucket);
   if (it != prefill_cost_.end()) return it->second;
+  graph::TimingMemo& memo = graph::TimingMemo::global();
+  const std::string key = timing_only_ ? prefill_time_key(bucket) : "";
+  if (timing_only_) {
+    sim::SimTime cached{};
+    if (memo.find_time(key, &cached)) {
+      prefill_cost_.emplace(bucket, cached);
+      return cached;
+    }
+  }
   graph::Graph g;
   nn::DecodeConfig m = cfg_.model;
   m.batch = 1;  // prefill chunks run one request at a time
@@ -85,7 +128,10 @@ sim::SimTime ContinuousBatchScheduler::prefill_chunk_cost(std::int64_t chunk) {
   const graph::CompiledGraph compiled = rt_.compile(g, cfg_.compile);
   graph::RunOptions opts;
   opts.mode = tpc::ExecMode::kTiming;
+  opts.timing_only = timing_only_;
+  opts.guard = sim::NumericsPolicy::kOff;  // see decode_step_cost
   const sim::SimTime cost = rt_.run(compiled, {}, opts).makespan;
+  if (timing_only_) memo.insert_time(key, cost);
   prefill_cost_.emplace(bucket, cost);
   return cost;
 }
@@ -170,6 +216,16 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
                 kv_.total_blocks();
         if (!valid) {
           sink_.on_reject(r.id, now);
+          ++next;
+          continue;
+        }
+        // A deadline that expired while the request queued can never
+        // contribute goodput: drop it at admission instead of spending KV
+        // blocks and iterations on work the front-end already abandoned.
+        if (r.deadline > sim::SimTime::zero() &&
+            now > r.arrival + r.deadline) {
+          sink_.on_drop(r.id, now);
+          ++deadline_drops_;
           ++next;
           continue;
         }
@@ -310,6 +366,7 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
   report.iterations = iterations_;
   report.decode_steps = decode_steps_;
   report.prefill_chunks = prefill_chunks_;
+  report.deadline_drops = deadline_drops_;
   report.compiled_decode_steps = steps_.compiled_steps();
   report.step_cache_evictions = steps_.evictions();
   report.kv_total_blocks = kv_.total_blocks();
@@ -324,7 +381,8 @@ std::string ServeReport::to_report() const {
   os << "schedule: " << iterations << " iterations (" << decode_steps
      << " decode steps, " << prefill_chunks << " prefill chunks), "
      << compiled_decode_steps << " compiled step graphs resident, "
-     << step_cache_evictions << " evicted\n";
+     << step_cache_evictions << " evicted, " << deadline_drops
+     << " expired deadlines dropped\n";
   os << "kv pool:  " << kv_peak_blocks << " of " << kv_total_blocks
      << " blocks at peak, " << kv_peak_fragmented_tokens
      << " token slots fragmented at peak\n";

@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,13 @@ struct ServeConfig {
   std::size_t step_cache_entries = 0;
   graph::CompileOptions compile{};
   std::uint64_t param_seed = 0xDEC0DE;
+  /// Cost iterations through the timing-only fast path: decode-step and
+  /// prefill-chunk makespans answer from the process-wide graph::TimingMemo,
+  /// so repeated shapes — across iterations and across scheduler instances
+  /// of the same model — skip graph construction, compilation, and
+  /// scheduling entirely.  Reports are byte-identical either way.  Unset
+  /// defers to the GAUDI_TIMING_ONLY environment variable.
+  std::optional<bool> timing_only{};
 };
 
 /// Everything a serving run reports.
@@ -70,6 +78,9 @@ struct ServeReport {
   std::int64_t iterations = 0;
   std::int64_t decode_steps = 0;
   std::int64_t prefill_chunks = 0;
+  /// Requests abandoned at admission because their deadline had already
+  /// expired while they queued (RequestOutcome::kDropped).
+  std::int64_t deadline_drops = 0;
   std::size_t compiled_decode_steps = 0;  ///< resident in the step cache
   std::size_t step_cache_evictions = 0;
   std::int64_t kv_total_blocks = 0;
@@ -111,6 +122,8 @@ class ContinuousBatchScheduler {
   [[nodiscard]] std::int64_t ctx_to_bucket(std::int64_t ctx) const;
   [[nodiscard]] sim::SimTime decode_step_cost(std::int64_t ctx_bucket);
   [[nodiscard]] sim::SimTime prefill_chunk_cost(std::int64_t chunk);
+  /// TimingMemo key for a prefill chunk of `bucket` tokens.
+  [[nodiscard]] std::string prefill_time_key(std::int64_t bucket) const;
   /// Frees KV until `tokens` fit, preempting victims other than `self`.
   /// Returns false when no victim remains and the pool still cannot fit.
   bool make_room(std::int64_t tokens, std::int64_t self_id);
@@ -118,6 +131,7 @@ class ContinuousBatchScheduler {
 
   graph::Runtime rt_;
   ServeConfig cfg_;
+  bool timing_only_ = false;  ///< resolved from cfg_.timing_only / env
   nn::DecodeStepCache steps_;
   memory::DeviceAllocator hbm_;
   PagedKvAllocator kv_;
@@ -129,6 +143,7 @@ class ContinuousBatchScheduler {
   std::int64_t iterations_ = 0;
   std::int64_t decode_steps_ = 0;
   std::int64_t prefill_chunks_ = 0;
+  std::int64_t deadline_drops_ = 0;
   std::int64_t kv_peak_frag_ = 0;
 };
 

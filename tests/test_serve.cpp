@@ -406,6 +406,51 @@ TEST(CliServe, SmokeRunIsDeterministic) {
   EXPECT_NE(out.find("unknown option"), std::string::npos);
 }
 
+// ---------------------------------------------------- deadlines + fast path
+
+TEST(Scheduler, ExpiredDeadlineDropsInsteadOfWastingTheSlot) {
+  // One batch slot: request 1 queues behind request 0 and its budget expires
+  // before a slot ever frees, so admission drops it instead of prefilling
+  // work whose answer is already too late.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.max_batch = 1;
+  std::vector<serve::Request> stream(2);
+  stream[0].id = 0;
+  stream[0].prompt_len = 8;
+  stream[0].output_len = 8;
+  stream[1].id = 1;
+  stream[1].prompt_len = 2;
+  stream[1].output_len = 2;
+  stream[1].deadline = sim::SimTime::from_ms(0.001);
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.completed, 1);
+  EXPECT_EQ(r.summary.dropped, 1);
+  EXPECT_EQ(r.deadline_drops, 1);
+  ASSERT_EQ(r.requests.size(), 2u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kCompleted);
+  EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kDropped);
+  EXPECT_NE(r.to_report().find("1 expired deadlines dropped"),
+            std::string::npos);
+}
+
+TEST(Scheduler, TimingOnlyModeReproducesTheFunctionalReport) {
+  // The fast path must leave every reported number — latency percentiles,
+  // batch occupancy, cache counters — untouched.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  serve::ServeConfig functional = tiny_serve();
+  functional.timing_only = false;
+  serve::ServeConfig fast = tiny_serve();
+  fast.timing_only = true;
+  serve::ContinuousBatchScheduler a(rt, functional);
+  serve::ContinuousBatchScheduler b(rt, fast);
+  const std::string ra = a.run(stream).to_report();
+  const std::string rb = b.run(stream).to_report();
+  EXPECT_EQ(ra, rb);
+}
+
 TEST(CliServe, UsageMentionsServing) {
   std::string out;
   run({"help"}, &out);

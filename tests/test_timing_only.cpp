@@ -1,0 +1,230 @@
+// Timing-only fast path: fingerprinting, memoized replay, and functional
+// equivalence.
+//
+// The contract under test is the tentpole invariant of the fast path: a
+// timing-only run must be *observationally identical* to the full pipeline
+// — byte-identical trace and engine summaries — while doing none of the
+// kernel math, buffer traffic, or guard sweeps, and replaying from the
+// process-wide memo on every run after the first.  The fuzz section checks
+// that over 50 seeded random DAGs against full functional execution.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/random_graph.hpp"
+#include "graph/runtime.hpp"
+#include "graph/timing_memo.hpp"
+#include "sim/fault.hpp"
+#include "sim/thread_pool.hpp"
+#include "tensor/shape.hpp"
+
+namespace gaudi::graph {
+namespace {
+
+sim::ChipConfig chip() { return sim::ChipConfig::hls1(); }
+
+Graph small_graph(std::int64_t n = 64) {
+  Graph g;
+  const ValueId a = g.input(tensor::Shape{{n, n}}, tensor::DType::F32, "a");
+  const ValueId b = g.param(tensor::Shape{{n, n}}, "b");
+  g.mark_output(g.relu(g.matmul(a, b)));
+  return g;
+}
+
+/// Everything the fast path promises to reproduce byte-for-byte.
+std::string observable(const ProfileResult& r) {
+  return r.trace.to_chrome_json() + "\nmakespan_ps=" +
+         std::to_string(r.makespan.ps()) + "\n" +
+         core::to_report(core::summarize(r.trace), "observable");
+}
+
+// --- Fingerprints ----------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossCompilesAndSensitiveToStructure) {
+  Runtime rt(chip());
+  const Graph g = small_graph();
+  const CompiledGraph c1 = rt.compile(g);
+  const CompiledGraph c2 = rt.compile(g);
+  EXPECT_NE(c1.fingerprint, 0u);
+  EXPECT_EQ(c1.fingerprint, c2.fingerprint);
+  EXPECT_EQ(c1.fingerprint, c1.stats.fingerprint);
+
+  const CompiledGraph other = rt.compile(small_graph(128));
+  EXPECT_NE(other.fingerprint, c1.fingerprint);
+
+  // Compile options are part of the key: a fused artifact schedules
+  // differently, so it must not collide with the unfused one.
+  CompileOptions copts;
+  copts.fuse_elementwise = true;
+  EXPECT_NE(rt.compile(g, copts).fingerprint, c1.fingerprint);
+}
+
+TEST(Fingerprint, ChipConfigChangesTheKey) {
+  sim::ChipConfig a = chip();
+  sim::ChipConfig b = chip();
+  b.mme.clock_hz = a.mme.clock_hz * 2.0;
+  EXPECT_NE(chip_fingerprint(a), chip_fingerprint(b));
+  EXPECT_EQ(chip_fingerprint(a), chip_fingerprint(chip()));
+}
+
+// --- Memoized replay -------------------------------------------------------
+
+TEST(TimingOnly, SecondRunIsAMemoHitWithIdenticalBytes) {
+  TimingMemo::global().clear();
+  Runtime rt(chip());
+  const CompiledGraph cg = rt.compile(small_graph());
+  RunOptions opts;
+  opts.mode = tpc::ExecMode::kTiming;
+  opts.timing_only = true;
+
+  const ProfileResult first = rt.run(cg, {}, opts);
+  EXPECT_TRUE(first.timing_only);
+  EXPECT_FALSE(first.memo_hit);
+
+  const ProfileResult second = rt.run(cg, {}, opts);
+  EXPECT_TRUE(second.timing_only);
+  EXPECT_TRUE(second.memo_hit);
+  EXPECT_GT(second.memo_hits, first.memo_hits);
+  EXPECT_EQ(observable(first), observable(second));
+
+  // A separately compiled artifact of the same graph replays the same memo
+  // entry — the fingerprint, not the object identity, is the key.
+  const CompiledGraph cg2 = rt.compile(small_graph());
+  const ProfileResult third = rt.run(cg2, {}, opts);
+  EXPECT_TRUE(third.memo_hit);
+  EXPECT_EQ(observable(first), observable(third));
+}
+
+TEST(TimingOnly, PolicyKeysSeparateEntries) {
+  TimingMemo::global().clear();
+  Runtime rt(chip());
+  const CompiledGraph cg = rt.compile(small_graph());
+  RunOptions opts;
+  opts.mode = tpc::ExecMode::kTiming;
+  opts.timing_only = true;
+  opts.policy = SchedulePolicy::kBarrier;
+  const ProfileResult barrier = rt.run(cg, {}, opts);
+  opts.policy = SchedulePolicy::kOverlap;
+  const ProfileResult overlap = rt.run(cg, {}, opts);
+  // Overlap never schedules later than barrier; distinct entries mean the
+  // second run was a miss, not a replay of the barrier trace.
+  EXPECT_FALSE(overlap.memo_hit);
+  EXPECT_LE(overlap.makespan, barrier.makespan);
+}
+
+TEST(TimingOnly, FaultInjectionBypassesTheMemo) {
+  TimingMemo::global().clear();
+  Runtime rt(chip());
+  const CompiledGraph cg = rt.compile(small_graph());
+  const sim::FaultInjector faults{0xFA517, sim::FaultProfile::stress()};
+  RunOptions opts;
+  opts.mode = tpc::ExecMode::kTiming;
+  opts.timing_only = true;
+  opts.faults = &faults;
+  const ProfileResult r = rt.run(cg, {}, opts);
+  // The fault schedule is epoch-dependent, so the run takes the full path:
+  // nothing is deposited and nothing replayed.
+  EXPECT_FALSE(r.timing_only);
+  EXPECT_FALSE(r.memo_hit);
+  EXPECT_EQ(TimingMemo::global().size(), 0u);
+}
+
+TEST(TimingOnly, EnvOnlyAppliesToTimingModeRuns) {
+  TimingMemo::global().clear();
+  ASSERT_EQ(setenv("GAUDI_TIMING_ONLY", "1", 1), 0);
+  Runtime rt(chip());
+  const Graph g = small_graph();
+  const CompiledGraph cg = rt.compile(g);
+
+  // A functional run keeps producing real outputs: the env var must never
+  // silently phantomize them.
+  RunOptions functional;
+  functional.mode = tpc::ExecMode::kFunctional;
+  functional.guard = sim::NumericsPolicy::kOff;
+  const ProfileResult f = rt.run(cg, random_feeds(g, 7), functional);
+  EXPECT_FALSE(f.timing_only);
+  EXPECT_FALSE(f.outputs.empty());
+
+  // A timing run opts in via the environment alone.
+  RunOptions timing;
+  timing.mode = tpc::ExecMode::kTiming;
+  const ProfileResult t1 = rt.run(cg, {}, timing);
+  const ProfileResult t2 = rt.run(cg, {}, timing);
+  EXPECT_TRUE(t1.timing_only);
+  EXPECT_TRUE(t2.memo_hit);
+  ASSERT_EQ(unsetenv("GAUDI_TIMING_ONLY"), 0);
+}
+
+// --- Fuzz: equivalence with full functional execution ----------------------
+
+TEST(TimingOnlyFuzz, MatchesFunctionalTraceAndSummariesOver50Seeds) {
+  Runtime rt(chip());
+  const sim::FaultInjector no_faults{};  // neutralizes GAUDI_FAULTS lanes
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const RandomDag dag = random_dag(seed);
+    const CompiledGraph cg = rt.compile(dag.graph);
+
+    RunOptions functional;
+    functional.mode = tpc::ExecMode::kFunctional;
+    // Guard sweeps add kGuard spans to functional traces, which timing-only
+    // runs skip by contract; pin the guard off so the comparison is
+    // mode-to-mode even under a GAUDI_GUARD CI lane.
+    functional.guard = sim::NumericsPolicy::kOff;
+    functional.faults = &no_faults;
+    const ProfileResult full =
+        rt.run(cg, random_feeds(dag.graph, seed), functional);
+
+    RunOptions fast;
+    fast.mode = tpc::ExecMode::kTiming;
+    fast.timing_only = true;
+    fast.faults = &no_faults;
+    const ProfileResult t1 = rt.run(cg, {}, fast);
+    const ProfileResult t2 = rt.run(cg, {}, fast);
+
+    ASSERT_EQ(observable(full), observable(t1)) << "seed " << seed;
+    ASSERT_EQ(observable(t1), observable(t2)) << "seed " << seed;
+    ASSERT_TRUE(t1.timing_only) << "seed " << seed;
+    ASSERT_TRUE(t2.memo_hit) << "seed " << seed;
+    ASSERT_EQ(t1.node_execs.size(), full.node_execs.size()) << "seed " << seed;
+  }
+}
+
+// --- Parallel replicas -----------------------------------------------------
+
+TEST(TimingOnly, ParallelReplicasMatchSerialMerge) {
+  constexpr std::uint64_t kBase = 0x5EED00;
+  constexpr std::size_t kReplicas = 12;
+
+  const auto run_one = [](std::uint64_t seed) {
+    Runtime rt(chip());
+    const RandomDag dag = random_dag(seed);
+    RunOptions fast;
+    fast.mode = tpc::ExecMode::kTiming;
+    fast.timing_only = true;
+    return observable(rt.run(dag.graph, {}, fast));
+  };
+
+  TimingMemo::global().clear();
+  std::vector<std::string> serial(kReplicas);
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    serial[i] = run_one(kBase + i);
+  }
+
+  // Fresh memo: the parallel pass races to populate it, yet every replica's
+  // entry is a pure function of its seed, so the in-order merge is
+  // byte-identical to the serial pass.
+  TimingMemo::global().clear();
+  std::vector<std::string> parallel(kReplicas);
+  sim::ThreadPool pool;
+  pool.parallel_for(kReplicas,
+                    [&](std::size_t i) { parallel[i] = run_one(kBase + i); });
+  for (std::size_t i = 0; i < kReplicas; ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "replica " << i;
+  }
+}
+
+}  // namespace
+}  // namespace gaudi::graph
