@@ -135,5 +135,70 @@ int main() {
     return 1;
   }
   std::puts("\ndeterminism: same-seed rerun is byte-identical");
+
+  // --- Goodput under faults: MTBF x retry-policy sweep ---------------------
+  // Chip failures abort in-flight batches and invalidate their KV; the
+  // retry budget decides whether the lost work is recomputed (goodput dips,
+  // availability holds) or the requests fail terminally.  Every cell runs
+  // in both execution modes and must report identical bytes: the fault
+  // schedule is a pure function of (fault seed, iteration), not of how step
+  // costs were derived.
+  serve::StreamConfig fcfg;
+  fcfg.arrival_rate_rps = 16.0;
+  fcfg.num_requests = 24;
+  fcfg.prompt = {64, 192};
+  fcfg.output = {16, 64};
+  fcfg.deadline = sim::SimTime::from_ms(4000.0);
+  const std::vector<serve::Request> fault_stream = serve::poisson_stream(fcfg);
+  const std::vector<std::int64_t> mtbfs = {0, 40, 120};  // 0 = faults off
+  const std::vector<std::int32_t> retries = {0, 3};
+
+  auto run_fault_cell = [&](std::int64_t mtbf, std::int32_t retry_max,
+                            bool timing_only) {
+    serve::ServeConfig cfg;
+    cfg.max_batch = 4;
+    cfg.kv_budget_bytes = 16ull * 1024 * 1024;
+    cfg.ctx_bucket = 16;
+    cfg.timing_only = timing_only;
+    if (mtbf > 0) {
+      cfg.faults = sim::FaultInjector{
+          0xFA517, sim::FaultProfile::from_mtbf_steps(
+                       static_cast<double>(mtbf), /*chips=*/1)};
+    }
+    cfg.retry_max = retry_max;
+    serve::ContinuousBatchScheduler sched(rt, cfg);
+    return sched.run(fault_stream);
+  };
+
+  core::TextTable fault_table({"MTBF", "Retry", "Goodput", "Avail", "Failed",
+                               "Retries", "Wasted tok"});
+  for (const std::int64_t mtbf : mtbfs) {
+    for (const std::int32_t retry_max : retries) {
+      const serve::ServeReport fr = run_fault_cell(mtbf, retry_max, false);
+      const serve::ServeReport tr = run_fault_cell(mtbf, retry_max, true);
+      if (fr.to_report() != tr.to_report()) {
+        std::printf("\nFAIL: fault cell mtbf=%lld retry=%d diverged by mode\n",
+                    static_cast<long long>(mtbf), retry_max);
+        std::fputs(fr.to_report().c_str(), stdout);
+        std::fputs(tr.to_report().c_str(), stdout);
+        return 1;
+      }
+      const double avail = fr.summary.availability;
+      fault_table.add_row(
+          {mtbf > 0 ? std::to_string(mtbf) + " it" : "off",
+           std::to_string(retry_max),
+           core::TextTable::num(fr.summary.goodput_tok_s, 1),
+           core::TextTable::num(avail * 100.0, 1) + "%",
+           std::to_string(fr.summary.failed),
+           std::to_string(fr.summary.fault_retries),
+           std::to_string(fr.summary.wasted_tokens)});
+    }
+  }
+  std::puts("\nGoodput under chip faults (24 requests, 4 slots; both");
+  std::puts("execution modes agree per cell):");
+  std::fputs(fault_table.to_string().c_str(), stdout);
+  std::puts("\nShorter MTBF wastes more computed KV; a zero retry budget");
+  std::puts("converts that waste into terminal failures and lost");
+  std::puts("availability, while a small budget recovers it as goodput.");
   return 0;
 }

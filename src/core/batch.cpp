@@ -1,6 +1,7 @@
 #include "core/batch.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <map>
@@ -216,17 +217,53 @@ Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
   cfg.step_cache_entries =
       static_cast<std::size_t>(p.get_i64("cache-cap", 0));
   cfg.timing_only = timing_only;
+
+  // Fault tolerance: `mtbf` (mean iterations between failures) enables the
+  // injector; the fault seed is its own key so the workload seed axis does
+  // not reshuffle the fault schedule.
+  const std::int64_t mtbf = p.get_i64("mtbf", 0);
+  GAUDI_CHECK(mtbf >= 0, "mtbf expects a non-negative iteration count");
+  if (mtbf > 0) {
+    const auto fault_seed =
+        static_cast<std::uint64_t>(p.get_i64("fault-seed", 0xFA517));
+    cfg.faults = sim::FaultInjector{
+        fault_seed, sim::FaultProfile::from_mtbf_steps(
+                        static_cast<double>(mtbf), /*chips=*/1)};
+  }
+  cfg.retry_max =
+      static_cast<std::int32_t>(p.get_i64("retry-max", cfg.retry_max));
+  GAUDI_CHECK(cfg.retry_max >= 0, "retry-max expects a non-negative count");
+  const std::int64_t watchdog_ms = p.get_i64("watchdog-ms", 0);
+  GAUDI_CHECK(watchdog_ms >= 0, "watchdog-ms expects a non-negative time");
+  if (watchdog_ms > 0) {
+    cfg.watchdog = sim::SimTime::from_ms(static_cast<double>(watchdog_ms));
+  }
+  cfg.shed_queue_depth = p.get_i64("shed-queue-depth", 0);
+  GAUDI_CHECK(cfg.shed_queue_depth >= 0,
+              "shed-queue-depth expects a non-negative depth");
+  cfg.shed_min_free_blocks = p.get_i64("shed-free-blocks", 0);
+  GAUDI_CHECK(cfg.shed_min_free_blocks >= 0,
+              "shed-free-blocks expects a non-negative count");
   p.check_all_used();
 
   graph::Runtime rt(sim::ChipConfig::hls1());
   serve::ContinuousBatchScheduler sched(rt, cfg);
   const serve::ServeReport r = sched.run(serve::poisson_stream(scfg));
+  const double availability = std::isfinite(r.summary.availability)
+                                  ? r.summary.availability
+                                  : 0.0;
   return {{"throughput_tok_s", r.summary.throughput_tok_s},
           {"goodput_tok_s", r.summary.goodput_tok_s},
           {"ttft_p99_ms", r.summary.ttft_p99_ms},
           {"itl_p99_ms", r.summary.itl_p99_ms},
           {"completed", static_cast<double>(r.summary.completed)},
           {"dropped", static_cast<double>(r.summary.dropped)},
+          {"shed", static_cast<double>(r.summary.shed)},
+          {"failed", static_cast<double>(r.summary.failed)},
+          {"timed_out", static_cast<double>(r.summary.timed_out)},
+          {"availability", availability},
+          {"fault_retries", static_cast<double>(r.summary.fault_retries)},
+          {"wasted_tokens", static_cast<double>(r.summary.wasted_tokens)},
           {"preemptions", static_cast<double>(r.summary.preemptions)},
           {"makespan_ms", r.summary.makespan.ms()}};
 }

@@ -99,10 +99,21 @@ commands:
                                  [,deadline_ms]] per line, # comments)
       --max-batch N              concurrent batch slots       (8)
       --prefill-chunk N          prompt tokens prefilled per iteration (128)
+      --ctx-bucket N             context-length bucket for compiled steps (64)
       --block-tokens N           KV block size in tokens      (64)
       --kv-mb N                  KV pool budget in MiB        (64)
       --cache-cap N              LRU cap on compiled decode steps; 0 = all
       --seed N                   workload seed                (0x5E21E)
+      --faults                   inject chip failures / stalls / stragglers
+      --fault-seed N             fault schedule seed          (0xFA517)
+      --mtbf N                   mean iterations between failures; absent
+                                 with --faults = stress rates
+      --retry-max N              chip-failure retries before kFailed (3)
+      --watchdog-ms T            abort a request stalled this long; 0 = off
+      --shed-queue-depth N       shed lowest-priority arrivals past this
+                                 backlog; 0 = off
+      --shed-free-blocks N       shed arrivals when free KV blocks dip
+                                 below N; 0 = off
       --timing-only on|off       memoized timing fast path (default:
                                  GAUDI_TIMING_ONLY; reports are identical)
   batch FILE [options]           run a declarative experiment grid: FILE
@@ -525,8 +536,16 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
 
   serve::ServeConfig cfg;
   cfg.max_batch = args.get_int("max-batch", cfg.max_batch);
+  GAUDI_CHECK(cfg.max_batch >= 1, "--max-batch expects a positive count");
   cfg.prefill_chunk = args.get_int("prefill-chunk", cfg.prefill_chunk);
+  GAUDI_CHECK(cfg.prefill_chunk >= 1,
+              "--prefill-chunk expects a positive token count");
+  cfg.ctx_bucket = args.get_int("ctx-bucket", cfg.ctx_bucket);
+  GAUDI_CHECK(cfg.ctx_bucket >= 1,
+              "--ctx-bucket expects a positive token count");
   cfg.block_tokens = args.get_int("block-tokens", cfg.block_tokens);
+  GAUDI_CHECK(cfg.block_tokens >= 1,
+              "--block-tokens expects a positive token count");
   const std::int64_t kv_mb = args.get_int("kv-mb", 64);
   GAUDI_CHECK(kv_mb >= 1, "--kv-mb expects a positive MiB count");
   cfg.kv_budget_bytes = static_cast<std::size_t>(kv_mb) * 1024 * 1024;
@@ -534,6 +553,24 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   GAUDI_CHECK(cache_cap >= 0, "--cache-cap expects a non-negative count");
   cfg.step_cache_entries = static_cast<std::size_t>(cache_cap);
   cfg.timing_only = parse_timing_only(args);
+
+  // Fault tolerance: the serving batch runs on one simulated chip, so MTBF
+  // is mean iterations between failures.
+  cfg.faults = parse_fault_injector(args, /*chips=*/1);
+  cfg.retry_max =
+      static_cast<std::int32_t>(args.get_int("retry-max", cfg.retry_max));
+  GAUDI_CHECK(cfg.retry_max >= 0, "--retry-max expects a non-negative count");
+  const std::int64_t watchdog_ms = args.get_int("watchdog-ms", 0);
+  GAUDI_CHECK(watchdog_ms >= 0, "--watchdog-ms expects a non-negative time");
+  if (watchdog_ms > 0) {
+    cfg.watchdog = sim::SimTime::from_ms(static_cast<double>(watchdog_ms));
+  }
+  cfg.shed_queue_depth = args.get_int("shed-queue-depth", 0);
+  GAUDI_CHECK(cfg.shed_queue_depth >= 0,
+              "--shed-queue-depth expects a non-negative depth");
+  cfg.shed_min_free_blocks = args.get_int("shed-free-blocks", 0);
+  GAUDI_CHECK(cfg.shed_min_free_blocks >= 0,
+              "--shed-free-blocks expects a non-negative count");
   check_unused(args);
 
   const std::vector<serve::Request> stream =

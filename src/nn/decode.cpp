@@ -8,6 +8,7 @@
 #include "graph/fingerprint.hpp"
 #include "graph/timing_memo.hpp"
 #include "nn/layers.hpp"
+#include "sim/fault.hpp"
 
 namespace gaudi::nn {
 
@@ -302,15 +303,25 @@ std::string DecodeStepCache::time_key(std::int64_t context_len,
 sim::SimTime DecodeStepCache::step_time(std::int64_t context_len,
                                         const graph::RunOptions& opts) {
   Entry& e = touch(context_len);
+  // The memo caches *fault-free* step times: a run with an enabled fault
+  // injector may stretch or stall the makespan, so it must neither answer
+  // from the memo nor poison it — mirror the runtime's fault resolution
+  // (explicit opts pointer, else the environment) before consulting it.
+  const sim::FaultInjector* faults = opts.faults != nullptr
+                                         ? opts.faults
+                                         : sim::fault_injector_from_env();
+  const bool fault_run = faults != nullptr && faults->enabled();
   graph::TimingMemo& memo = graph::TimingMemo::global();
   const std::string key = time_key(context_len, opts.policy);
-  sim::SimTime cached{};
-  if (memo.find_time(key, &cached)) return cached;
+  if (!fault_run) {
+    sim::SimTime cached{};
+    if (memo.find_time(key, &cached)) return cached;
+  }
   if (!e.materialized) materialize(context_len, e);
   graph::RunOptions ropts = opts;
   ropts.mode = tpc::ExecMode::kTiming;
   const sim::SimTime cost = rt_.run(e.compiled, {}, ropts).makespan;
-  memo.insert_time(key, cost);
+  if (!fault_run) memo.insert_time(key, cost);
   return cost;
 }
 

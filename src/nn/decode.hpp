@@ -130,7 +130,9 @@ class DecodeStepCache {
   /// compiling the graph only on a memo miss.  Residency and eviction
   /// bookkeeping runs either way, so `compiled_steps()` / `evictions()`
   /// match a `step()`-based run byte for byte.  `opts.mode` is forced to
-  /// timing.
+  /// timing.  The memo holds *fault-free* times only: when the resolved
+  /// fault injector (opts.faults, else the environment) is enabled, the
+  /// step is measured live and the memo is neither read nor written.
   sim::SimTime step_time(std::int64_t context_len,
                          const graph::RunOptions& opts);
 

@@ -35,11 +35,17 @@ std::string num(double v, int precision = 2) {
 
 std::string ServeSummary::to_report() const {
   std::ostringstream os;
+  const std::string avail = std::isfinite(availability)
+                                ? num(availability * 100.0, 1) + "%"
+                                : "n/a";
   os << "requests: " << offered << " offered, " << completed << " completed, "
-     << rejected << " rejected, " << dropped << " dropped, " << preemptions
-     << " preemptions\n";
+     << preemptions << " preemptions, availability " << avail << "\n";
+  os << "outcomes: " << rejected << " rejected, " << dropped << " dropped, "
+     << shed << " shed, " << failed << " failed, " << timed_out
+     << " timed-out\n";
   os << "tokens:   " << tokens_out << " generated, " << recomputed_tokens
-     << " recomputed after preemption\n";
+     << " recomputed after preemption, " << wasted_tokens
+     << " wasted by faults (" << fault_retries << " retries)\n";
   os << "TTFT:     p50 " << num(ttft_p50_ms) << " ms, p99 "
      << num(ttft_p99_ms) << " ms, mean " << num(ttft_mean_ms) << " ms\n";
   os << "ITL:      p50 " << num(itl_p50_ms) << " ms, p99 " << num(itl_p99_ms)
@@ -60,6 +66,7 @@ void MetricsSink::on_offered(const Request& r) {
   index_.emplace(r.id, records_.size());
   records_.push_back(m);
   deadlines_.push_back(r.deadline);
+  samples_.emplace_back();
 }
 
 RequestMetrics& MetricsSink::slot(std::int64_t id) {
@@ -75,12 +82,14 @@ void MetricsSink::on_first_token(std::int64_t id, sim::SimTime now) {
   RequestMetrics& m = slot(id);
   m.first_token = now;
   m.tokens_out += 1;  // the first token is real output, it just has no gap
-  ttft_ms_.push_back((now - m.arrival).ms());
+  Samples& s = samples_[index_.at(id)];
+  s.ttft_ms = (now - m.arrival).ms();
+  s.has_ttft = true;
 }
 
 void MetricsSink::on_token(std::int64_t id, sim::SimTime gap) {
   slot(id).tokens_out += 1;
-  itl_ms_.push_back(gap.ms());
+  samples_[index_.at(id)].itl_ms.push_back(gap.ms());
 }
 
 void MetricsSink::on_preempt(std::int64_t id, std::int64_t recomputed_tokens) {
@@ -110,38 +119,82 @@ void MetricsSink::on_drop(std::int64_t id, sim::SimTime now) {
   m.finish = now;
 }
 
+void MetricsSink::on_shed(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kShed;
+  m.finish = now;
+}
+
+void MetricsSink::on_timeout(std::int64_t id, sim::SimTime now) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kTimedOut;
+  m.finish = now;
+}
+
+void MetricsSink::on_fault_retry(std::int64_t id, std::int64_t wasted_rows) {
+  slot(id).fault_retries += 1;
+  fault_retries_ += 1;
+  wasted_tokens_ += wasted_rows;
+}
+
+void MetricsSink::on_fail(std::int64_t id, sim::SimTime now,
+                          std::int64_t wasted_rows) {
+  RequestMetrics& m = slot(id);
+  m.outcome = RequestOutcome::kFailed;
+  m.finish = now;
+  wasted_tokens_ += wasted_rows;
+}
+
 ServeSummary MetricsSink::summary(sim::SimTime makespan) const {
   ServeSummary s;
   s.offered = static_cast<std::int64_t>(records_.size());
   s.preemptions = preemptions_;
   s.recomputed_tokens = recomputed_tokens_;
+  s.fault_retries = fault_retries_;
+  s.wasted_tokens = wasted_tokens_;
   s.makespan = makespan;
   std::int64_t good_tokens = 0;
-  for (const RequestMetrics& m : records_) {
+  // Percentiles reduce the samples of completed requests only: a request
+  // the service gave up on must not shift the latency tails it reports.
+  std::vector<double> ttft_ms;
+  std::vector<double> itl_ms;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const RequestMetrics& m = records_[i];
     s.tokens_out += m.tokens_out;
     switch (m.outcome) {
-      case RequestOutcome::kCompleted:
+      case RequestOutcome::kCompleted: {
         s.completed += 1;
         if (m.met_deadline) {
           s.deadline_met += 1;
           good_tokens += m.tokens_out;
         }
+        const Samples& sam = samples_[i];
+        if (sam.has_ttft) ttft_ms.push_back(sam.ttft_ms);
+        itl_ms.insert(itl_ms.end(), sam.itl_ms.begin(), sam.itl_ms.end());
         break;
+      }
       case RequestOutcome::kRejected: s.rejected += 1; break;
       case RequestOutcome::kDropped: s.dropped += 1; break;
+      case RequestOutcome::kShed: s.shed += 1; break;
+      case RequestOutcome::kTimedOut: s.timed_out += 1; break;
+      case RequestOutcome::kFailed: s.failed += 1; break;
     }
   }
-  s.ttft_p50_ms = percentile(ttft_ms_, 50.0);
-  s.ttft_p99_ms = percentile(ttft_ms_, 99.0);
-  if (!ttft_ms_.empty()) {
+  const std::int64_t admissible = s.offered - s.rejected;
+  s.availability = admissible > 0 ? static_cast<double>(s.completed) /
+                                        static_cast<double>(admissible)
+                                  : std::numeric_limits<double>::quiet_NaN();
+  s.ttft_p50_ms = percentile(ttft_ms, 50.0);
+  s.ttft_p99_ms = percentile(ttft_ms, 99.0);
+  if (!ttft_ms.empty()) {
     double sum = 0.0;
-    for (const double v : ttft_ms_) sum += v;
-    s.ttft_mean_ms = sum / static_cast<double>(ttft_ms_.size());
+    for (const double v : ttft_ms) sum += v;
+    s.ttft_mean_ms = sum / static_cast<double>(ttft_ms.size());
   } else {
     s.ttft_mean_ms = std::numeric_limits<double>::quiet_NaN();
   }
-  s.itl_p50_ms = percentile(itl_ms_, 50.0);
-  s.itl_p99_ms = percentile(itl_ms_, 99.0);
+  s.itl_p50_ms = percentile(itl_ms, 50.0);
+  s.itl_p99_ms = percentile(itl_ms, 99.0);
   const double seconds = makespan.seconds();
   s.throughput_tok_s =
       seconds > 0.0 ? static_cast<double>(s.tokens_out) / seconds : 0.0;

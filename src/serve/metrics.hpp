@@ -30,9 +30,10 @@ struct RequestMetrics {
   RequestOutcome outcome = RequestOutcome::kCompleted;
   sim::SimTime arrival{};
   sim::SimTime first_token{};  ///< absolute time; zero if never reached
-  sim::SimTime finish{};       ///< completion/rejection/drop time
+  sim::SimTime finish{};       ///< completion/rejection/drop/abort time
   std::int64_t tokens_out = 0;
   std::int64_t preemptions = 0;
+  std::int64_t fault_retries = 0;  ///< chip-failure re-queues survived
   bool met_deadline = false;  ///< completed within its budget (or no budget)
 };
 
@@ -42,11 +43,21 @@ struct ServeSummary {
   std::int64_t completed = 0;
   std::int64_t rejected = 0;
   std::int64_t dropped = 0;
+  std::int64_t shed = 0;       ///< refused by overload control
+  std::int64_t timed_out = 0;  ///< aborted by the TTFT/ITL watchdog
+  std::int64_t failed = 0;     ///< chip failures exhausted the retry budget
   std::int64_t preemptions = 0;
+  std::int64_t fault_retries = 0;  ///< chip-failure re-queues across requests
   std::int64_t tokens_out = 0;
   /// Prompt/output tokens re-prefilled because of preemption.
   std::int64_t recomputed_tokens = 0;
+  /// KV rows computed and then invalidated by chip failures (in-flight work
+  /// thrown away, whether or not the request later completed).
+  std::int64_t wasted_tokens = 0;
   std::int64_t deadline_met = 0;   ///< completed requests inside their budget
+  /// completed / (offered - rejected): the fraction of admissible requests
+  /// the service answered.  NaN (rendered "n/a") when nothing was admissible.
+  double availability = 0.0;
   double ttft_p50_ms = 0.0;
   double ttft_p99_ms = 0.0;
   double ttft_mean_ms = 0.0;
@@ -61,6 +72,12 @@ struct ServeSummary {
 };
 
 /// Collects per-request events during a simulation and reduces them.
+///
+/// TTFT/ITL samples are kept per request and only the samples of *completed*
+/// requests enter the percentile reductions: a request aborted mid-stream
+/// (watchdog, exhausted retry budget, deadline drop after preemption) must
+/// not pollute the latency distribution the SLO is written against — its
+/// fate is counted in the per-outcome breakdown instead.
 class MetricsSink {
  public:
   void on_offered(const Request& r);
@@ -72,20 +89,37 @@ class MetricsSink {
   void on_complete(std::int64_t id, sim::SimTime now);
   void on_reject(std::int64_t id, sim::SimTime now);
   void on_drop(std::int64_t id, sim::SimTime now);
+  void on_shed(std::int64_t id, sim::SimTime now);
+  void on_timeout(std::int64_t id, sim::SimTime now);
+  /// A chip failure invalidated `wasted_rows` of the request's computed KV;
+  /// the request re-queues for another attempt.
+  void on_fault_retry(std::int64_t id, std::int64_t wasted_rows);
+  /// A chip failure invalidated `wasted_rows` and the retry budget is spent:
+  /// the request ends kFailed.
+  void on_fail(std::int64_t id, sim::SimTime now, std::int64_t wasted_rows);
 
   [[nodiscard]] ServeSummary summary(sim::SimTime makespan) const;
   /// Per-request records sorted by id (terminal states only).
   [[nodiscard]] std::vector<RequestMetrics> requests() const;
 
  private:
+  /// Per-request latency samples, excluded from the reductions unless the
+  /// request completes.
+  struct Samples {
+    double ttft_ms = 0.0;
+    bool has_ttft = false;
+    std::vector<double> itl_ms;
+  };
+
   RequestMetrics& slot(std::int64_t id);
   std::vector<RequestMetrics> records_;  ///< indexed by offer order
   std::map<std::int64_t, std::size_t> index_;
   std::vector<sim::SimTime> deadlines_;
-  std::vector<double> ttft_ms_;
-  std::vector<double> itl_ms_;
+  std::vector<Samples> samples_;  ///< parallel to records_
   std::int64_t preemptions_ = 0;
   std::int64_t recomputed_tokens_ = 0;
+  std::int64_t fault_retries_ = 0;
+  std::int64_t wasted_tokens_ = 0;
 };
 
 }  // namespace gaudi::serve

@@ -29,11 +29,16 @@ struct Request {
   }
 };
 
-/// Terminal state of a request after the simulation.
+/// Terminal state of a request after the simulation.  Every offered request
+/// ends in exactly one of these — the scheduler never loses one silently,
+/// including across chip failures (see ContinuousBatchScheduler).
 enum class RequestOutcome : std::uint8_t {
   kCompleted,  ///< generated all of output_len
   kRejected,   ///< refused at admission (can never fit the pool / max_seq)
-  kDropped,    ///< admitted but abandoned (preempted with no way to resume)
+  kDropped,    ///< abandoned because its deadline expired while queued
+  kShed,       ///< refused by overload control (queue depth / KV headroom)
+  kTimedOut,   ///< aborted by the per-request TTFT/ITL watchdog
+  kFailed,     ///< chip failures exhausted the retry budget
 };
 
 [[nodiscard]] const char* outcome_name(RequestOutcome o);

@@ -25,6 +25,13 @@ nn::DecodeConfig decode_model(const ServeConfig& cfg) {
   return m;
 }
 
+/// Explicitly disabled injector handed to cost-probe runs: the per-bucket
+/// cost tables are clean baselines, so a process-wide GAUDI_FAULTS opt-in
+/// must not perturb them — serve-level faults apply at iteration
+/// granularity, on top of the clean costs.  (The runtime treats a pointer
+/// to a disabled injector as "faults off", overriding the env fallback.)
+const sim::FaultInjector kNoFaults{};
+
 PagedKvConfig kv_config(const ServeConfig& cfg) {
   PagedKvConfig kv;
   kv.block_tokens = cfg.block_tokens;
@@ -56,6 +63,13 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const graph::Runtime& rt,
   GAUDI_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
   GAUDI_CHECK(cfg_.prefill_chunk >= 1, "prefill_chunk must be >= 1");
   GAUDI_CHECK(cfg_.ctx_bucket >= 1, "ctx_bucket must be >= 1");
+  GAUDI_CHECK(cfg_.retry_max >= 0, "retry_max must be >= 0");
+  GAUDI_CHECK(cfg_.retry_backoff >= sim::SimTime::zero() &&
+                  cfg_.chip_restart >= sim::SimTime::zero() &&
+                  cfg_.watchdog >= sim::SimTime::zero(),
+              "fault-tolerance timings must be >= 0");
+  GAUDI_CHECK(cfg_.shed_queue_depth >= 0 && cfg_.shed_min_free_blocks >= 0,
+              "overload-shedding thresholds must be >= 0");
 }
 
 std::int64_t ContinuousBatchScheduler::ctx_to_bucket(std::int64_t ctx) const {
@@ -73,8 +87,9 @@ sim::SimTime ContinuousBatchScheduler::decode_step_cost(
   opts.timing_only = timing_only_;
   // Cost tables are pure timing: guard sweeps (e.g. a process-wide
   // GAUDI_GUARD) must not inflate serving costs in one mode and not the
-  // other.
+  // other, and env-level fault injection must not perturb them either.
   opts.guard = sim::NumericsPolicy::kOff;
+  opts.faults = &kNoFaults;
   sim::SimTime cost{};
   if (timing_only_) {
     cost = steps_.step_time(ctx_bucket, opts);
@@ -130,6 +145,7 @@ sim::SimTime ContinuousBatchScheduler::prefill_chunk_cost(std::int64_t chunk) {
   opts.mode = tpc::ExecMode::kTiming;
   opts.timing_only = timing_only_;
   opts.guard = sim::NumericsPolicy::kOff;  // see decode_step_cost
+  opts.faults = &kNoFaults;                // see decode_step_cost
   const sim::SimTime cost = rt_.run(compiled, {}, opts).makespan;
   if (timing_only_) memo.insert_time(key, cost);
   prefill_cost_.emplace(bucket, cost);
@@ -174,11 +190,165 @@ bool ContinuousBatchScheduler::make_room(std::int64_t tokens,
   return true;
 }
 
+void ContinuousBatchScheduler::admit(sim::SimTime now) {
+  // A deadline that expired while the request sat preempted or in retry
+  // backoff can never contribute goodput: drop it instead of re-reserving
+  // KV and recomputing work the front-end already abandoned.
+  for (auto it = requeued_.begin(); it != requeued_.end();) {
+    if (it->req.deadline > sim::SimTime::zero() &&
+        now > it->req.arrival + it->req.deadline) {
+      sink_.on_drop(it->req.id, now);
+      ++deadline_drops_;
+      it = requeued_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  while (static_cast<std::int64_t>(running_.size()) < cfg_.max_batch) {
+    // Requeued (preempted or retrying) requests re-admit first, in queue
+    // order, once their backoff window has passed.
+    const auto rq =
+        std::find_if(requeued_.begin(), requeued_.end(),
+                     [&](const Active& a) { return a.eligible_at <= now; });
+    if (rq != requeued_.end()) {
+      Active a = *rq;
+      const std::int64_t rows = a.kv_tokens();
+      if (!kv_.can_reserve(rows)) break;  // head-of-line blocking
+      const bool reserved = kv_.reserve(a.req.id, rows);
+      GAUDI_ASSERT(reserved, "reserve after can_reserve");
+      a.prefill_needed = rows;
+      a.prefilled = 0;
+      requeued_.erase(rq);
+      running_.push_back(a);
+      continue;
+    }
+    if (waiting_.empty()) break;
+    const Request r = waiting_.front();
+    const std::int64_t max_rows = r.prompt_len + r.output_len - 1;
+    const bool valid =
+        r.prompt_len >= 1 && r.output_len >= 1 &&
+        max_rows <= cfg_.model.max_seq &&
+        (max_rows + cfg_.block_tokens - 1) / cfg_.block_tokens <=
+            kv_.total_blocks();
+    if (!valid) {
+      sink_.on_reject(r.id, now);
+      waiting_.pop_front();
+      continue;
+    }
+    // A deadline that expired while the request queued can never
+    // contribute goodput: drop it at admission instead of spending KV
+    // blocks and iterations on work the front-end already abandoned.
+    if (r.deadline > sim::SimTime::zero() && now > r.arrival + r.deadline) {
+      sink_.on_drop(r.id, now);
+      ++deadline_drops_;
+      waiting_.pop_front();
+      continue;
+    }
+    if (!kv_.can_reserve(r.prompt_len)) break;  // head-of-line blocking
+    const bool reserved = kv_.reserve(r.id, r.prompt_len);
+    GAUDI_ASSERT(reserved, "reserve after can_reserve");
+    Active a;
+    a.req = r;
+    a.prefill_needed = r.prompt_len;
+    running_.push_back(a);
+    waiting_.pop_front();
+  }
+}
+
+void ContinuousBatchScheduler::shed_overload(sim::SimTime now) {
+  if (cfg_.shed_queue_depth <= 0 && cfg_.shed_min_free_blocks <= 0) return;
+  // Victim choice mirrors preemption: lowest priority, then latest arrival,
+  // then highest id.  Only never-admitted arrivals shed — preempted or
+  // retrying requests already have compute invested in them.
+  const auto shed_one = [&] {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < waiting_.size(); ++i) {
+      const Request& c = waiting_[i];
+      const Request& v = waiting_[victim];
+      const bool worse =
+          c.priority != v.priority
+              ? c.priority < v.priority
+              : (c.arrival != v.arrival ? c.arrival > v.arrival
+                                        : c.id > v.id);
+      if (worse) victim = i;
+    }
+    sink_.on_shed(waiting_[victim].id, now);
+    waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(victim));
+  };
+  if (cfg_.shed_queue_depth > 0) {
+    while (!waiting_.empty() &&
+           static_cast<std::int64_t>(waiting_.size() + requeued_.size()) >
+               cfg_.shed_queue_depth) {
+      shed_one();
+    }
+  }
+  if (cfg_.shed_min_free_blocks > 0 &&
+      kv_.free_blocks() < cfg_.shed_min_free_blocks) {
+    while (!waiting_.empty()) shed_one();
+  }
+}
+
+void ContinuousBatchScheduler::on_chip_failure(sim::SimTime now) {
+  ++chip_failures_;
+  // The batch's in-flight work aborts: every running request loses its
+  // paged KV blocks (the replacement chip's HBM starts cold) and either
+  // re-queues with exponential backoff or — with the retry budget spent —
+  // ends in the typed kFailed outcome.  Nothing is lost silently.
+  for (Active& a : running_) {
+    kv_.release(a.req.id);
+    const std::int64_t wasted = computed_rows(a);
+    if (a.fault_retries >= cfg_.retry_max) {
+      sink_.on_fail(a.req.id, now, wasted);
+      continue;
+    }
+    a.fault_retries += 1;
+    sink_.on_fault_retry(a.req.id, wasted);
+    a.prefilled = 0;
+    a.prefill_needed = 0;  // recomputed at re-admission
+    const std::int64_t factor =
+        std::int64_t{1} << std::min<std::int32_t>(a.fault_retries - 1, 20);
+    a.eligible_at = now + cfg_.retry_backoff * factor;
+    requeued_.push_back(a);
+  }
+  running_.clear();
+  GAUDI_ASSERT(kv_.free_blocks() == kv_.total_blocks(),
+               "a chip failure must leave the KV pool empty");
+}
+
+void ContinuousBatchScheduler::run_watchdog(sim::SimTime now) {
+  if (cfg_.watchdog <= sim::SimTime::zero()) return;
+  // A request's next-token clock runs from arrival until the first token
+  // (TTFT) and from the previous token afterwards (ITL); preemption and
+  // retry backoff do not pause it — the client experiences the stall either
+  // way.  Aborting frees the slot and the KV blocks immediately.
+  for (std::size_t i = running_.size(); i-- > 0;) {
+    const Active& a = running_[i];
+    const sim::SimTime since = a.generated == 0 ? a.req.arrival : a.last_token;
+    if (now - since <= cfg_.watchdog) continue;
+    kv_.release(a.req.id);
+    sink_.on_timeout(a.req.id, now);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+  for (auto it = requeued_.begin(); it != requeued_.end();) {
+    const sim::SimTime since =
+        it->generated == 0 ? it->req.arrival : it->last_token;
+    if (now - since > cfg_.watchdog) {
+      sink_.on_timeout(it->req.id, now);
+      it = requeued_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
-  GAUDI_CHECK(iterations_ == 0 && running_.empty() && requeued_.empty(),
+  GAUDI_CHECK(iterations_ == 0 && running_.empty() && requeued_.empty() &&
+                  waiting_.empty(),
               "ContinuousBatchScheduler::run is one-shot; construct a fresh "
               "scheduler per stream");
   const bool validate = sim::env_flag("GAUDI_VALIDATE", false);
+  const bool faults_on = cfg_.faults.enabled();
 
   std::vector<Request> pending(stream);
   std::stable_sort(pending.begin(), pending.end(),
@@ -192,61 +362,36 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
   sim::SimTime now = sim::SimTime::zero();
 
   while (true) {
-    // --- Admission: requeued (preempted) requests first, then arrivals. ---
-    while (static_cast<std::int64_t>(running_.size()) < cfg_.max_batch) {
-      if (!requeued_.empty()) {
-        Active a = requeued_.front();
-        const std::int64_t rows = a.kv_tokens();
-        if (!kv_.can_reserve(rows)) break;
-        const bool reserved = kv_.reserve(a.req.id, rows);
-        GAUDI_ASSERT(reserved, "reserve after can_reserve");
-        a.prefill_needed = rows;
-        a.prefilled = 0;
-        requeued_.pop_front();
-        running_.push_back(a);
-        continue;
-      }
-      if (next < pending.size() && pending[next].arrival <= now) {
-        const Request& r = pending[next];
-        const std::int64_t max_rows = r.prompt_len + r.output_len - 1;
-        const bool valid =
-            r.prompt_len >= 1 && r.output_len >= 1 &&
-            max_rows <= cfg_.model.max_seq &&
-            (max_rows + cfg_.block_tokens - 1) / cfg_.block_tokens <=
-                kv_.total_blocks();
-        if (!valid) {
-          sink_.on_reject(r.id, now);
-          ++next;
-          continue;
-        }
-        // A deadline that expired while the request queued can never
-        // contribute goodput: drop it at admission instead of spending KV
-        // blocks and iterations on work the front-end already abandoned.
-        if (r.deadline > sim::SimTime::zero() &&
-            now > r.arrival + r.deadline) {
-          sink_.on_drop(r.id, now);
-          ++deadline_drops_;
-          ++next;
-          continue;
-        }
-        if (!kv_.can_reserve(r.prompt_len)) break;  // head-of-line blocking
-        const bool reserved = kv_.reserve(r.id, r.prompt_len);
-        GAUDI_ASSERT(reserved, "reserve after can_reserve");
-        Active a;
-        a.req = r;
-        a.prefill_needed = r.prompt_len;
-        running_.push_back(a);
-        ++next;
-        continue;
-      }
-      break;
+    // --- Arrivals ripen into the waiting queue. ---
+    while (next < pending.size() && pending[next].arrival <= now) {
+      waiting_.push_back(pending[next]);
+      ++next;
     }
 
+    // --- Admission, then overload control over the leftover backlog. ---
+    admit(now);
+    shed_overload(now);
+
     if (running_.empty()) {
-      GAUDI_ASSERT(requeued_.empty(),
-                   "requeued request failed to re-admit into an empty pool");
-      if (next >= pending.size()) break;  // drained
-      now = std::max(now, pending[next].arrival);
+      GAUDI_ASSERT(waiting_.empty(),
+                   "waiting arrival failed to admit into an empty machine");
+      // Idle: jump to the next actionable instant — an arrival or a retry
+      // backoff window opening.
+      bool have = false;
+      sim::SimTime next_event{};
+      if (next < pending.size()) {
+        next_event = pending[next].arrival;
+        have = true;
+      }
+      for (const Active& a : requeued_) {
+        if (!have || a.eligible_at < next_event) {
+          next_event = a.eligible_at;
+          have = true;
+        }
+      }
+      if (!have) break;  // drained
+      GAUDI_ASSERT(next_event > now, "idle scheduler failed to advance time");
+      now = next_event;
       continue;
     }
 
@@ -325,36 +470,68 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
 
     GAUDI_ASSERT(iter_time > sim::SimTime::zero(),
                  "scheduler iteration performed no work");
+
+    // --- Fault injection: one oracle query per kind per iteration. ---
+    // The site is a pure function of the iteration index, so the same
+    // (stream, config, fault seed) replays the same fault schedule even
+    // across timing-only and functional builds of the run.
+    bool chip_died = false;
+    if (faults_on) {
+      const std::uint64_t site = sim::FaultInjector::site(
+          static_cast<std::uint64_t>(iterations_ - 1), 0);
+      const sim::FaultProfile& prof = cfg_.faults.profile();
+      if (cfg_.faults.fires(sim::FaultKind::kTpcStraggler, site)) {
+        ++tpc_stragglers_;
+        iter_time = sim::SimTime::from_ps(static_cast<std::int64_t>(
+            static_cast<double>(iter_time.ps()) * prof.straggler_slowdown +
+            0.5));
+      }
+      if (cfg_.faults.fires(sim::FaultKind::kHbmPressure, site)) {
+        ++hbm_stalls_;
+        iter_time += prof.hbm_pressure_stall;
+      }
+      chip_died = cfg_.faults.fires(sim::FaultKind::kChipFailure, site);
+    }
     now += iter_time;
 
-    // --- Token emission & completion. ---
-    for (const DecodeSlot& slot : survivors) {
-      const auto it = std::find_if(
-          running_.begin(), running_.end(),
-          [&](const Active& a) { return a.req.id == slot.id; });
-      GAUDI_ASSERT(it != running_.end(), "surviving decode request vanished");
-      it->generated += 1;
-      sink_.on_token(slot.id, now - it->last_token);
-      it->last_token = now;
-    }
-    if (prefill_id >= 0) {
-      const auto it = std::find_if(
-          running_.begin(), running_.end(),
-          [&](const Active& a) { return a.req.id == prefill_id; });
-      if (it != running_.end() && !it->in_prefill() && it->generated == 0) {
-        // Prefill just completed: the prompt's last logits yield the first
-        // output token with no separate decode step.
-        it->generated = 1;
+    if (chip_died) {
+      // The chip died mid-iteration: the step's results never materialize,
+      // so no tokens emit this round — the computed KV rows are invalidated
+      // and every running request retries or fails (see on_chip_failure).
+      now += cfg_.chip_restart;
+      on_chip_failure(now);
+    } else {
+      // --- Token emission & completion. ---
+      for (const DecodeSlot& slot : survivors) {
+        const auto it = std::find_if(
+            running_.begin(), running_.end(),
+            [&](const Active& a) { return a.req.id == slot.id; });
+        GAUDI_ASSERT(it != running_.end(), "surviving decode request vanished");
+        it->generated += 1;
+        sink_.on_token(slot.id, now - it->last_token);
         it->last_token = now;
-        sink_.on_first_token(prefill_id, now);
+      }
+      if (prefill_id >= 0) {
+        const auto it = std::find_if(
+            running_.begin(), running_.end(),
+            [&](const Active& a) { return a.req.id == prefill_id; });
+        if (it != running_.end() && !it->in_prefill() && it->generated == 0) {
+          // Prefill just completed: the prompt's last logits yield the first
+          // output token with no separate decode step.
+          it->generated = 1;
+          it->last_token = now;
+          sink_.on_first_token(prefill_id, now);
+        }
+      }
+      for (std::size_t i = running_.size(); i-- > 0;) {
+        if (!running_[i].done()) continue;
+        kv_.release(running_[i].req.id);
+        sink_.on_complete(running_[i].req.id, now);
+        running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
-    for (std::size_t i = running_.size(); i-- > 0;) {
-      if (!running_[i].done()) continue;
-      kv_.release(running_[i].req.id);
-      sink_.on_complete(running_[i].req.id, now);
-      running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
-    }
+
+    run_watchdog(now);
 
     kv_peak_frag_ = std::max(kv_peak_frag_, kv_.stats().fragmented_tokens);
     if (validate) kv_.audit();
@@ -367,6 +544,10 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
   report.decode_steps = decode_steps_;
   report.prefill_chunks = prefill_chunks_;
   report.deadline_drops = deadline_drops_;
+  report.faults_enabled = faults_on;
+  report.chip_failures = chip_failures_;
+  report.hbm_stalls = hbm_stalls_;
+  report.tpc_stragglers = tpc_stragglers_;
   report.compiled_decode_steps = steps_.compiled_steps();
   report.step_cache_evictions = steps_.evictions();
   report.kv_total_blocks = kv_.total_blocks();
@@ -381,11 +562,16 @@ std::string ServeReport::to_report() const {
   os << "schedule: " << iterations << " iterations (" << decode_steps
      << " decode steps, " << prefill_chunks << " prefill chunks), "
      << compiled_decode_steps << " compiled step graphs resident, "
-     << step_cache_evictions << " evicted, " << deadline_drops
-     << " expired deadlines dropped\n";
+     << step_cache_evictions << " evicted\n";
   os << "kv pool:  " << kv_peak_blocks << " of " << kv_total_blocks
      << " blocks at peak, " << kv_peak_fragmented_tokens
      << " token slots fragmented at peak\n";
+  if (faults_enabled) {
+    // Rendered only when the injector is enabled so a disabled injector
+    // stays byte-identical to a fault-free configuration.
+    os << "faults:   " << chip_failures << " chip failures, " << hbm_stalls
+       << " hbm stalls, " << tpc_stragglers << " tpc stragglers injected\n";
+  }
   return os.str();
 }
 

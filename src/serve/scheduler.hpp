@@ -24,6 +24,19 @@
 // preempted — its blocks freed, its prompt+generated tokens requeued for
 // recomputation.  A request that cannot fit even an empty pool is rejected
 // at admission with the same typed validation the graph builders apply.
+//
+// Fault tolerance (see DESIGN.md §11): an optional seeded FaultInjector is
+// consulted once per iteration.  kTpcStraggler and kHbmPressure stretch the
+// iteration's cost; kChipFailure aborts the batch mid-iteration — every
+// running request's paged KV blocks are invalidated and the requests
+// re-queue with exponential backoff under a bounded retry budget (exhausted
+// budget → kFailed).  A per-request watchdog aborts requests whose next
+// token has been pending too long (kTimedOut), and admission-time overload
+// control sheds the lowest-priority waiting arrivals when the backlog or KV
+// headroom crosses a threshold (kShed).  Every fault decision is a pure
+// function of (seed, iteration), so the same (stream, config, fault seed)
+// reproduces a byte-identical report; a disabled injector leaves the
+// schedule byte-identical to a fault-free configuration.
 #pragma once
 
 #include <algorithm>
@@ -39,6 +52,7 @@
 #include "serve/kv_cache.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
+#include "sim/fault.hpp"
 
 namespace gaudi::serve {
 
@@ -69,6 +83,32 @@ struct ServeConfig {
   /// scheduling entirely.  Reports are byte-identical either way.  Unset
   /// defers to the GAUDI_TIMING_ONLY environment variable.
   std::optional<bool> timing_only{};
+
+  // -- Fault tolerance (DESIGN.md §11) --------------------------------------
+  /// Deterministic fault oracle, queried once per iteration for
+  /// kChipFailure / kHbmPressure / kTpcStraggler.  The default-constructed
+  /// injector is disabled and leaves the schedule byte-identical to a
+  /// fault-free run.  Serving uses chips=1 in FaultProfile::from_mtbf_steps:
+  /// the batch runs on one simulated chip, so MTBF is per-iteration.
+  sim::FaultInjector faults{};
+  /// Chip-failure re-queues a request survives before kFailed (0 = the
+  /// first failure is terminal).
+  std::int32_t retry_max = 3;
+  /// Re-admission delay after the first chip failure; doubles per retry.
+  sim::SimTime retry_backoff = sim::SimTime::from_ms(5.0);
+  /// Dead time after a chip failure before the replacement chip serves
+  /// (restart + HBM re-init in the simulated fleet).
+  sim::SimTime chip_restart = sim::SimTime::from_ms(50.0);
+  /// Per-request watchdog: abort a request whose next token (first or
+  /// subsequent) has been pending longer than this.  Zero disables.
+  sim::SimTime watchdog{};
+  /// Overload control: after admission, shed the lowest-priority waiting
+  /// arrivals while the backlog (waiting + requeued) exceeds this depth.
+  /// Zero disables.  Retried/preempted requests are never shed.
+  std::int64_t shed_queue_depth = 0;
+  /// Overload control: shed every waiting arrival while fewer than this
+  /// many KV blocks are free.  Zero disables.
+  std::int64_t shed_min_free_blocks = 0;
 };
 
 /// Everything a serving run reports.
@@ -78,9 +118,17 @@ struct ServeReport {
   std::int64_t iterations = 0;
   std::int64_t decode_steps = 0;
   std::int64_t prefill_chunks = 0;
-  /// Requests abandoned at admission because their deadline had already
-  /// expired while they queued (RequestOutcome::kDropped).
+  /// Requests abandoned because their deadline had already expired when a
+  /// slot opened — at first admission or at re-admission after preemption
+  /// or a fault retry (RequestOutcome::kDropped).
   std::int64_t deadline_drops = 0;
+  /// Injected-fault counters; the "faults:" report line renders only when
+  /// the injector is enabled, keeping disabled runs byte-identical to a
+  /// fault-free configuration.
+  bool faults_enabled = false;
+  std::int64_t chip_failures = 0;
+  std::int64_t hbm_stalls = 0;
+  std::int64_t tpc_stragglers = 0;
   std::size_t compiled_decode_steps = 0;  ///< resident in the step cache
   std::size_t step_cache_evictions = 0;
   std::int64_t kv_total_blocks = 0;
@@ -106,6 +154,8 @@ class ContinuousBatchScheduler {
     std::int64_t prefilled = 0;
     std::int64_t generated = 0;
     sim::SimTime last_token{};
+    std::int32_t fault_retries = 0;  ///< chip-failure re-queues so far
+    sim::SimTime eligible_at{};      ///< earliest re-admission (retry backoff)
 
     /// KV rows the request occupies right now.  The first output token
     /// falls out of prefill's last logits without a cache append, so `g`
@@ -128,6 +178,23 @@ class ContinuousBatchScheduler {
   /// Returns false when no victim remains and the pool still cannot fit.
   bool make_room(std::int64_t tokens, std::int64_t self_id);
   void preempt(std::size_t victim_index);
+  /// Admits eligible requeued requests, then waiting arrivals, into free
+  /// batch slots (rejecting/dropping as it goes).
+  void admit(sim::SimTime now);
+  /// Overload control: sheds lowest-priority waiting arrivals while the
+  /// post-admission backlog or KV headroom crosses the configured
+  /// thresholds.
+  void shed_overload(sim::SimTime now);
+  /// Chip failure: abort the batch's in-flight work — invalidate every
+  /// running request's KV blocks and re-queue (or fail) each one.
+  void on_chip_failure(sim::SimTime now);
+  /// Aborts running/requeued requests whose next token has been pending
+  /// longer than the watchdog timeout.
+  void run_watchdog(sim::SimTime now);
+  /// KV rows `a` has computed so far — the work a chip failure throws away.
+  [[nodiscard]] static std::int64_t computed_rows(const Active& a) {
+    return a.in_prefill() ? a.prefilled : a.kv_tokens();
+  }
 
   graph::Runtime rt_;
   ServeConfig cfg_;
@@ -139,12 +206,16 @@ class ContinuousBatchScheduler {
   std::map<std::int64_t, sim::SimTime> decode_cost_;   ///< by ctx bucket
   std::map<std::int64_t, sim::SimTime> prefill_cost_;  ///< by chunk bucket
   std::vector<Active> running_;
-  std::deque<Active> requeued_;  ///< preempted, awaiting re-admission
+  std::deque<Active> requeued_;  ///< preempted/retrying, awaiting re-admission
+  std::deque<Request> waiting_;  ///< arrived, not yet admitted or shed
   std::int64_t iterations_ = 0;
   std::int64_t decode_steps_ = 0;
   std::int64_t prefill_chunks_ = 0;
   std::int64_t deadline_drops_ = 0;
   std::int64_t kv_peak_frag_ = 0;
+  std::int64_t chip_failures_ = 0;
+  std::int64_t hbm_stalls_ = 0;
+  std::int64_t tpc_stragglers_ = 0;
 };
 
 }  // namespace gaudi::serve

@@ -15,6 +15,9 @@ const char* outcome_name(RequestOutcome o) {
     case RequestOutcome::kCompleted: return "completed";
     case RequestOutcome::kRejected: return "rejected";
     case RequestOutcome::kDropped: return "dropped";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kTimedOut: return "timed-out";
+    case RequestOutcome::kFailed: return "failed";
   }
   return "?";
 }

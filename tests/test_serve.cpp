@@ -17,6 +17,7 @@
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 #include "sim/error.hpp"
+#include "sim/fault.hpp"
 
 namespace gaudi {
 namespace {
@@ -431,8 +432,224 @@ TEST(Scheduler, ExpiredDeadlineDropsInsteadOfWastingTheSlot) {
   ASSERT_EQ(r.requests.size(), 2u);
   EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kCompleted);
   EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kDropped);
-  EXPECT_NE(r.to_report().find("1 expired deadlines dropped"),
+  EXPECT_NE(r.to_report().find(
+                "outcomes: 0 rejected, 1 dropped, 0 shed, 0 failed, "
+                "0 timed-out"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------- fault tolerance
+
+/// Injector firing only chip failures, at `rate` per iteration.
+sim::FaultInjector chip_killer(double rate, std::uint64_t seed = 0x5EED) {
+  sim::FaultProfile p;
+  p.chip_failure_rate = rate;
+  return sim::FaultInjector{seed, p};
+}
+
+TEST(FaultServe, ChipFailureRetriesAndCompletesEveryone) {
+  // Kill-and-recover: chip failures abort in-flight batches and invalidate
+  // their KV blocks, yet with a generous retry budget every request still
+  // completes.  GAUDI_VALIDATE audits the allocator bijection every
+  // iteration, including the mass release a mid-iteration failure forces.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.faults = chip_killer(0.2);
+  cfg.retry_max = 16;
+  cfg.retry_backoff = sim::SimTime::from_ms(0.5);
+  cfg.chip_restart = sim::SimTime::from_ms(1.0);
+  const auto stream = serve::poisson_stream(tiny_stream());
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  ::unsetenv("GAUDI_VALIDATE");
+  EXPECT_GE(r.chip_failures, 1);
+  EXPECT_TRUE(r.faults_enabled);
+  EXPECT_EQ(r.summary.completed, 10);
+  EXPECT_EQ(r.summary.failed, 0);
+  EXPECT_GE(r.summary.fault_retries, 1);
+  EXPECT_GT(r.summary.wasted_tokens, 0);
+  EXPECT_NE(r.to_report().find("faults:"), std::string::npos);
+
+  // Same (stream, config, fault seed) replays byte-identically.
+  serve::ContinuousBatchScheduler again(rt, cfg);
+  EXPECT_EQ(r.to_report(), again.run(stream).to_report());
+}
+
+TEST(FaultServe, RetryBudgetExhaustionFails) {
+  // Every iteration kills the chip and the budget allows no retries: every
+  // admitted request ends in the typed kFailed outcome instead of looping.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.faults = chip_killer(1.0);
+  cfg.retry_max = 0;
+  std::vector<serve::Request> stream(2);
+  stream[0].id = 0;
+  stream[0].prompt_len = 4;
+  stream[0].output_len = 2;
+  stream[1].id = 1;
+  stream[1].prompt_len = 2;
+  stream[1].output_len = 2;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.completed, 0);
+  EXPECT_EQ(r.summary.failed, 2);
+  EXPECT_GT(r.summary.wasted_tokens, 0);
+  EXPECT_EQ(r.summary.availability, 0.0);
+  ASSERT_EQ(r.requests.size(), 2u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kFailed);
+  EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kFailed);
+  // Failed requests must not contribute latency samples.
+  EXPECT_TRUE(std::isnan(r.summary.ttft_p50_ms));
+}
+
+TEST(FaultServe, DisabledInjectorIsByteIdenticalToFaultFreePath) {
+  // Handing the scheduler a disabled injector — plus every fault knob that
+  // only matters once faults fire — must not change a byte of the report.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  serve::ContinuousBatchScheduler plain(rt, tiny_serve());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.faults = sim::FaultInjector{0x99, sim::FaultProfile::disabled()};
+  cfg.retry_max = 7;
+  cfg.retry_backoff = sim::SimTime::from_ms(123.0);
+  cfg.chip_restart = sim::SimTime::from_ms(456.0);
+  serve::ContinuousBatchScheduler disabled(rt, cfg);
+  EXPECT_EQ(plain.run(stream).to_report(), disabled.run(stream).to_report());
+}
+
+TEST(FaultServe, WatchdogAbortsStalledRequests) {
+  // A watchdog tighter than one iteration fires before the first token:
+  // the request ends kTimedOut and its samples stay out of the percentiles.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.watchdog = sim::SimTime::from_ps(1);
+  std::vector<serve::Request> stream(1);
+  stream[0].id = 0;
+  stream[0].prompt_len = 8;
+  stream[0].output_len = 4;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.completed, 0);
+  EXPECT_EQ(r.summary.timed_out, 1);
+  ASSERT_EQ(r.requests.size(), 1u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kTimedOut);
+  EXPECT_NE(r.to_report().find("TTFT:     p50 n/a"), std::string::npos);
+  EXPECT_NE(r.to_report().find("availability 0.0%"), std::string::npos);
+}
+
+TEST(FaultServe, PreemptedPastDeadlineDropsNotRecomputes) {
+  // Preemption x deadline x fault interaction: a preempted request whose
+  // budget expired while requeued must drop at re-admission instead of
+  // re-reserving KV and recomputing its prefill.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.kv_budget_bytes = 3 * 4 * 128;  // 3 blocks: forces a preemption
+  std::vector<serve::Request> stream(2);
+  stream[0].id = 0;
+  stream[0].prompt_len = 4;
+  stream[0].output_len = 4;
+  // Request 0 is the deterministic preemption victim (the grower never
+  // preempts itself); its budget expires before re-admission.
+  stream[0].deadline = sim::SimTime::from_ps(1);
+  stream[1].id = 1;
+  stream[1].prompt_len = 4;
+  stream[1].output_len = 4;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.completed, 1);
+  EXPECT_EQ(r.summary.dropped, 1);
+  EXPECT_GE(r.summary.preemptions, 1);
+  EXPECT_EQ(r.deadline_drops, 1);
+  ASSERT_EQ(r.requests.size(), 2u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kDropped);
+  EXPECT_GE(r.requests[0].preemptions, 1);
+  EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kCompleted);
+}
+
+TEST(FaultServe, ShedsLowestPriorityArrivalsUnderOverload) {
+  // One slot, backlog bound 1: of the three queued arrivals the two with
+  // the lowest priority shed; the highest-priority one waits and completes.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.max_batch = 1;
+  cfg.shed_queue_depth = 1;
+  std::vector<serve::Request> stream(4);
+  for (std::int64_t i = 0; i < 4; ++i) {
+    stream[i].id = i;
+    stream[i].prompt_len = 2;
+    stream[i].output_len = 2;
+  }
+  stream[1].priority = 2;
+  stream[2].priority = 1;
+  stream[3].priority = 0;
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  EXPECT_EQ(r.summary.completed, 2);
+  EXPECT_EQ(r.summary.shed, 2);
+  ASSERT_EQ(r.requests.size(), 4u);
+  EXPECT_EQ(r.requests[0].outcome, serve::RequestOutcome::kCompleted);
+  EXPECT_EQ(r.requests[1].outcome, serve::RequestOutcome::kCompleted);
+  EXPECT_EQ(r.requests[2].outcome, serve::RequestOutcome::kShed);
+  EXPECT_EQ(r.requests[3].outcome, serve::RequestOutcome::kShed);
+}
+
+TEST(FaultServe, FaultRunTimingOnlyParityHolds) {
+  // The timing-only fast path must replay the exact fault schedule: cost
+  // probes stay clean baselines (the memo is fault-free) and the scheduler
+  // layers the same deterministic stretches on top in either mode.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  sim::FaultProfile prof;
+  prof.chip_failure_rate = 0.1;
+  prof.tpc_straggler_rate = 0.3;
+  prof.hbm_pressure_rate = 0.2;
+  serve::ServeConfig functional = tiny_serve();
+  functional.faults = sim::FaultInjector{0x5EED, prof};
+  functional.retry_max = 16;
+  functional.timing_only = false;
+  serve::ServeConfig fast = functional;
+  fast.timing_only = true;
+  serve::ContinuousBatchScheduler a(rt, functional);
+  serve::ContinuousBatchScheduler b(rt, fast);
+  const serve::ServeReport ra = a.run(stream);
+  EXPECT_EQ(ra.to_report(), b.run(stream).to_report());
+  EXPECT_GE(ra.tpc_stragglers + ra.hbm_stalls + ra.chip_failures, 1);
+}
+
+TEST(CliServe, RejectsNonPositiveGeometryNamingTheFlag) {
+  const auto expect_named_error = [](const char* flag, const char* value) {
+    std::string out;
+    EXPECT_EQ(run({"serve", flag, value}, &out), 1) << flag;
+    EXPECT_NE(out.find("error:"), std::string::npos) << out;
+    EXPECT_NE(out.find(flag), std::string::npos) << out;
+  };
+  expect_named_error("--prefill-chunk", "0");
+  expect_named_error("--ctx-bucket", "0");
+  expect_named_error("--block-tokens", "-3");
+  expect_named_error("--kv-mb", "0");
+  expect_named_error("--retry-max", "-1");
+  expect_named_error("--watchdog-ms", "-5");
+  expect_named_error("--shed-queue-depth", "-2");
+  expect_named_error("--shed-free-blocks", "-1");
+}
+
+TEST(CliServe, FaultFlagsAreDeterministicAndReportFaults) {
+  const std::initializer_list<const char*> cmd = {
+      "serve",          "--requests",   "6",    "--rate",        "40",
+      "--prompt-min",   "4",            "--prompt-max", "8",
+      "--output-min",   "2",            "--output-max", "4",
+      "--max-batch",    "2",            "--prefill-chunk", "8",
+      "--kv-mb",        "4",            "--faults",
+      "--mtbf",         "25",           "--fault-seed",  "7",
+      "--retry-max",    "4",            "--watchdog-ms", "4000"};
+  std::string out;
+  ASSERT_EQ(run(cmd, &out), 0);
+  EXPECT_NE(out.find("faults:"), std::string::npos) << out;
+  EXPECT_NE(out.find("availability"), std::string::npos);
+  std::string again;
+  ASSERT_EQ(run(cmd, &again), 0);
+  EXPECT_EQ(out, again);
 }
 
 TEST(Scheduler, TimingOnlyModeReproducesTheFunctionalReport) {
