@@ -10,6 +10,7 @@
 #include "core/cli.hpp"
 #include "core/experiments.hpp"
 #include "nn/transformer.hpp"
+#include "serve/cluster.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 #include "sim/chip_config.hpp"
@@ -45,7 +46,8 @@ std::uint64_t parse_seed(const std::string& text, int line_no) {
 }
 
 bool known_command(const std::string& c) {
-  return c == "serve" || c == "profile-layer" || c == "profile-model" ||
+  return c == "serve" || c == "serve-cluster" || c == "profile-layer" ||
+         c == "profile-model" ||
          c == "mme-vs-tpc";
 }
 
@@ -182,8 +184,8 @@ nn::Activation parse_activation(const std::string& s) {
   throw sim::InvalidArgument("unknown feature map: " + s);
 }
 
-Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
-                       std::optional<bool> timing_only) {
+serve::StreamConfig batch_stream_config(const ParamView& p,
+                                        std::uint64_t seed) {
   serve::StreamConfig scfg;
   scfg.arrival_rate_rps = p.get_f64("rate", scfg.arrival_rate_rps);
   scfg.num_requests = p.get_i64("requests", scfg.num_requests);
@@ -199,7 +201,14 @@ Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
     scfg.deadline = sim::SimTime::from_ms(static_cast<double>(deadline_ms));
   }
   scfg.seed = seed;
+  return scfg;
+}
 
+/// Per-scheduler keys shared by serve and serve-cluster cells.  Fault keys
+/// are left to the callers: a serve cell wires one injector, a cluster cell
+/// a per-replica profile.
+serve::ServeConfig batch_serve_config(const ParamView& p,
+                                      std::optional<bool> timing_only) {
   serve::ServeConfig cfg;
   const std::string model = p.get("model", "gpt2");
   if (model == "tiny") {
@@ -217,19 +226,6 @@ Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
   cfg.step_cache_entries =
       static_cast<std::size_t>(p.get_i64("cache-cap", 0));
   cfg.timing_only = timing_only;
-
-  // Fault tolerance: `mtbf` (mean iterations between failures) enables the
-  // injector; the fault seed is its own key so the workload seed axis does
-  // not reshuffle the fault schedule.
-  const std::int64_t mtbf = p.get_i64("mtbf", 0);
-  GAUDI_CHECK(mtbf >= 0, "mtbf expects a non-negative iteration count");
-  if (mtbf > 0) {
-    const auto fault_seed =
-        static_cast<std::uint64_t>(p.get_i64("fault-seed", 0xFA517));
-    cfg.faults = sim::FaultInjector{
-        fault_seed, sim::FaultProfile::from_mtbf_steps(
-                        static_cast<double>(mtbf), /*chips=*/1)};
-  }
   cfg.retry_max =
       static_cast<std::int32_t>(p.get_i64("retry-max", cfg.retry_max));
   GAUDI_CHECK(cfg.retry_max >= 0, "retry-max expects a non-negative count");
@@ -244,6 +240,26 @@ Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
   cfg.shed_min_free_blocks = p.get_i64("shed-free-blocks", 0);
   GAUDI_CHECK(cfg.shed_min_free_blocks >= 0,
               "shed-free-blocks expects a non-negative count");
+  return cfg;
+}
+
+Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
+                       std::optional<bool> timing_only) {
+  const serve::StreamConfig scfg = batch_stream_config(p, seed);
+  serve::ServeConfig cfg = batch_serve_config(p, timing_only);
+
+  // Fault tolerance: `mtbf` (mean iterations between failures) enables the
+  // injector; the fault seed is its own key so the workload seed axis does
+  // not reshuffle the fault schedule.
+  const std::int64_t mtbf = p.get_i64("mtbf", 0);
+  GAUDI_CHECK(mtbf >= 0, "mtbf expects a non-negative iteration count");
+  if (mtbf > 0) {
+    const auto fault_seed =
+        static_cast<std::uint64_t>(p.get_i64("fault-seed", 0xFA517));
+    cfg.faults = sim::FaultInjector{
+        fault_seed, sim::FaultProfile::from_mtbf_steps(
+                        static_cast<double>(mtbf), /*chips=*/1)};
+  }
   p.check_all_used();
 
   graph::Runtime rt(sim::ChipConfig::hls1());
@@ -265,6 +281,61 @@ Metrics run_serve_cell(const ParamView& p, std::uint64_t seed,
           {"fault_retries", static_cast<double>(r.summary.fault_retries)},
           {"wasted_tokens", static_cast<double>(r.summary.wasted_tokens)},
           {"preemptions", static_cast<double>(r.summary.preemptions)},
+          {"makespan_ms", r.summary.makespan.ms()}};
+}
+
+Metrics run_serve_cluster_cell(const ParamView& p, std::uint64_t seed,
+                               std::optional<bool> timing_only) {
+  const serve::StreamConfig scfg = batch_stream_config(p, seed);
+  serve::ClusterConfig ccfg;
+  ccfg.replica = batch_serve_config(p, timing_only);
+  ccfg.replicas = p.get_i64("replicas", ccfg.replicas);
+  GAUDI_CHECK(ccfg.replicas >= 1, "replicas expects a positive count");
+  ccfg.policy = serve::parse_load_balance_policy(p.get("lb", "round-robin"));
+  const std::int64_t heartbeat_ms = p.get_i64(
+      "heartbeat-ms", static_cast<std::int64_t>(ccfg.heartbeat_interval.ms()));
+  GAUDI_CHECK(heartbeat_ms >= 0, "heartbeat-ms expects a non-negative time");
+  ccfg.heartbeat_interval =
+      sim::SimTime::from_ms(static_cast<double>(heartbeat_ms));
+  const std::int64_t suspicion_ms = p.get_i64(
+      "suspicion-ms", static_cast<std::int64_t>(ccfg.suspicion_timeout.ms()));
+  GAUDI_CHECK(suspicion_ms > 0, "suspicion-ms expects a positive time");
+  ccfg.suspicion_timeout =
+      sim::SimTime::from_ms(static_cast<double>(suspicion_ms));
+  const std::int64_t hedge_ms = p.get_i64("hedge-ms", 0);
+  GAUDI_CHECK(hedge_ms >= 0, "hedge-ms expects a non-negative time");
+  ccfg.hedge_budget = sim::SimTime::from_ms(static_cast<double>(hedge_ms));
+  ccfg.breaker_enabled = p.get_i64("breaker", 1) != 0;
+  const std::int64_t mtbf = p.get_i64("mtbf", 0);
+  GAUDI_CHECK(mtbf >= 0, "mtbf expects a non-negative iteration count");
+  ccfg.fault_seed =
+      static_cast<std::uint64_t>(p.get_i64("fault-seed", 0xFA517));
+  if (mtbf > 0) {
+    ccfg.fault_profile = sim::FaultProfile::from_mtbf_steps(
+        static_cast<double>(mtbf), /*chips=*/1);
+  }
+  p.check_all_used();
+
+  graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ClusterRouter router(rt, ccfg);
+  const serve::ClusterReport r = router.run(serve::poisson_stream(scfg));
+  const double availability = std::isfinite(r.summary.availability)
+                                  ? r.summary.availability
+                                  : 0.0;
+  return {{"throughput_tok_s", r.summary.throughput_tok_s},
+          {"goodput_tok_s", r.summary.goodput_tok_s},
+          {"ttft_p99_ms", r.summary.ttft_p99_ms},
+          {"itl_p99_ms", r.summary.itl_p99_ms},
+          {"completed", static_cast<double>(r.summary.completed)},
+          {"failed", static_cast<double>(r.summary.failed)},
+          {"timed_out", static_cast<double>(r.summary.timed_out)},
+          {"availability", availability},
+          {"chip_failures", static_cast<double>(r.chip_failures)},
+          {"failovers", static_cast<double>(r.failovers)},
+          {"hedges_launched", static_cast<double>(r.hedges_launched)},
+          {"hedge_wins", static_cast<double>(r.hedge_wins)},
+          {"breaker_opens", static_cast<double>(r.breaker_opens)},
+          {"wasted_tokens", static_cast<double>(r.summary.wasted_tokens)},
           {"makespan_ms", r.summary.makespan.ms()}};
 }
 
@@ -325,6 +396,9 @@ Metrics run_cell_once(const Cell& cell, std::uint64_t seed,
                                               : timing_only_default;
   const std::string& cmd = cell.exp->command;
   if (cmd == "serve") return run_serve_cell(p, seed, timing_only);
+  if (cmd == "serve-cluster") {
+    return run_serve_cluster_cell(p, seed, timing_only);
+  }
   if (cmd == "profile-layer") return run_profile_layer_cell(p);
   if (cmd == "profile-model") return run_profile_model_cell(p);
   if (cmd == "mme-vs-tpc") return run_mme_vs_tpc_cell(p);

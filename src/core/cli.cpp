@@ -15,7 +15,9 @@
 #include "graph/runtime.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/train.hpp"
+#include "graph/timing_memo.hpp"
 #include "scaleout/checkpoint.hpp"
+#include "serve/cluster.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/workload.hpp"
 #include "sim/error.hpp"
@@ -114,8 +116,26 @@ commands:
                                  backlog; 0 = off
       --shed-free-blocks N       shed arrivals when free KV blocks dip
                                  below N; 0 = off
+      --retry-backoff-ms T       base re-queue delay after a chip failure (5)
+      --retry-backoff-max-ms T   ceiling on the doubled backoff     (5000)
       --timing-only on|off       memoized timing fast path (default:
                                  GAUDI_TIMING_ONLY; reports are identical)
+  serve-cluster [options]        route one stream across N serving replicas:
+                                 failover with KV re-prefill, hedged
+                                 requests, per-replica circuit breakers
+                                 (accepts every serve option above except
+                                 --sdc-rate; --mtbf is per replica)
+      --replicas N               serving replicas               (2)
+      --lb P                     round-robin|jsq|least-kv       (round-robin)
+      --heartbeat-ms T           replica heartbeat period       (2)
+      --suspicion-ms T           silence before a replica is marked down (10)
+      --hedge-ms T               duplicate a request with no first token
+                                 after T; 0 = off
+      --no-breaker               disable the per-replica circuit breaker
+      --breaker-window N         sliding outcome window         (8)
+      --breaker-min N            samples before the breaker may open (4)
+      --breaker-threshold R      failure fraction that opens    (0.5)
+      --breaker-cooldown-ms T    open -> half-open probe delay  (100)
   batch FILE [options]           run a declarative experiment grid: FILE
                                  sweeps {command, axes, seeds, repeats}
                                  (see examples/serving_sweep.cfg); replicas
@@ -199,8 +219,10 @@ sim::FaultInjector parse_fault_injector(ArgParser& args,
       parse_f64(args.get("sdc-rate", "0"), "option --sdc-rate");
   GAUDI_CHECK(sdc_rate >= 0.0 && sdc_rate <= 1.0 && std::isfinite(sdc_rate),
               "--sdc-rate expects a probability in [0, 1]");
-  if (!on && sdc_rate == 0.0) return {};
+  // Validate before the disabled early-return: `serve --mtbf -5` without
+  // --faults must still be rejected, not silently accepted.
   GAUDI_CHECK(mtbf >= 0, "--mtbf expects a positive step count");
+  if (!on && sdc_rate == 0.0) return {};
   sim::FaultProfile profile =
       !on ? sim::FaultProfile::disabled()
       : mtbf > 0
@@ -516,8 +538,15 @@ int cmd_train_resilient(ArgParser& args, std::ostream& out) {
   return 0;
 }
 
-int cmd_serve(ArgParser& args, std::ostream& out) {
+/// Workload-stream flags shared by serve and serve-cluster.
+struct ServeStreamArgs {
   serve::StreamConfig scfg;
+  std::string trace_path;
+};
+
+ServeStreamArgs parse_serve_stream(ArgParser& args) {
+  ServeStreamArgs s;
+  serve::StreamConfig& scfg = s.scfg;
   scfg.arrival_rate_rps = parse_f64(args.get("rate", "8"), "option --rate");
   scfg.num_requests = args.get_int("requests", scfg.num_requests);
   scfg.prompt.lo = args.get_int("prompt-min", scfg.prompt.lo);
@@ -532,8 +561,32 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
     scfg.deadline = sim::SimTime::from_ms(static_cast<double>(deadline_ms));
   }
   scfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 0x5E21E));
-  const std::string trace_path = args.get("arrivals", "");
+  s.trace_path = args.get("arrivals", "");
+  return s;
+}
 
+std::vector<serve::Request> build_serve_stream(const ServeStreamArgs& s) {
+  return s.trace_path.empty() ? serve::poisson_stream(s.scfg)
+                              : serve::load_trace(s.trace_path);
+}
+
+std::string serve_stream_banner(const ServeStreamArgs& s, std::size_t n) {
+  std::ostringstream os;
+  os << n << " requests ("
+     << (s.trace_path.empty()
+             ? "poisson @ " + TextTable::num(s.scfg.arrival_rate_rps, 1) +
+                   " req/s"
+             : "trace " + s.trace_path)
+     << ")";
+  return os.str();
+}
+
+/// Per-replica scheduler flags shared by serve and serve-cluster — every
+/// value is validated here with an InvalidArgument naming the option.
+/// Faults are NOT parsed: serve wires one injector, the cluster derives one
+/// per replica.
+serve::ServeConfig parse_serve_scheduler_flags(ArgParser& args,
+                                               std::int64_t* kv_mb_out) {
   serve::ServeConfig cfg;
   cfg.max_batch = args.get_int("max-batch", cfg.max_batch);
   GAUDI_CHECK(cfg.max_batch >= 1, "--max-batch expects a positive count");
@@ -549,17 +602,27 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   const std::int64_t kv_mb = args.get_int("kv-mb", 64);
   GAUDI_CHECK(kv_mb >= 1, "--kv-mb expects a positive MiB count");
   cfg.kv_budget_bytes = static_cast<std::size_t>(kv_mb) * 1024 * 1024;
+  *kv_mb_out = kv_mb;
   const std::int64_t cache_cap = args.get_int("cache-cap", 0);
   GAUDI_CHECK(cache_cap >= 0, "--cache-cap expects a non-negative count");
   cfg.step_cache_entries = static_cast<std::size_t>(cache_cap);
   cfg.timing_only = parse_timing_only(args);
 
-  // Fault tolerance: the serving batch runs on one simulated chip, so MTBF
-  // is mean iterations between failures.
-  cfg.faults = parse_fault_injector(args, /*chips=*/1);
   cfg.retry_max =
       static_cast<std::int32_t>(args.get_int("retry-max", cfg.retry_max));
   GAUDI_CHECK(cfg.retry_max >= 0, "--retry-max expects a non-negative count");
+  const std::int64_t backoff_ms =
+      args.get_int("retry-backoff-ms",
+                   static_cast<std::int64_t>(cfg.retry_backoff.ms()));
+  GAUDI_CHECK(backoff_ms >= 0, "--retry-backoff-ms expects a non-negative time");
+  cfg.retry_backoff = sim::SimTime::from_ms(static_cast<double>(backoff_ms));
+  const std::int64_t backoff_max_ms = args.get_int(
+      "retry-backoff-max-ms",
+      static_cast<std::int64_t>(cfg.retry_backoff_max.ms()));
+  GAUDI_CHECK(backoff_max_ms > 0,
+              "--retry-backoff-max-ms expects a positive time");
+  cfg.retry_backoff_max =
+      sim::SimTime::from_ms(static_cast<double>(backoff_max_ms));
   const std::int64_t watchdog_ms = args.get_int("watchdog-ms", 0);
   GAUDI_CHECK(watchdog_ms >= 0, "--watchdog-ms expects a non-negative time");
   if (watchdog_ms > 0) {
@@ -571,24 +634,102 @@ int cmd_serve(ArgParser& args, std::ostream& out) {
   cfg.shed_min_free_blocks = args.get_int("shed-free-blocks", 0);
   GAUDI_CHECK(cfg.shed_min_free_blocks >= 0,
               "--shed-free-blocks expects a non-negative count");
+  return cfg;
+}
+
+int cmd_serve(ArgParser& args, std::ostream& out) {
+  const ServeStreamArgs s = parse_serve_stream(args);
+  std::int64_t kv_mb = 0;
+  serve::ServeConfig cfg = parse_serve_scheduler_flags(args, &kv_mb);
+  // Fault tolerance: the serving batch runs on one simulated chip, so MTBF
+  // is mean iterations between failures.
+  cfg.faults = parse_fault_injector(args, /*chips=*/1);
   check_unused(args);
 
-  const std::vector<serve::Request> stream =
-      trace_path.empty() ? serve::poisson_stream(scfg)
-                         : serve::load_trace(trace_path);
+  const std::vector<serve::Request> stream = build_serve_stream(s);
 
-  out << "serve: " << stream.size() << " requests ("
-      << (trace_path.empty()
-              ? "poisson @ " + TextTable::num(scfg.arrival_rate_rps, 1) +
-                    " req/s"
-              : "trace " + trace_path)
-      << "), batch " << cfg.max_batch << ", prefill chunk "
-      << cfg.prefill_chunk << ", kv " << kv_mb << " MiB in "
-      << cfg.block_tokens << "-token blocks\n";
+  out << "serve: " << serve_stream_banner(s, stream.size()) << ", batch "
+      << cfg.max_batch << ", prefill chunk " << cfg.prefill_chunk << ", kv "
+      << kv_mb << " MiB in " << cfg.block_tokens << "-token blocks\n";
 
   graph::Runtime rt(sim::ChipConfig::hls1());
   serve::ContinuousBatchScheduler sched(rt, cfg);
   out << sched.run(stream).to_report();
+  graph::save_memo_to_env_file();
+  return 0;
+}
+
+int cmd_serve_cluster(ArgParser& args, std::ostream& out) {
+  const ServeStreamArgs s = parse_serve_stream(args);
+  serve::ClusterConfig ccfg;
+  std::int64_t kv_mb = 0;
+  ccfg.replica = parse_serve_scheduler_flags(args, &kv_mb);
+  ccfg.replicas = args.get_int("replicas", ccfg.replicas);
+  GAUDI_CHECK(ccfg.replicas >= 1, "--replicas expects a positive count");
+  ccfg.policy =
+      serve::parse_load_balance_policy(args.get("lb", "round-robin"));
+  const std::int64_t heartbeat_ms =
+      args.get_int("heartbeat-ms",
+                   static_cast<std::int64_t>(ccfg.heartbeat_interval.ms()));
+  GAUDI_CHECK(heartbeat_ms >= 0, "--heartbeat-ms expects a non-negative time");
+  ccfg.heartbeat_interval =
+      sim::SimTime::from_ms(static_cast<double>(heartbeat_ms));
+  const std::int64_t suspicion_ms =
+      args.get_int("suspicion-ms",
+                   static_cast<std::int64_t>(ccfg.suspicion_timeout.ms()));
+  GAUDI_CHECK(suspicion_ms > 0, "--suspicion-ms expects a positive time");
+  ccfg.suspicion_timeout =
+      sim::SimTime::from_ms(static_cast<double>(suspicion_ms));
+  const std::int64_t hedge_ms = args.get_int("hedge-ms", 0);
+  GAUDI_CHECK(hedge_ms >= 0, "--hedge-ms expects a non-negative time");
+  ccfg.hedge_budget = sim::SimTime::from_ms(static_cast<double>(hedge_ms));
+  ccfg.breaker_enabled = !args.has("no-breaker");
+  ccfg.breaker_window = args.get_int("breaker-window", ccfg.breaker_window);
+  GAUDI_CHECK(ccfg.breaker_window >= 1,
+              "--breaker-window expects a positive count");
+  ccfg.breaker_min_samples =
+      args.get_int("breaker-min", ccfg.breaker_min_samples);
+  GAUDI_CHECK(ccfg.breaker_min_samples >= 1,
+              "--breaker-min expects a positive count");
+  ccfg.breaker_threshold = parse_f64(
+      args.get("breaker-threshold", "0.5"), "option --breaker-threshold");
+  GAUDI_CHECK(ccfg.breaker_threshold > 0.0 && ccfg.breaker_threshold <= 1.0 &&
+                  std::isfinite(ccfg.breaker_threshold),
+              "--breaker-threshold expects a fraction in (0, 1]");
+  const std::int64_t cooldown_ms =
+      args.get_int("breaker-cooldown-ms",
+                   static_cast<std::int64_t>(ccfg.breaker_cooldown.ms()));
+  GAUDI_CHECK(cooldown_ms > 0,
+              "--breaker-cooldown-ms expects a positive time");
+  ccfg.breaker_cooldown =
+      sim::SimTime::from_ms(static_cast<double>(cooldown_ms));
+
+  // Fault model: one cluster seed; the router derives a decorrelated
+  // injector per replica, each chip seeing MTBF iterations between faults.
+  const bool faults_on = args.has("faults");
+  ccfg.fault_seed =
+      static_cast<std::uint64_t>(args.get_int("fault-seed", 0xFA517));
+  const std::int64_t mtbf = args.get_int("mtbf", 0);
+  GAUDI_CHECK(mtbf >= 0, "--mtbf expects a positive step count");
+  if (faults_on) {
+    ccfg.fault_profile =
+        mtbf > 0 ? sim::FaultProfile::from_mtbf_steps(
+                       static_cast<double>(mtbf), /*chips=*/1)
+                 : sim::FaultProfile::stress();
+  }
+  check_unused(args);
+
+  const std::vector<serve::Request> stream = build_serve_stream(s);
+
+  out << "serve-cluster: " << serve_stream_banner(s, stream.size()) << " x "
+      << ccfg.replicas << " replicas ("
+      << serve::load_balance_policy_name(ccfg.policy) << "), batch "
+      << ccfg.replica.max_batch << ", kv " << kv_mb << " MiB/replica\n";
+
+  graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ClusterRouter router(rt, ccfg);
+  out << router.run(stream).to_report();
+  graph::save_memo_to_env_file();
   return 0;
 }
 
@@ -613,6 +754,7 @@ int cmd_batch(const std::string& config_path, ArgParser& args,
     csv << r.csv;
     out << "csv written to " << csv_path << "\n";
   }
+  graph::save_memo_to_env_file();
   return 0;
 }
 
@@ -705,6 +847,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out) {
     if (command == "train") return cmd_train(parser, out);
     if (command == "train-resilient") return cmd_train_resilient(parser, out);
     if (command == "serve") return cmd_serve(parser, out);
+    if (command == "serve-cluster") return cmd_serve_cluster(parser, out);
     out << "unknown command: " << command << "\n\n" << kUsage;
     return 1;
   } catch (const sim::Error& e) {

@@ -51,6 +51,23 @@ class TimingMemo {
   [[nodiscard]] bool find_time(const std::string& key, sim::SimTime* out);
   void insert_time(const std::string& key, sim::SimTime t);
 
+  /// Cross-process persistence. --------------------------------------------
+  /// The makespan entries are pure functions of their fingerprint keys, so
+  /// they survive the process: a sweep can deposit its cost tables on disk
+  /// and the next process warm-starts instead of re-simulating the first
+  /// cell.  Only `times_` persists — full ProfileResults are cheap to
+  /// rebuild and expensive to serialize.
+  ///
+  /// `save_times` writes a sorted, checksummed text file atomically
+  /// (tmp + rename); returns the number of entries written.
+  std::size_t save_times(const std::string& path) const;
+  /// Loads `path` and merges its entries (existing keys win).  Rejects
+  /// damage with the checkpoint error hierarchy: CheckpointVersionSkew for
+  /// a foreign magic/version, CheckpointTruncated for a file that ends
+  /// early, CheckpointChecksumMismatch for bit rot, CheckpointError for
+  /// garbled entries.  Returns the number of entries merged.
+  std::size_t load_times(const std::string& path);
+
   /// Lookup counters, over both entry kinds.  A hit proves the O(1) path
   /// was taken; tests and bench_serving assert on the deltas.
   [[nodiscard]] std::uint64_t hits() const;
@@ -70,6 +87,16 @@ class TimingMemo {
 
 /// True when GAUDI_TIMING_ONLY requests the fast path for timing-mode runs.
 [[nodiscard]] bool timing_only_from_env();
+
+/// The GAUDI_MEMO_FILE path, or empty when unset.  When set, the global
+/// memo auto-loads the file on first access (a damaged file warns once on
+/// stderr and starts empty — persistence is an accelerator, never a gate),
+/// and the CLI / bench sweeps save back on exit.
+[[nodiscard]] std::string memo_file_from_env();
+
+/// Saves the global memo's makespan entries to GAUDI_MEMO_FILE if set.
+/// Returns the number of entries written (0 when unset or empty).
+std::size_t save_memo_to_env_file();
 
 /// Resolves RunOptions::timing_only: an explicit setting wins; unset defers
 /// to GAUDI_TIMING_ONLY, which only ever applies to runs already in timing

@@ -1,0 +1,694 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/error.hpp"
+#include "sim/rng.hpp"
+
+namespace gaudi::serve {
+
+namespace {
+
+/// Side ids of hedged duplicates live above this base so they can never
+/// collide with stream request ids (validated at run()).
+constexpr std::int64_t kHedgeIdBase = std::int64_t{1} << 40;
+
+std::string pct(double v) {
+  if (!std::isfinite(v)) return "n/a";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f%%", v * 100.0);
+  return buf;
+}
+
+}  // namespace
+
+const char* load_balance_policy_name(LoadBalancePolicy p) {
+  switch (p) {
+    case LoadBalancePolicy::kRoundRobin: return "round-robin";
+    case LoadBalancePolicy::kJoinShortestQueue: return "jsq";
+    case LoadBalancePolicy::kLeastKvLoad: return "least-kv";
+  }
+  return "unknown";
+}
+
+LoadBalancePolicy parse_load_balance_policy(const std::string& name) {
+  if (name == "round-robin") return LoadBalancePolicy::kRoundRobin;
+  if (name == "jsq") return LoadBalancePolicy::kJoinShortestQueue;
+  if (name == "least-kv") return LoadBalancePolicy::kLeastKvLoad;
+  throw sim::InvalidArgument("unknown load-balance policy '" + name +
+                             "' (expected round-robin | jsq | least-kv)");
+}
+
+ClusterRouter::ClusterRouter(const graph::Runtime& rt, ClusterConfig cfg)
+    : rt_(rt), cfg_(std::move(cfg)) {
+  GAUDI_CHECK(cfg_.replicas >= 1, "a cluster needs at least one replica");
+  GAUDI_CHECK(!cfg_.replica.faults.enabled(),
+              "cluster replicas draw fault streams from "
+              "ClusterConfig::fault_profile, not ServeConfig::faults");
+  GAUDI_CHECK(cfg_.suspicion_timeout > sim::SimTime::zero(),
+              "suspicion_timeout must be positive");
+  GAUDI_CHECK(cfg_.heartbeat_interval >= sim::SimTime::zero(),
+              "heartbeat_interval must be >= 0");
+  GAUDI_CHECK(cfg_.hedge_budget >= sim::SimTime::zero(),
+              "hedge_budget must be >= 0");
+  if (cfg_.breaker_enabled) {
+    GAUDI_CHECK(cfg_.breaker_window >= 1, "breaker_window must be >= 1");
+    GAUDI_CHECK(cfg_.breaker_min_samples >= 1 &&
+                    cfg_.breaker_min_samples <= cfg_.breaker_window,
+                "breaker_min_samples must be in [1, breaker_window]");
+    GAUDI_CHECK(cfg_.breaker_threshold > 0.0 && cfg_.breaker_threshold <= 1.0,
+                "breaker_threshold must be in (0, 1]");
+    GAUDI_CHECK(cfg_.breaker_cooldown > sim::SimTime::zero(),
+                "breaker_cooldown must be positive");
+  }
+  const bool faults_on = cfg_.fault_profile.any_rate_positive();
+  replicas_.resize(static_cast<std::size_t>(cfg_.replicas));
+  for (std::int64_t r = 0; r < cfg_.replicas; ++r) {
+    ServeConfig rcfg = cfg_.replica;
+    if (faults_on) {
+      // One cluster seed, N decorrelated per-replica streams: splitmix64
+      // spreads neighbouring replica indices across the counter-RNG space.
+      rcfg.faults = sim::FaultInjector{
+          sim::splitmix64(cfg_.fault_seed + static_cast<std::uint64_t>(r) + 1),
+          cfg_.fault_profile};
+    }
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    rep.sched = std::make_unique<ContinuousBatchScheduler>(rt_, rcfg);
+    rep.sched->bind_cluster();
+  }
+}
+
+sim::SimTime ClusterRouter::heartbeat_ceil(sim::SimTime t) const {
+  const std::int64_t hb = cfg_.heartbeat_interval.ps();
+  if (hb <= 0) return t;
+  const std::int64_t ticks = (t.ps() + hb - 1) / hb;
+  return sim::SimTime::from_ps(ticks * hb);
+}
+
+bool ClusterRouter::breaker_allows(Replica& rep, sim::SimTime now) const {
+  if (!cfg_.breaker_enabled) return true;
+  if (rep.breaker == BreakerState::kOpen && now >= rep.open_until) {
+    // Cooldown expired: half-open, awaiting a single probe.
+    rep.breaker = BreakerState::kHalfOpen;
+    rep.probe_live = false;
+    rep.probe_id = -1;
+  }
+  switch (rep.breaker) {
+    case BreakerState::kClosed: return true;
+    case BreakerState::kOpen: return false;
+    case BreakerState::kHalfOpen: return !rep.probe_live;
+  }
+  return true;
+}
+
+void ClusterRouter::breaker_record(std::int64_t r, bool ok, sim::SimTime now) {
+  if (!cfg_.breaker_enabled) return;
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  const auto open_now = [&] {
+    rep.breaker = BreakerState::kOpen;
+    rep.open_until = now + cfg_.breaker_cooldown;
+    rep.outcomes.clear();
+    rep.probe_live = false;
+    rep.probe_id = -1;
+    rep.stats.breaker_opens += 1;
+    ++breaker_opens_;
+  };
+  switch (rep.breaker) {
+    case BreakerState::kClosed: {
+      rep.outcomes.push_back(ok);
+      while (static_cast<std::int64_t>(rep.outcomes.size()) >
+             cfg_.breaker_window) {
+        rep.outcomes.pop_front();
+      }
+      if (ok) return;
+      const auto samples = static_cast<std::int64_t>(rep.outcomes.size());
+      if (samples < cfg_.breaker_min_samples) return;
+      std::int64_t failures = 0;
+      for (const bool o : rep.outcomes) failures += o ? 0 : 1;
+      if (static_cast<double>(failures) >=
+          cfg_.breaker_threshold * static_cast<double>(samples)) {
+        open_now();
+      }
+      return;
+    }
+    case BreakerState::kHalfOpen: {
+      // The probe's fate decides; a failure from any lingering pre-open
+      // request is equally disqualifying.
+      if (!ok) {
+        open_now();
+      } else if (rep.probe_live) {
+        rep.breaker = BreakerState::kClosed;
+        rep.outcomes.clear();
+        rep.probe_live = false;
+        rep.probe_id = -1;
+      }
+      return;
+    }
+    case BreakerState::kOpen:
+      return;  // outcomes of pre-open residue carry no new information
+  }
+}
+
+std::int64_t ClusterRouter::pick_replica(sim::SimTime now,
+                                         std::int64_t exclude) {
+  const std::int64_t n = cfg_.replicas;
+  const auto eligible = [&](std::int64_t idx) {
+    Replica& rep = replicas_[static_cast<std::size_t>(idx)];
+    // An undetected-dead replica is still believed up: dispatches to it
+    // strand until the suspicion timeout — the cost of slow detection.
+    return idx != exclude && !rep.suspected && breaker_allows(rep, now);
+  };
+  switch (cfg_.policy) {
+    case LoadBalancePolicy::kRoundRobin: {
+      for (std::int64_t k = 0; k < n; ++k) {
+        const std::int64_t idx = (rr_cursor_ + k) % n;
+        if (!eligible(idx)) continue;
+        rr_cursor_ = idx + 1;
+        return idx;
+      }
+      return -1;
+    }
+    case LoadBalancePolicy::kJoinShortestQueue: {
+      std::int64_t best = -1;
+      std::int64_t best_load = 0;
+      for (std::int64_t idx = 0; idx < n; ++idx) {
+        if (!eligible(idx)) continue;
+        const Replica& rep = replicas_[static_cast<std::size_t>(idx)];
+        const std::int64_t load =
+            rep.sched->load() +
+            static_cast<std::int64_t>(rep.stranded.size());
+        if (best < 0 || load < best_load) {
+          best = idx;
+          best_load = load;
+        }
+      }
+      return best;
+    }
+    case LoadBalancePolicy::kLeastKvLoad: {
+      std::int64_t best = -1;
+      std::int64_t best_free = -1;
+      for (std::int64_t idx = 0; idx < n; ++idx) {
+        if (!eligible(idx)) continue;
+        const std::int64_t free =
+            replicas_[static_cast<std::size_t>(idx)].sched->free_kv_blocks();
+        if (free > best_free) {
+          best = idx;
+          best_free = free;
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+void ClusterRouter::place(const Routed& routed, std::int64_t r,
+                          sim::SimTime now) {
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  const std::int64_t sid = routed.req.id;
+  const std::int64_t orig = sid >= kHedgeIdBase ? sid - kHedgeIdBase : sid;
+  Track& t = tracks_.at(orig);
+  t.sides[sid] = r;
+  side_to_orig_[sid] = orig;
+  rep.stats.dispatched += 1;
+  if (cfg_.breaker_enabled && rep.breaker == BreakerState::kHalfOpen &&
+      !rep.probe_live) {
+    rep.probe_live = true;
+    rep.probe_id = orig;
+  }
+  if (!rep.up) {
+    // The chip is dead and the router does not know yet: the request is
+    // lost on the wire until the suspicion timeout fails it over.
+    rep.stranded.push_back(routed);
+  } else if (routed.generated >= 1) {
+    rep.sched->enqueue_resume(routed.req, routed.generated, routed.last_token,
+                              now);
+  } else {
+    rep.sched->enqueue(routed.req);
+  }
+  if (sid == orig) {
+    t.dispatch_time = now;
+    if (cfg_.hedge_budget > sim::SimTime::zero() && !t.hedged && !t.started &&
+        routed.generated == 0) {
+      hedges_.push_back({now + cfg_.hedge_budget, orig, now});
+    }
+  }
+}
+
+ClusterRouter::Track* ClusterRouter::drop_side(std::int64_t sid,
+                                               std::int64_t* orig_out) {
+  const auto sit = side_to_orig_.find(sid);
+  if (sit == side_to_orig_.end()) return nullptr;
+  const std::int64_t orig = sit->second;
+  side_to_orig_.erase(sit);
+  Track& t = tracks_.at(orig);
+  t.sides.erase(sid);
+  *orig_out = orig;
+  return &t;
+}
+
+void ClusterRouter::cancel_side(std::int64_t sid, std::int64_t r) {
+  std::int64_t orig = 0;
+  if (drop_side(sid, &orig) == nullptr) return;
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  std::int64_t rows = rep.sched->cancel(sid);
+  if (rows < 0) {
+    // Not in the machine: the side strands on a dead replica's wire.
+    rows = 0;
+    rep.stranded.erase(
+        std::remove_if(rep.stranded.begin(), rep.stranded.end(),
+                       [&](const Routed& q) { return q.req.id == sid; }),
+        rep.stranded.end());
+  }
+  if (rows > 0) {
+    sink_.on_wasted(rows);
+    hedge_wasted_ += rows;
+  }
+  // A cancelled probe proves nothing about the replica: allow a new probe.
+  if (cfg_.breaker_enabled && rep.breaker == BreakerState::kHalfOpen &&
+      rep.probe_live && rep.probe_id == orig) {
+    rep.probe_live = false;
+    rep.probe_id = -1;
+  }
+}
+
+void ClusterRouter::finish_track(std::int64_t orig) {
+  const auto it = tracks_.find(orig);
+  GAUDI_ASSERT(it != tracks_.end(), "finishing an unknown request");
+  for (const auto& [sid, r] : it->second.sides) {
+    (void)r;
+    side_to_orig_.erase(sid);
+  }
+  tracks_.erase(it);
+  // A probe that ends in a non-breaker outcome (shed, rejected, dropped)
+  // proves nothing: free the half-open slot or the replica wedges shut.
+  for (Replica& rep : replicas_) {
+    if (rep.breaker == BreakerState::kHalfOpen && rep.probe_live &&
+        rep.probe_id == orig) {
+      rep.probe_live = false;
+      rep.probe_id = -1;
+    }
+  }
+}
+
+void ClusterRouter::process_death(std::int64_t r, sim::SimTime now) {
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  rep.up = false;
+  rep.death_pending = true;
+  rep.dead_work = rep.sched->drain_all();
+  rep.rejoin_time = now + cfg_.replica.chip_restart;
+  // Detection: suspicion timeout, or the restarted chip's first heartbeat
+  // announcing a new incarnation — whichever heartbeat tick comes first.
+  rep.detect_time = heartbeat_ceil(
+      now + std::min(cfg_.suspicion_timeout, cfg_.replica.chip_restart));
+  ++chip_failures_;
+  rep.stats.chip_failures += 1;
+  rep.stats.down_time += cfg_.replica.chip_restart;
+}
+
+void ClusterRouter::process_detection(std::int64_t r, sim::SimTime now) {
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  rep.death_pending = false;
+  if (!rep.up) rep.suspected = true;
+
+  std::vector<std::pair<Routed, std::int64_t>> lost;  // (side, wasted rows)
+  lost.reserve(rep.dead_work.size() + rep.stranded.size());
+  for (const ContinuousBatchScheduler::DrainedRequest& d : rep.dead_work) {
+    lost.push_back({Routed{d.req, d.generated, d.last_token}, d.lost_rows});
+  }
+  for (const Routed& q : rep.stranded) lost.push_back({q, 0});
+  rep.dead_work.clear();
+  rep.stranded.clear();
+
+  for (const auto& [side, wasted] : lost) {
+    std::int64_t orig = 0;
+    Track* t = drop_side(side.req.id, &orig);
+    if (t == nullptr) continue;  // cancelled before the chip died
+    breaker_record(r, false, now);
+    rep.stats.failed_over += 1;
+    const bool is_loser = t->started && side.req.id != t->winner;
+    if (is_loser || !t->sides.empty()) {
+      // A twin survives on another replica (a cancelled-too-late hedge
+      // loser, or an unstarted hedge pair losing one side): the surviving
+      // side carries the request, only the computed rows are lost.
+      if (wasted > 0) {
+        sink_.on_wasted(wasted);
+        hedge_wasted_ += wasted;
+      }
+      continue;
+    }
+    // Last live side lost: fail over with a full re-prefill, consuming one
+    // unit of the retry budget — or end kFailed when it is spent.
+    t->attempts += 1;
+    if (t->attempts > cfg_.replica.retry_max) {
+      sink_.on_fail(orig, now, wasted);
+      finish_track(orig);
+      continue;
+    }
+    sink_.on_fault_retry(orig, wasted);
+    // The re-dispatched side (id = orig) carries the request from here on:
+    // its token events must count, and a later chip loss must read it as
+    // the last live side — not as a dead hedge winner's leftover twin.
+    if (t->started) t->winner = orig;
+    ++failovers_;
+    Routed resume;
+    resume.req = t->req;
+    resume.generated = side.generated;
+    resume.last_token = side.last_token;
+    queue_.push_back(
+        {resume, now + retry_backoff_delay(cfg_.replica.retry_backoff,
+                                           cfg_.replica.retry_backoff_max,
+                                           t->attempts)});
+  }
+}
+
+void ClusterRouter::apply_events(std::int64_t r,
+                                 const std::vector<ReplicaEvent>& events) {
+  Replica& rep = replicas_[static_cast<std::size_t>(r)];
+  for (const ReplicaEvent& e : events) {
+    const auto sit = side_to_orig_.find(e.id);
+    if (sit == side_to_orig_.end()) continue;  // stale side (cancelled)
+    const std::int64_t orig = sit->second;
+    Track& t = tracks_.at(orig);
+    switch (e.kind) {
+      case ReplicaEventKind::kFirstToken: {
+        if (t.started) {
+          // Photo finish: the twin won at this same instant and was
+          // processed first (replica-index order); this side loses.
+          cancel_side(e.id, r);
+          break;
+        }
+        t.started = true;
+        t.winner = e.id;
+        sink_.on_first_token(orig, e.at);
+        if (e.id != orig) ++hedge_wins_;
+        std::vector<std::pair<std::int64_t, std::int64_t>> losers;
+        for (const auto& [sid, sr] : t.sides) {
+          if (sid != e.id) losers.push_back({sid, sr});
+        }
+        for (const auto& [sid, sr] : losers) cancel_side(sid, sr);
+        break;
+      }
+      case ReplicaEventKind::kToken:
+        if (t.winner == e.id) {
+          sink_.on_token(orig, sim::SimTime::from_ps(e.aux));
+        }
+        break;
+      case ReplicaEventKind::kComplete: {
+        sink_.on_complete(orig, e.at);
+        rep.stats.completed += 1;
+        if (cfg_.breaker_enabled && rep.breaker == BreakerState::kHalfOpen &&
+            rep.probe_live && rep.probe_id != orig) {
+          // Pre-open residue completing is healthy but not the probe.
+          finish_track(orig);
+          break;
+        }
+        breaker_record(r, true, e.at);
+        finish_track(orig);
+        break;
+      }
+      case ReplicaEventKind::kPreempt:
+        sink_.on_preempt(orig, e.aux);
+        break;
+      case ReplicaEventKind::kTimeout:
+      case ReplicaEventKind::kDrop:
+      case ReplicaEventKind::kShed:
+      case ReplicaEventKind::kReject: {
+        std::int64_t dropped_orig = 0;
+        Track* dt = drop_side(e.id, &dropped_orig);
+        GAUDI_ASSERT(dt != nullptr, "terminal event for an unmapped side");
+        if (e.kind == ReplicaEventKind::kTimeout) {
+          breaker_record(r, false, e.at);
+        }
+        if (!dt->sides.empty()) break;  // the twin carries the request on
+        switch (e.kind) {
+          case ReplicaEventKind::kTimeout:
+            sink_.on_timeout(dropped_orig, e.at);
+            break;
+          case ReplicaEventKind::kDrop:
+            sink_.on_drop(dropped_orig, e.at);
+            ++deadline_drops_;
+            break;
+          case ReplicaEventKind::kShed:
+            sink_.on_shed(dropped_orig, e.at);
+            break;
+          default:
+            sink_.on_reject(dropped_orig, e.at);
+            break;
+        }
+        finish_track(dropped_orig);
+        break;
+      }
+    }
+  }
+}
+
+void ClusterRouter::process_hedges(sim::SimTime now) {
+  std::vector<HedgeTimer> due;
+  for (auto it = hedges_.begin(); it != hedges_.end();) {
+    if (it->fire <= now) {
+      due.push_back(*it);
+      it = hedges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::stable_sort(due.begin(), due.end(),
+                   [](const HedgeTimer& a, const HedgeTimer& b) {
+                     return a.fire != b.fire ? a.fire < b.fire
+                                             : a.orig < b.orig;
+                   });
+  for (const HedgeTimer& timer : due) {
+    const auto tit = tracks_.find(timer.orig);
+    if (tit == tracks_.end()) continue;
+    Track& t = tit->second;
+    if (t.started || t.hedged) continue;
+    if (t.dispatch_time != timer.armed_at) continue;  // re-armed since
+    if (t.sides.size() != 1) continue;  // back in the router queue
+    const std::int64_t primary = t.sides.begin()->second;
+    t.hedged = true;  // one duplicate per request, launched or not
+    const std::int64_t r = pick_replica(now, primary);
+    if (r < 0) continue;  // no second replica admits work right now
+    Routed copy;
+    copy.req = t.req;
+    copy.req.id = t.req.id + kHedgeIdBase;
+    ++hedges_launched_;
+    place(copy, r, now);
+  }
+}
+
+void ClusterRouter::dispatch_round(sim::SimTime now) {
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->eligible_at > now) {
+      ++it;
+      continue;
+    }
+    const std::int64_t r = pick_replica(now, -1);
+    if (r < 0) break;  // nothing admits dispatches; retry at the next event
+    place(it->routed, r, now);
+    it = queue_.erase(it);
+  }
+}
+
+ClusterReport ClusterRouter::run(const std::vector<Request>& stream) {
+  GAUDI_CHECK(!ran_,
+              "ClusterRouter::run is one-shot; construct a fresh router per "
+              "stream");
+  ran_ = true;
+
+  std::vector<Request> pending(stream);
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                   : a.id < b.id;
+                   });
+  for (const Request& q : pending) {
+    GAUDI_CHECK(q.id >= 0 && q.id < kHedgeIdBase,
+                "request ids must stay below the hedge id base");
+    sink_.on_offered(q);
+  }
+
+  const std::int64_t n = cfg_.replicas;
+  std::size_t arr = 0;
+  sim::SimTime now = sim::SimTime::zero();
+
+  while (true) {
+    // Everything actionable at `now`, in a fixed order: rejoins, then
+    // detections, then arrivals, then iteration completions (by replica
+    // index), then hedge deadlines, then dispatch, then new iterations.
+    for (std::int64_t r = 0; r < n; ++r) {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (!rep.up && rep.rejoin_time <= now) {
+        // Warm spare rejoins: empty KV pool, heartbeats resume.
+        rep.up = true;
+        rep.suspected = false;
+      }
+    }
+    for (std::int64_t r = 0; r < n; ++r) {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (rep.death_pending && rep.detect_time <= now) {
+        process_detection(r, now);
+      }
+    }
+    while (arr < pending.size() && pending[arr].arrival <= now) {
+      const Request& q = pending[arr];
+      Track t;
+      t.req = q;
+      tracks_.emplace(q.id, t);
+      queue_.push_back({Routed{q, 0, sim::SimTime::zero()}, q.arrival});
+      ++arr;
+    }
+    for (std::int64_t r = 0; r < n; ++r) {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (!rep.busy || rep.busy_until > now) continue;
+      rep.busy = false;
+      const ContinuousBatchScheduler::StepResult result =
+          std::move(rep.pending);
+      rep.pending = {};
+      apply_events(r, result.events);
+      if (result.chip_failed) process_death(r, result.end);
+    }
+    process_hedges(now);
+    dispatch_round(now);
+    bool replay = false;
+    for (std::int64_t r = 0; r < n; ++r) {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (!rep.up || rep.busy || !rep.sched->has_work()) continue;
+      ContinuousBatchScheduler::StepResult sr = rep.sched->step(now);
+      if (!sr.worked) {
+        // Only backed-off work was queued, but admission may still have
+        // shed or deadline-dropped at `now` — apply those outcomes and
+        // replay the at-now phases, since a freed probe slot or finished
+        // track can unblock the dispatch round that already ran.
+        if (!sr.events.empty()) {
+          apply_events(r, sr.events);
+          replay = true;
+        }
+        continue;
+      }
+      rep.busy = true;
+      rep.busy_until = sr.end;
+      rep.pending = std::move(sr);
+    }
+    if (replay) continue;
+
+    if (arr >= pending.size() && tracks_.empty()) break;
+
+    // --- Next event horizon. ---
+    bool have = false;
+    sim::SimTime next{};
+    const auto consider = [&](sim::SimTime t) {
+      if (t <= now) return;
+      if (!have || t < next) {
+        next = t;
+        have = true;
+      }
+    };
+    if (arr < pending.size()) consider(pending[arr].arrival);
+    for (std::int64_t r = 0; r < n; ++r) {
+      Replica& rep = replicas_[static_cast<std::size_t>(r)];
+      if (rep.busy) consider(rep.busy_until);
+      if (rep.death_pending) consider(rep.detect_time);
+      if (!rep.up) consider(rep.rejoin_time);
+      if (cfg_.breaker_enabled && rep.breaker == BreakerState::kOpen) {
+        consider(rep.open_until);
+      }
+      if (rep.up && !rep.busy && rep.sched->has_work()) {
+        if (const std::optional<sim::SimTime> wake = rep.sched->next_wake()) {
+          consider(*wake);
+        }
+      }
+    }
+    for (const QueueEntry& q : queue_) consider(q.eligible_at);
+    for (const HedgeTimer& h : hedges_) consider(h.fire);
+    if (!have) {
+      std::ostringstream dump;
+      dump << "cluster stalled with " << tracks_.size()
+           << " unresolved requests and no future event";
+      dump << "; queue=" << queue_.size() << " now=" << now.ps();
+      for (std::size_t r = 0; r < replicas_.size(); ++r) {
+        const Replica& rep = replicas_[r];
+        dump << " [r" << r << " up=" << rep.up << " susp=" << rep.suspected
+             << " busy=" << rep.busy << " dp=" << rep.death_pending
+             << " brk=" << static_cast<int>(rep.breaker)
+             << " probe=" << rep.probe_live
+             << " load=" << rep.sched->load()
+             << " work=" << rep.sched->has_work()
+             << " stranded=" << rep.stranded.size() << "]";
+      }
+      for (const auto& [orig, t] : tracks_) {
+        dump << " {track " << orig << " attempts=" << t.attempts
+             << " started=" << t.started << " hedged=" << t.hedged
+             << " winner=" << t.winner << " sides=";
+        for (const auto& [sid, sr] : t.sides) dump << sid << "@r" << sr << ",";
+        dump << "}";
+      }
+      throw sim::InternalError(dump.str());
+    }
+    GAUDI_ASSERT(next > now, "cluster failed to advance time");
+    now = next;
+  }
+
+  GAUDI_ASSERT(tracks_.empty() && side_to_orig_.empty(),
+               "every offered request must end in exactly one typed outcome");
+
+  ClusterReport report;
+  report.summary = sink_.summary(now);
+  report.requests = sink_.requests();
+  report.replicas = n;
+  report.policy = cfg_.policy;
+  report.faults_enabled = cfg_.fault_profile.any_rate_positive();
+  report.hedging_enabled = cfg_.hedge_budget > sim::SimTime::zero();
+  report.chip_failures = chip_failures_;
+  report.failovers = failovers_;
+  report.hedges_launched = hedges_launched_;
+  report.hedge_wins = hedge_wins_;
+  report.hedge_wasted_tokens = hedge_wasted_;
+  report.breaker_opens = breaker_opens_;
+  report.deadline_drops = deadline_drops_;
+  report.per_replica.reserve(replicas_.size());
+  for (Replica& rep : replicas_) {
+    rep.stats.iterations = rep.sched->iterations();
+    report.per_replica.push_back(rep.stats);
+  }
+  return report;
+}
+
+std::string ClusterReport::to_report() const {
+  std::ostringstream os;
+  os << summary.to_report();
+  os << "cluster:  " << replicas << " replicas ("
+     << load_balance_policy_name(policy) << "), " << failovers
+     << " failovers, " << breaker_opens << " breaker opens\n";
+  if (hedging_enabled) {
+    const double win_rate =
+        hedges_launched > 0 ? static_cast<double>(hedge_wins) /
+                                  static_cast<double>(hedges_launched)
+                            : std::nan("");
+    os << "hedges:   " << hedges_launched << " launched, " << hedge_wins
+       << " won (" << pct(win_rate) << "), " << hedge_wasted_tokens
+       << " rows wasted by losers\n";
+  }
+  if (faults_enabled) {
+    // Rendered only when the injector is enabled so a disabled injector
+    // stays byte-identical to a fault-free configuration.
+    os << "faults:   " << chip_failures << " chip failures across the fleet\n";
+  }
+  for (std::size_t r = 0; r < per_replica.size(); ++r) {
+    const ReplicaStats& s = per_replica[r];
+    const double avail =
+        s.dispatched > 0 ? static_cast<double>(s.completed) /
+                               static_cast<double>(s.dispatched)
+                         : std::nan("");
+    os << "replica " << r << ": " << s.dispatched << " dispatched, "
+       << s.completed << " completed, " << s.chip_failures
+       << " chip failures, " << s.failed_over
+       << " failed over, availability " << pct(avail) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace gaudi::serve

@@ -145,6 +145,8 @@ void MetricsSink::on_fail(std::int64_t id, sim::SimTime now,
   wasted_tokens_ += wasted_rows;
 }
 
+void MetricsSink::on_wasted(std::int64_t rows) { wasted_tokens_ += rows; }
+
 ServeSummary MetricsSink::summary(sim::SimTime makespan) const {
   ServeSummary s;
   s.offered = static_cast<std::int64_t>(records_.size());

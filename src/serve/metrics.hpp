@@ -97,6 +97,10 @@ class MetricsSink {
   /// A chip failure invalidated `wasted_rows` and the retry budget is spent:
   /// the request ends kFailed.
   void on_fail(std::int64_t id, sim::SimTime now, std::int64_t wasted_rows);
+  /// Computed KV rows thrown away without a retry or terminal failure — a
+  /// cancelled hedge loser, or a dead hedge sibling whose twin carries on
+  /// (cluster mode).  Aggregate-only: no per-request record changes.
+  void on_wasted(std::int64_t rows);
 
   [[nodiscard]] ServeSummary summary(sim::SimTime makespan) const;
   /// Per-request records sorted by id (terminal states only).

@@ -49,6 +49,14 @@ PagedKvConfig kv_config(const ServeConfig& cfg) {
 
 }  // namespace
 
+sim::SimTime retry_backoff_delay(sim::SimTime base, sim::SimTime cap,
+                                 std::int32_t attempt) {
+  GAUDI_ASSERT(attempt >= 1, "backoff attempts count from 1");
+  const std::int64_t factor =
+      std::int64_t{1} << std::min<std::int32_t>(attempt - 1, 20);
+  return std::min(base * factor, cap);
+}
+
 ContinuousBatchScheduler::ContinuousBatchScheduler(const graph::Runtime& rt,
                                                    ServeConfig cfg)
     : rt_(rt),
@@ -56,6 +64,7 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const graph::Runtime& rt,
       timing_only_(cfg_.timing_only.has_value()
                        ? *cfg_.timing_only
                        : graph::timing_only_from_env()),
+      validate_(sim::env_flag("GAUDI_VALIDATE", false)),
       steps_(rt_, decode_model(cfg_), cfg_.compile, cfg_.param_seed,
              cfg_.step_cache_entries),
       hbm_(rt_.config().memory),
@@ -68,8 +77,32 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(const graph::Runtime& rt,
                   cfg_.chip_restart >= sim::SimTime::zero() &&
                   cfg_.watchdog >= sim::SimTime::zero(),
               "fault-tolerance timings must be >= 0");
+  GAUDI_CHECK(cfg_.retry_backoff_max > sim::SimTime::zero(),
+              "retry_backoff_max must be positive");
   GAUDI_CHECK(cfg_.shed_queue_depth >= 0 && cfg_.shed_min_free_blocks >= 0,
               "overload-shedding thresholds must be >= 0");
+}
+
+void ContinuousBatchScheduler::emit(ReplicaEventKind kind, std::int64_t id,
+                                    sim::SimTime at, std::int64_t aux) {
+  if (cluster_) {
+    GAUDI_ASSERT(events_ != nullptr,
+                 "cluster-mode event outside a driven step");
+    events_->push_back({kind, id, at, aux});
+    return;
+  }
+  switch (kind) {
+    case ReplicaEventKind::kFirstToken: sink_.on_first_token(id, at); break;
+    case ReplicaEventKind::kToken:
+      sink_.on_token(id, sim::SimTime::from_ps(aux));
+      break;
+    case ReplicaEventKind::kComplete: sink_.on_complete(id, at); break;
+    case ReplicaEventKind::kReject: sink_.on_reject(id, at); break;
+    case ReplicaEventKind::kDrop: sink_.on_drop(id, at); break;
+    case ReplicaEventKind::kShed: sink_.on_shed(id, at); break;
+    case ReplicaEventKind::kTimeout: sink_.on_timeout(id, at); break;
+    case ReplicaEventKind::kPreempt: sink_.on_preempt(id, aux); break;
+  }
 }
 
 std::int64_t ContinuousBatchScheduler::ctx_to_bucket(std::int64_t ctx) const {
@@ -155,7 +188,8 @@ sim::SimTime ContinuousBatchScheduler::prefill_chunk_cost(std::int64_t chunk) {
 void ContinuousBatchScheduler::preempt(std::size_t victim_index) {
   Active a = running_[victim_index];
   kv_.release(a.req.id);
-  sink_.on_preempt(a.req.id, a.prefilled);
+  emit(ReplicaEventKind::kPreempt, a.req.id, sim::SimTime::zero(),
+       a.prefilled);
   a.prefilled = 0;
   a.prefill_needed = 0;  // recomputed at re-admission
   requeued_.push_back(a);
@@ -197,7 +231,7 @@ void ContinuousBatchScheduler::admit(sim::SimTime now) {
   for (auto it = requeued_.begin(); it != requeued_.end();) {
     if (it->req.deadline > sim::SimTime::zero() &&
         now > it->req.arrival + it->req.deadline) {
-      sink_.on_drop(it->req.id, now);
+      emit(ReplicaEventKind::kDrop, it->req.id, now);
       ++deadline_drops_;
       it = requeued_.erase(it);
     } else {
@@ -232,7 +266,7 @@ void ContinuousBatchScheduler::admit(sim::SimTime now) {
         (max_rows + cfg_.block_tokens - 1) / cfg_.block_tokens <=
             kv_.total_blocks();
     if (!valid) {
-      sink_.on_reject(r.id, now);
+      emit(ReplicaEventKind::kReject, r.id, now);
       waiting_.pop_front();
       continue;
     }
@@ -240,7 +274,7 @@ void ContinuousBatchScheduler::admit(sim::SimTime now) {
     // contribute goodput: drop it at admission instead of spending KV
     // blocks and iterations on work the front-end already abandoned.
     if (r.deadline > sim::SimTime::zero() && now > r.arrival + r.deadline) {
-      sink_.on_drop(r.id, now);
+      emit(ReplicaEventKind::kDrop, r.id, now);
       ++deadline_drops_;
       waiting_.pop_front();
       continue;
@@ -273,7 +307,7 @@ void ContinuousBatchScheduler::shed_overload(sim::SimTime now) {
                                         : c.id > v.id);
       if (worse) victim = i;
     }
-    sink_.on_shed(waiting_[victim].id, now);
+    emit(ReplicaEventKind::kShed, waiting_[victim].id, now);
     waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(victim));
   };
   if (cfg_.shed_queue_depth > 0) {
@@ -290,11 +324,13 @@ void ContinuousBatchScheduler::shed_overload(sim::SimTime now) {
 }
 
 void ContinuousBatchScheduler::on_chip_failure(sim::SimTime now) {
+  GAUDI_ASSERT(!cluster_,
+               "cluster-mode chip failures are handled by the router");
   ++chip_failures_;
   // The batch's in-flight work aborts: every running request loses its
   // paged KV blocks (the replacement chip's HBM starts cold) and either
-  // re-queues with exponential backoff or — with the retry budget spent —
-  // ends in the typed kFailed outcome.  Nothing is lost silently.
+  // re-queues with capped exponential backoff or — with the retry budget
+  // spent — ends in the typed kFailed outcome.  Nothing is lost silently.
   for (Active& a : running_) {
     kv_.release(a.req.id);
     const std::int64_t wasted = computed_rows(a);
@@ -306,9 +342,9 @@ void ContinuousBatchScheduler::on_chip_failure(sim::SimTime now) {
     sink_.on_fault_retry(a.req.id, wasted);
     a.prefilled = 0;
     a.prefill_needed = 0;  // recomputed at re-admission
-    const std::int64_t factor =
-        std::int64_t{1} << std::min<std::int32_t>(a.fault_retries - 1, 20);
-    a.eligible_at = now + cfg_.retry_backoff * factor;
+    a.eligible_at = now + retry_backoff_delay(cfg_.retry_backoff,
+                                              cfg_.retry_backoff_max,
+                                              a.fault_retries);
     requeued_.push_back(a);
   }
   running_.clear();
@@ -327,14 +363,14 @@ void ContinuousBatchScheduler::run_watchdog(sim::SimTime now) {
     const sim::SimTime since = a.generated == 0 ? a.req.arrival : a.last_token;
     if (now - since <= cfg_.watchdog) continue;
     kv_.release(a.req.id);
-    sink_.on_timeout(a.req.id, now);
+    emit(ReplicaEventKind::kTimeout, a.req.id, now);
     running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
   }
   for (auto it = requeued_.begin(); it != requeued_.end();) {
     const sim::SimTime since =
         it->generated == 0 ? it->req.arrival : it->last_token;
     if (now - since > cfg_.watchdog) {
-      sink_.on_timeout(it->req.id, now);
+      emit(ReplicaEventKind::kTimeout, it->req.id, now);
       it = requeued_.erase(it);
     } else {
       ++it;
@@ -342,60 +378,120 @@ void ContinuousBatchScheduler::run_watchdog(sim::SimTime now) {
   }
 }
 
-ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
+void ContinuousBatchScheduler::bind_cluster() {
   GAUDI_CHECK(iterations_ == 0 && running_.empty() && requeued_.empty() &&
                   waiting_.empty(),
-              "ContinuousBatchScheduler::run is one-shot; construct a fresh "
-              "scheduler per stream");
-  const bool validate = sim::env_flag("GAUDI_VALIDATE", false);
+              "bind_cluster must precede any scheduled work");
+  cluster_ = true;
+}
+
+void ContinuousBatchScheduler::enqueue(const Request& r) {
+  GAUDI_ASSERT(cluster_, "enqueue is cluster-mode only; use run()");
+  waiting_.push_back(r);
+}
+
+void ContinuousBatchScheduler::enqueue_resume(const Request& r,
+                                              std::int64_t generated,
+                                              sim::SimTime last_token,
+                                              sim::SimTime now) {
+  GAUDI_ASSERT(cluster_, "enqueue_resume is cluster-mode only");
+  GAUDI_ASSERT(generated >= 1, "resume carries at least the first token");
+  Active a;
+  a.req = r;
+  a.generated = generated;
+  a.last_token = last_token;
+  a.prefilled = 0;
+  a.prefill_needed = 0;  // recomputed (prompt + generated prefix) at admission
+  a.eligible_at = now;
+  requeued_.push_back(a);
+}
+
+bool ContinuousBatchScheduler::has_work() const {
+  return !running_.empty() || !requeued_.empty() || !waiting_.empty();
+}
+
+std::optional<sim::SimTime> ContinuousBatchScheduler::next_wake() const {
+  std::optional<sim::SimTime> wake;
+  for (const Active& a : requeued_) {
+    if (!wake || a.eligible_at < *wake) wake = a.eligible_at;
+  }
+  return wake;
+}
+
+std::vector<ContinuousBatchScheduler::DrainedRequest>
+ContinuousBatchScheduler::drain_all() {
+  std::vector<DrainedRequest> out;
+  out.reserve(running_.size() + requeued_.size() + waiting_.size());
+  for (const Active& a : running_) {
+    kv_.release(a.req.id);
+    out.push_back({a.req, a.generated, a.last_token, computed_rows(a)});
+  }
+  running_.clear();
+  // Requeued/waiting requests hold no KV here: preempted entries already
+  // surrendered theirs (and were billed), waiting ones never reserved any.
+  for (const Active& a : requeued_) {
+    out.push_back({a.req, a.generated, a.last_token, 0});
+  }
+  requeued_.clear();
+  for (const Request& r : waiting_) {
+    out.push_back({r, 0, sim::SimTime::zero(), 0});
+  }
+  waiting_.clear();
+  GAUDI_ASSERT(kv_.free_blocks() == kv_.total_blocks(),
+               "a drained replica must leave its KV pool empty");
+  return out;
+}
+
+std::int64_t ContinuousBatchScheduler::cancel(std::int64_t id) {
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    if (running_[i].req.id != id) continue;
+    const std::int64_t rows = computed_rows(running_[i]);
+    kv_.release(id);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    return rows;
+  }
+  for (auto it = requeued_.begin(); it != requeued_.end(); ++it) {
+    if (it->req.id != id) continue;
+    requeued_.erase(it);
+    return 0;
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->id != id) continue;
+    waiting_.erase(it);
+    return 0;
+  }
+  return -1;
+}
+
+std::int64_t ContinuousBatchScheduler::load() const {
+  return static_cast<std::int64_t>(running_.size() + requeued_.size() +
+                                   waiting_.size());
+}
+
+std::int64_t ContinuousBatchScheduler::free_kv_blocks() const {
+  return kv_.free_blocks();
+}
+
+ContinuousBatchScheduler::StepResult ContinuousBatchScheduler::step(
+    sim::SimTime now) {
+  StepResult out;
+  events_ = &out.events;
   const bool faults_on = cfg_.faults.enabled();
 
-  std::vector<Request> pending(stream);
-  std::stable_sort(pending.begin(), pending.end(),
-                   [](const Request& a, const Request& b) {
-                     return a.arrival != b.arrival ? a.arrival < b.arrival
-                                                   : a.id < b.id;
-                   });
-  for (const Request& r : pending) sink_.on_offered(r);
+  // --- Admission, then overload control over the leftover backlog. ---
+  admit(now);
+  shed_overload(now);
 
-  std::size_t next = 0;
-  sim::SimTime now = sim::SimTime::zero();
+  if (running_.empty()) {
+    GAUDI_ASSERT(waiting_.empty(),
+                 "waiting arrival failed to admit into an empty machine");
+    out.end = now;
+    events_ = nullptr;
+    return out;
+  }
 
-  while (true) {
-    // --- Arrivals ripen into the waiting queue. ---
-    while (next < pending.size() && pending[next].arrival <= now) {
-      waiting_.push_back(pending[next]);
-      ++next;
-    }
-
-    // --- Admission, then overload control over the leftover backlog. ---
-    admit(now);
-    shed_overload(now);
-
-    if (running_.empty()) {
-      GAUDI_ASSERT(waiting_.empty(),
-                   "waiting arrival failed to admit into an empty machine");
-      // Idle: jump to the next actionable instant — an arrival or a retry
-      // backoff window opening.
-      bool have = false;
-      sim::SimTime next_event{};
-      if (next < pending.size()) {
-        next_event = pending[next].arrival;
-        have = true;
-      }
-      for (const Active& a : requeued_) {
-        if (!have || a.eligible_at < next_event) {
-          next_event = a.eligible_at;
-          have = true;
-        }
-      }
-      if (!have) break;  // drained
-      GAUDI_ASSERT(next_event > now, "idle scheduler failed to advance time");
-      now = next_event;
-      continue;
-    }
-
-    ++iterations_;
+  out.worked = true;
+  ++iterations_;
 
     // --- KV growth for this iteration's decode appends (may preempt). ---
     // Snapshot decode-eligible ids; growth walks them in admission order so
@@ -494,7 +590,14 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
     }
     now += iter_time;
 
-    if (chip_died) {
+    if (chip_died && cluster_) {
+      // Cluster mode surfaces the death instead of recovering locally: the
+      // router bills the restart downtime, drains this replica's work
+      // (drain_all releases the KV), and fails it over to survivors.  The
+      // half-finished iteration's tokens never materialize.
+      ++chip_failures_;
+      out.chip_failed = true;
+    } else if (chip_died) {
       // The chip died mid-iteration: the step's results never materialize,
       // so no tokens emit this round — the computed KV rows are invalidated
       // and every running request retries or fails (see on_chip_failure).
@@ -508,7 +611,8 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
             [&](const Active& a) { return a.req.id == slot.id; });
         GAUDI_ASSERT(it != running_.end(), "surviving decode request vanished");
         it->generated += 1;
-        sink_.on_token(slot.id, now - it->last_token);
+        emit(ReplicaEventKind::kToken, slot.id, now,
+             (now - it->last_token).ps());
         it->last_token = now;
       }
       if (prefill_id >= 0) {
@@ -520,21 +624,73 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
           // output token with no separate decode step.
           it->generated = 1;
           it->last_token = now;
-          sink_.on_first_token(prefill_id, now);
+          emit(ReplicaEventKind::kFirstToken, prefill_id, now);
         }
       }
       for (std::size_t i = running_.size(); i-- > 0;) {
         if (!running_[i].done()) continue;
         kv_.release(running_[i].req.id);
-        sink_.on_complete(running_[i].req.id, now);
+        emit(ReplicaEventKind::kComplete, running_[i].req.id, now);
         running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
 
-    run_watchdog(now);
+    if (!out.chip_failed) run_watchdog(now);
 
     kv_peak_frag_ = std::max(kv_peak_frag_, kv_.stats().fragmented_tokens);
-    if (validate) kv_.audit();
+    if (validate_ && !out.chip_failed) kv_.audit();
+
+  out.end = now;
+  events_ = nullptr;
+  return out;
+}
+
+ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
+  GAUDI_CHECK(!cluster_,
+              "a cluster-bound scheduler is driven by its router, not run()");
+  GAUDI_CHECK(iterations_ == 0 && running_.empty() && requeued_.empty() &&
+                  waiting_.empty(),
+              "ContinuousBatchScheduler::run is one-shot; construct a fresh "
+              "scheduler per stream");
+
+  std::vector<Request> pending(stream);
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.arrival != b.arrival ? a.arrival < b.arrival
+                                                   : a.id < b.id;
+                   });
+  for (const Request& r : pending) sink_.on_offered(r);
+
+  std::size_t next = 0;
+  sim::SimTime now = sim::SimTime::zero();
+
+  while (true) {
+    // --- Arrivals ripen into the waiting queue. ---
+    while (next < pending.size() && pending[next].arrival <= now) {
+      waiting_.push_back(pending[next]);
+      ++next;
+    }
+
+    const StepResult sr = step(now);
+    if (!sr.worked) {
+      // Idle: jump to the next actionable instant — an arrival or a retry
+      // backoff window opening.
+      bool have = false;
+      sim::SimTime next_event{};
+      if (next < pending.size()) {
+        next_event = pending[next].arrival;
+        have = true;
+      }
+      if (const std::optional<sim::SimTime> wake = next_wake()) {
+        if (!have || *wake < next_event) next_event = *wake;
+        have = true;
+      }
+      if (!have) break;  // drained
+      GAUDI_ASSERT(next_event > now, "idle scheduler failed to advance time");
+      now = next_event;
+      continue;
+    }
+    now = sr.end;
   }
 
   ServeReport report;
@@ -544,7 +700,7 @@ ServeReport ContinuousBatchScheduler::run(const std::vector<Request>& stream) {
   report.decode_steps = decode_steps_;
   report.prefill_chunks = prefill_chunks_;
   report.deadline_drops = deadline_drops_;
-  report.faults_enabled = faults_on;
+  report.faults_enabled = cfg_.faults.enabled();
   report.chip_failures = chip_failures_;
   report.hbm_stalls = hbm_stalls_;
   report.tpc_stragglers = tpc_stragglers_;

@@ -92,10 +92,16 @@ struct ServeConfig {
   /// the batch runs on one simulated chip, so MTBF is per-iteration.
   sim::FaultInjector faults{};
   /// Chip-failure re-queues a request survives before kFailed (0 = the
-  /// first failure is terminal).
+  /// first failure is terminal).  In cluster mode the same budget bounds
+  /// failovers to surviving replicas (serve/cluster.*).
   std::int32_t retry_max = 3;
-  /// Re-admission delay after the first chip failure; doubles per retry.
+  /// Re-admission delay after the first chip failure; doubles per retry up
+  /// to `retry_backoff_max`.
   sim::SimTime retry_backoff = sim::SimTime::from_ms(5.0);
+  /// Ceiling on the doubled retry/hedge backoff: without it a generous
+  /// retry budget grows the delay unboundedly (2^retry_max), which turns a
+  /// flapping chip into a de-facto hang.  Must be positive.
+  sim::SimTime retry_backoff_max = sim::SimTime::from_ms(5000.0);
   /// Dead time after a chip failure before the replacement chip serves
   /// (restart + HBM re-init in the simulated fleet).
   sim::SimTime chip_restart = sim::SimTime::from_ms(50.0);
@@ -139,6 +145,36 @@ struct ServeReport {
   [[nodiscard]] std::string to_report() const;
 };
 
+/// Exponential backoff with a cap: `base * 2^(attempt-1)` clamped to `cap`.
+/// `attempt` counts from 1 (the first retry); the shift saturates before it
+/// can overflow.  Shared by the single-replica retry path and the cluster
+/// router's failover/hedge backoff.
+[[nodiscard]] sim::SimTime retry_backoff_delay(sim::SimTime base,
+                                               sim::SimTime cap,
+                                               std::int32_t attempt);
+
+/// One observable scheduler event.  In cluster mode (serve/cluster.*) the
+/// scheduler surfaces these to the router instead of driving its private
+/// MetricsSink: the router owns request identity (hedged copies map back to
+/// their original id) and fleet-level accounting.
+enum class ReplicaEventKind : std::uint8_t {
+  kFirstToken,
+  kToken,     ///< aux = inter-token gap in ps (the ITL sample)
+  kComplete,
+  kReject,
+  kDrop,
+  kShed,
+  kTimeout,
+  kPreempt,   ///< aux = prompt/output rows to recompute
+};
+
+struct ReplicaEvent {
+  ReplicaEventKind kind = ReplicaEventKind::kToken;
+  std::int64_t id = 0;
+  sim::SimTime at{};
+  std::int64_t aux = 0;
+};
+
 class ContinuousBatchScheduler {
  public:
   ContinuousBatchScheduler(const graph::Runtime& rt, ServeConfig cfg);
@@ -146,6 +182,60 @@ class ContinuousBatchScheduler {
   /// Simulates serving `stream` to completion and returns the metrics.
   /// Deterministic: same stream + config => byte-identical report.
   [[nodiscard]] ServeReport run(const std::vector<Request>& stream);
+
+  // --- Cluster-replica interface (serve/cluster.*) -------------------------
+  // A cluster-bound scheduler is driven one iteration at a time by the
+  // router: requests arrive via enqueue()/enqueue_resume(), each step()
+  // returns the observable events instead of feeding the private sink, and
+  // a chip failure is surfaced (chip_failed) rather than handled locally —
+  // the router drains the dead replica and fails the work over.
+
+  /// What one driven iteration produced.  `worked == false` means nothing
+  /// was admissible at `now` (ask next_wake() for the earliest retry
+  /// window); events still carry any admission-time drops/sheds/rejects.
+  struct StepResult {
+    bool worked = false;
+    bool chip_failed = false;  ///< cluster mode only: this replica just died
+    sim::SimTime end{};        ///< simulated instant the results landed
+    std::vector<ReplicaEvent> events;
+  };
+
+  /// A request stripped from a failed replica, with enough progress state
+  /// to resume (re-prefill prompt + generated prefix) on a survivor.
+  struct DrainedRequest {
+    Request req;
+    std::int64_t generated = 0;
+    sim::SimTime last_token{};
+    std::int64_t lost_rows = 0;  ///< computed KV rows the failure threw away
+  };
+
+  /// Switches this scheduler into cluster mode (before any work arrives).
+  void bind_cluster();
+  /// Hands a fresh request to this replica; it joins the waiting queue and
+  /// is admitted by the next step().
+  void enqueue(const Request& r);
+  /// Re-admits a failed-over request: its full context (prompt + generated
+  /// prefix) re-prefills from scratch on this replica's cold KV pool.
+  void enqueue_resume(const Request& r, std::int64_t generated,
+                      sim::SimTime last_token, sim::SimTime now);
+  /// Runs one iteration at `now` (admission, overload control, prefill +
+  /// decode, fault oracle, token emission, watchdog).
+  [[nodiscard]] StepResult step(sim::SimTime now);
+  /// Any request anywhere in the machine (running, requeued, or waiting)?
+  [[nodiscard]] bool has_work() const;
+  /// Earliest backoff window opening among requeued requests — the instant
+  /// an idle (`worked == false`) replica becomes schedulable again.
+  [[nodiscard]] std::optional<sim::SimTime> next_wake() const;
+  /// Strips every request (running first, then requeued, then waiting) and
+  /// releases their KV; the replica is left empty for its warm restart.
+  [[nodiscard]] std::vector<DrainedRequest> drain_all();
+  /// Removes one request wherever it sits (hedge loser), releasing its KV.
+  /// Returns the computed rows thrown away, or -1 if the id is not here.
+  std::int64_t cancel(std::int64_t id);
+  /// Queue pressure (running + requeued + waiting) for join-shortest-queue.
+  [[nodiscard]] std::int64_t load() const;
+  [[nodiscard]] std::int64_t free_kv_blocks() const;
+  [[nodiscard]] std::int64_t iterations() const { return iterations_; }
 
  private:
   struct Active {
@@ -195,10 +285,17 @@ class ContinuousBatchScheduler {
   [[nodiscard]] static std::int64_t computed_rows(const Active& a) {
     return a.in_prefill() ? a.prefilled : a.kv_tokens();
   }
+  /// Routes an observable event to the cluster's event buffer (cluster
+  /// mode) or the private MetricsSink (standalone run()).
+  void emit(ReplicaEventKind kind, std::int64_t id, sim::SimTime at,
+            std::int64_t aux = 0);
 
   graph::Runtime rt_;
   ServeConfig cfg_;
   bool timing_only_ = false;  ///< resolved from cfg_.timing_only / env
+  bool validate_ = false;     ///< resolved from GAUDI_VALIDATE at construction
+  bool cluster_ = false;      ///< bound to a ClusterRouter (see bind_cluster)
+  std::vector<ReplicaEvent>* events_ = nullptr;  ///< step() event buffer
   nn::DecodeStepCache steps_;
   memory::DeviceAllocator hbm_;
   PagedKvAllocator kv_;

@@ -1,0 +1,337 @@
+// Multi-replica serving cluster: failure detection, failover with KV
+// re-prefill, hedged requests, and circuit breaking.
+//
+// The contracts under test mirror the single-replica scheduler's: every
+// offered request ends in exactly one typed outcome, same seed means
+// byte-identical reports, and a cluster whose injector is disabled is
+// byte-identical to a fault-free configuration.  On top of those, the
+// fleet-level claims: N >= 2 replicas beat one replica's availability under
+// the same per-replica fault stream, hedges race and cancel losers, and a
+// flapping replica's breaker opens.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/cli.hpp"
+#include "graph/runtime.hpp"
+#include "nn/decode.hpp"
+#include "serve/cluster.hpp"
+#include "serve/workload.hpp"
+#include "sim/error.hpp"
+#include "sim/fault.hpp"
+
+namespace gaudi {
+namespace {
+
+serve::StreamConfig tiny_stream(std::int64_t n = 12, double rate = 200.0) {
+  serve::StreamConfig cfg;
+  cfg.arrival_rate_rps = rate;
+  cfg.num_requests = n;
+  cfg.prompt = {2, 4};
+  cfg.output = {2, 3};
+  cfg.seed = 0xBEEF;
+  return cfg;
+}
+
+serve::ClusterConfig tiny_cluster(std::int64_t replicas = 2) {
+  serve::ClusterConfig cfg;
+  cfg.replica.model = nn::DecodeConfig::tiny();
+  cfg.replica.max_batch = 2;
+  cfg.replica.prefill_chunk = 4;
+  cfg.replica.ctx_bucket = 4;
+  cfg.replica.block_tokens = 4;
+  cfg.replica.kv_budget_bytes = 4096;  // 8 blocks of 4 tokens
+  cfg.replica.timing_only = true;
+  cfg.replicas = replicas;
+  return cfg;
+}
+
+sim::FaultProfile chip_killer_profile(double rate) {
+  sim::FaultProfile p;
+  p.chip_failure_rate = rate;
+  return p;
+}
+
+/// Sums the per-outcome counters; every offered request must land in
+/// exactly one of them.
+std::int64_t outcome_total(const serve::ServeSummary& s) {
+  return s.completed + s.rejected + s.dropped + s.shed + s.timed_out +
+         s.failed;
+}
+
+TEST(Cluster, SameSeedRunsAreByteIdentical) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.fault_profile = chip_killer_profile(0.1);
+  cfg.hedge_budget = sim::SimTime::from_ms(2.0);
+  serve::ClusterRouter a(rt, cfg);
+  serve::ClusterRouter b(rt, cfg);
+  const std::string ra = a.run(stream).to_report();
+  const std::string rb = b.run(stream).to_report();
+  EXPECT_EQ(ra, rb);
+  EXPECT_NE(ra.find("cluster:"), std::string::npos);
+}
+
+TEST(Cluster, DisabledInjectorMatchesFaultFreeConfig) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream());
+  // Fault-free config vs a config whose injector exists but is disabled
+  // (all rates zero) under a different seed: the seed must be unreachable.
+  serve::ClusterConfig fault_free = tiny_cluster(3);
+  serve::ClusterConfig disabled = tiny_cluster(3);
+  disabled.fault_profile = sim::FaultProfile::disabled();
+  disabled.fault_seed = 0xDEAD;
+  serve::ClusterRouter a(rt, fault_free);
+  serve::ClusterRouter b(rt, disabled);
+  const serve::ClusterReport ra = a.run(stream);
+  const serve::ClusterReport rb = b.run(stream);
+  EXPECT_FALSE(ra.faults_enabled);
+  EXPECT_FALSE(rb.faults_enabled);
+  EXPECT_EQ(ra.to_report(), rb.to_report());
+  EXPECT_EQ(ra.chip_failures, 0);
+  EXPECT_EQ(ra.summary.completed, ra.summary.offered);
+}
+
+TEST(Cluster, FailoverCompletesOrTypesEveryRequest) {
+  // Aggressive chip loss at N=2 with a validating allocator: requests fail
+  // over with a full re-prefill and every one of them ends in exactly one
+  // typed outcome.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  serve::ClusterConfig cfg = tiny_cluster(2);
+  cfg.fault_profile = chip_killer_profile(0.25);
+  cfg.replica.retry_max = 4;
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  ::unsetenv("GAUDI_VALIDATE");
+
+  EXPECT_EQ(r.summary.offered, 16);
+  EXPECT_EQ(outcome_total(r.summary), r.summary.offered);
+  EXPECT_GT(r.chip_failures, 0);
+  EXPECT_GT(r.failovers, 0);
+  // Failed-over work re-prefills from scratch: the thrown-away rows are
+  // accounted as wasted.
+  EXPECT_GT(r.summary.wasted_tokens, 0);
+  for (const serve::RequestMetrics& m : r.requests) {
+    if (m.outcome == serve::RequestOutcome::kCompleted) {
+      EXPECT_GT(m.tokens_out, 0) << "request " << m.id;
+    }
+  }
+}
+
+TEST(Cluster, ReplicasBeatSingleReplicaAvailabilityUnderFaults) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  auto availability = [&](std::int64_t replicas) {
+    serve::ClusterConfig cfg = tiny_cluster(replicas);
+    cfg.fault_profile = chip_killer_profile(0.3);
+    cfg.replica.retry_max = 1;
+    serve::ClusterRouter router(rt, cfg);
+    const serve::ClusterReport r = router.run(stream);
+    return r.summary.availability;
+  };
+  const double one = availability(1);
+  const double three = availability(3);
+  EXPECT_LT(one, 1.0);
+  EXPECT_GT(three, one);
+}
+
+TEST(Cluster, HedgeRacesAndCancelsTheLoser) {
+  // One batch slot per replica and a burst of simultaneous arrivals: the
+  // primary queues behind its replica's backlog, the duplicate lands on a
+  // less-loaded replica and wins the race; the loser's rows are wasted.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(12, 2000.0));
+  serve::ClusterConfig cfg = tiny_cluster(2);
+  cfg.replica.max_batch = 1;
+  cfg.hedge_budget = sim::SimTime::from_ms(1.0);
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  EXPECT_TRUE(r.hedging_enabled);
+  EXPECT_GT(r.hedges_launched, 0);
+  EXPECT_EQ(outcome_total(r.summary), r.summary.offered);
+  EXPECT_EQ(r.summary.completed, r.summary.offered);
+  // The duplicate's report line renders only when hedging is on.
+  EXPECT_NE(r.to_report().find("hedges:"), std::string::npos);
+}
+
+TEST(Cluster, HedgeWinnerFailoverChainResolvesEveryRequest) {
+  // Regression: a hedge wins, the winning replica dies (the request fails
+  // over and re-dispatches under its original id), then the re-dispatched
+  // side's replica dies too.  The resume must read as the last live
+  // carrier — not as the dead winner's leftover twin — or the track leaks
+  // and the router stalls with no future event.  Hammer the interaction
+  // across fault seeds; every request must still end in one typed outcome.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16, 400.0));
+  for (std::uint64_t fault_seed = 1; fault_seed <= 8; ++fault_seed) {
+    serve::ClusterConfig cfg = tiny_cluster(3);
+    cfg.fault_profile = chip_killer_profile(0.35);
+    cfg.fault_seed = fault_seed;
+    cfg.hedge_budget = sim::SimTime::from_ms(1.0);
+    cfg.replica.retry_max = 4;
+    cfg.breaker_min_samples = 2;
+    cfg.breaker_window = 4;
+    serve::ClusterRouter router(rt, cfg);
+    const serve::ClusterReport r = router.run(stream);
+    EXPECT_EQ(outcome_total(r.summary), r.summary.offered)
+        << "fault_seed " << fault_seed;
+  }
+  ::unsetenv("GAUDI_VALIDATE");
+}
+
+TEST(Cluster, BreakerOpensOnFlappingReplicaAndRunStillEnds) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  serve::ClusterConfig cfg = tiny_cluster(2);
+  cfg.fault_profile = chip_killer_profile(0.5);
+  cfg.replica.retry_max = 6;
+  cfg.breaker_min_samples = 2;
+  cfg.breaker_window = 4;
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  EXPECT_GT(r.breaker_opens, 0);
+  EXPECT_EQ(outcome_total(r.summary), r.summary.offered);
+  std::int64_t per_replica_opens = 0;
+  for (const serve::ReplicaStats& s : r.per_replica) {
+    per_replica_opens += s.breaker_opens;
+  }
+  EXPECT_EQ(per_replica_opens, r.breaker_opens);
+}
+
+TEST(Cluster, LoadBalancePoliciesSpreadAndParse) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(12));
+  for (const serve::LoadBalancePolicy policy :
+       {serve::LoadBalancePolicy::kRoundRobin,
+        serve::LoadBalancePolicy::kJoinShortestQueue,
+        serve::LoadBalancePolicy::kLeastKvLoad}) {
+    serve::ClusterConfig cfg = tiny_cluster(3);
+    cfg.policy = policy;
+    serve::ClusterRouter router(rt, cfg);
+    const serve::ClusterReport r = router.run(stream);
+    EXPECT_EQ(r.summary.completed, 12) << serve::load_balance_policy_name(policy);
+    // Fault-free with every policy: nobody starves, at least two replicas
+    // see work (12 requests over 3 replicas).
+    std::int64_t busy_replicas = 0;
+    for (const serve::ReplicaStats& s : r.per_replica) {
+      busy_replicas += s.dispatched > 0 ? 1 : 0;
+    }
+    EXPECT_GE(busy_replicas, 2) << serve::load_balance_policy_name(policy);
+    EXPECT_EQ(serve::parse_load_balance_policy(
+                  serve::load_balance_policy_name(policy)),
+              policy);
+  }
+  EXPECT_THROW((void)serve::parse_load_balance_policy("fastest"),
+               sim::InvalidArgument);
+}
+
+TEST(Cluster, RejectsBadConfigs) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  {
+    serve::ClusterConfig cfg = tiny_cluster(0);
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.suspicion_timeout = sim::SimTime::zero();
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.breaker_threshold = 1.5;
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.breaker_min_samples = 9;  // > breaker_window of 8
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    // Replica-level injectors are the cluster's job: a pre-wired one is a
+    // config error, not silently doubled fault exposure.
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.replica.faults =
+        sim::FaultInjector{0x5EED, chip_killer_profile(0.1)};
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    // Satellite: non-positive backoff cap is a named InvalidArgument.
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.replica.retry_backoff_max = sim::SimTime::zero();
+    try {
+      serve::ClusterRouter router(rt, cfg);
+      FAIL() << "expected InvalidArgument";
+    } catch (const sim::InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("retry_backoff_max"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(RetryBackoff, DoublesPerAttemptAndSaturatesAtTheCap) {
+  const sim::SimTime base = sim::SimTime::from_ms(5.0);
+  const sim::SimTime cap = sim::SimTime::from_ms(40.0);
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 1), base);
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 2), base * 2);
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 3), base * 4);
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 4), cap);  // 40 caps 40
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 5), cap);
+  // Attempt counts far past the shift width must not overflow: still cap.
+  EXPECT_EQ(serve::retry_backoff_delay(base, cap, 63), cap);
+  EXPECT_THROW((void)serve::retry_backoff_delay(base, cap, 0),
+               sim::InternalError);
+}
+
+// ------------------------------------------------------------- CLI surface
+
+int run(std::initializer_list<const char*> args, std::string* out = nullptr) {
+  std::vector<std::string> v{"gaudisim_cli"};
+  v.insert(v.end(), args.begin(), args.end());
+  std::ostringstream os;
+  const int rc = core::run_cli(v, os);
+  if (out) *out = os.str();
+  return rc;
+}
+
+TEST(CliServeCluster, SmokeRunIsDeterministic) {
+  std::string a;
+  std::string b;
+  const std::initializer_list<const char*> cmd = {
+      "serve-cluster", "--requests",    "8",  "--rate",    "40",
+      "--replicas",    "3",             "--faults",        "--mtbf",
+      "30",            "--timing-only", "on", "--hedge-ms", "6"};
+  ASSERT_EQ(run(cmd, &a), 0);
+  ASSERT_EQ(run(cmd, &b), 0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("cluster:"), std::string::npos);
+  EXPECT_NE(a.find("replica 2:"), std::string::npos);
+}
+
+TEST(CliServeCluster, ValidatesItsFlags) {
+  std::string out;
+  EXPECT_EQ(run({"serve-cluster", "--replicas", "0"}, &out), 1);
+  EXPECT_NE(out.find("--replicas"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--lb", "fastest"}, &out), 1);
+  EXPECT_NE(out.find("fastest"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--suspicion-ms", "0"}, &out), 1);
+  EXPECT_NE(out.find("--suspicion-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--hedge-ms", "-1"}, &out), 1);
+  EXPECT_NE(out.find("--hedge-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--breaker-threshold", "2"}, &out), 1);
+  EXPECT_NE(out.find("--breaker-threshold"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--breaker-cooldown-ms", "0"}, &out), 1);
+  EXPECT_NE(out.find("--breaker-cooldown-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--retry-backoff-max-ms", "0"}, &out), 1);
+  EXPECT_NE(out.find("--retry-backoff-max-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--nonsense", "1"}, &out), 1);
+}
+
+}  // namespace
+}  // namespace gaudi

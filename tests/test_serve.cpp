@@ -677,5 +677,67 @@ TEST(CliServe, UsageMentionsServing) {
   EXPECT_NE(out.find("--arrivals"), std::string::npos);
 }
 
+TEST(CliServe, FaultFlagsAreValidatedWithNamedErrors) {
+  // Every fault/robustness flag rejects negative or garbled values with a
+  // message naming the flag — the --max-batch discipline, extended.
+  std::string out;
+  EXPECT_EQ(run({"serve", "--watchdog-ms", "-1"}, &out), 1);
+  EXPECT_NE(out.find("--watchdog-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--shed-queue-depth", "-2"}, &out), 1);
+  EXPECT_NE(out.find("--shed-queue-depth"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--shed-free-blocks", "-1"}, &out), 1);
+  EXPECT_NE(out.find("--shed-free-blocks"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--retry-max", "-3"}, &out), 1);
+  EXPECT_NE(out.find("--retry-max"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--retry-backoff-ms", "-1"}, &out), 1);
+  EXPECT_NE(out.find("--retry-backoff-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--retry-backoff-max-ms", "0"}, &out), 1);
+  EXPECT_NE(out.find("--retry-backoff-max-ms"), std::string::npos);
+  // --mtbf must be rejected even when --faults is absent (the injector
+  // would be disabled, but a nonsense value is still a user error)...
+  EXPECT_EQ(run({"serve", "--mtbf", "-5"}, &out), 1);
+  EXPECT_NE(out.find("--mtbf"), std::string::npos);
+  // ...and garbage is a parse error, not a silent zero.
+  EXPECT_EQ(run({"serve", "--watchdog-ms", "soon"}, &out), 1);
+  EXPECT_NE(out.find("--watchdog-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve", "--retry-max", "3x"}, &out), 1);
+  EXPECT_NE(out.find("--retry-max"), std::string::npos);
+}
+
+TEST(FaultServe, WatchdogShedAndRetryComposeToOneTypedOutcome) {
+  // A backed-off retry can simultaneously be past its deadline, sheddable
+  // under overload, and watchdog-stalled.  Whatever wins, each request must
+  // resolve to exactly one typed outcome, deterministically.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::ServeConfig cfg = tiny_serve();
+  cfg.max_batch = 1;
+  cfg.faults = chip_killer(0.3);
+  cfg.retry_max = 2;
+  cfg.retry_backoff = sim::SimTime::from_ms(2.0);
+  cfg.chip_restart = sim::SimTime::from_ms(4.0);
+  cfg.watchdog = sim::SimTime::from_ms(30.0);
+  cfg.shed_queue_depth = 2;
+  serve::StreamConfig scfg = tiny_stream();
+  scfg.num_requests = 12;
+  scfg.arrival_rate_rps = 400.0;  // burst: backlog deep enough to shed
+  auto stream = serve::poisson_stream(scfg);
+  for (auto& q : stream) q.deadline = sim::SimTime::from_ms(25.0);
+  serve::ContinuousBatchScheduler sched(rt, cfg);
+  const serve::ServeReport r = sched.run(stream);
+  const serve::ServeSummary& s = r.summary;
+  EXPECT_EQ(s.offered, 12);
+  EXPECT_EQ(s.completed + s.rejected + s.dropped + s.shed + s.timed_out +
+                s.failed,
+            s.offered);
+  // The interaction actually exercised all three mechanisms.
+  EXPECT_GE(r.chip_failures, 1);
+  EXPECT_GE(s.shed + s.dropped + s.timed_out, 1);
+  // Deterministic: the same config and stream reproduce the bytes.
+  serve::ContinuousBatchScheduler again(rt, cfg);
+  EXPECT_EQ(r.to_report(), again.run(stream).to_report());
+  ::unsetenv("GAUDI_VALIDATE");
+}
+
 }  // namespace
 }  // namespace gaudi

@@ -9,6 +9,10 @@
 // that over 50 seeded random DAGs against full functional execution.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -17,6 +21,7 @@
 #include "graph/random_graph.hpp"
 #include "graph/runtime.hpp"
 #include "graph/timing_memo.hpp"
+#include "sim/error.hpp"
 #include "sim/fault.hpp"
 #include "sim/thread_pool.hpp"
 #include "tensor/shape.hpp"
@@ -224,6 +229,97 @@ TEST(TimingOnly, ParallelReplicasMatchSerialMerge) {
   for (std::size_t i = 0; i < kReplicas; ++i) {
     EXPECT_EQ(serial[i], parallel[i]) << "replica " << i;
   }
+}
+
+// --- Cross-process persistence ---------------------------------------------
+//
+// The makespan entries are pure functions of their fingerprint keys, so a
+// sweep can deposit them on disk (GAUDI_MEMO_FILE) and the next process
+// warm-starts.  The file is checksummed and damage maps onto the checkpoint
+// error hierarchy, same discipline as scan_snapshots.
+
+std::string memo_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream os(path, std::ios::trunc);
+  os << text;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+TEST(MemoPersistence, SaveLoadRoundTripsAndMergesWithExistingKeysWinning) {
+  const std::string path = memo_path("memo_roundtrip.txt");
+  TimingMemo& memo = TimingMemo::global();
+  memo.clear();
+  memo.insert_time("decode-step:aaaa", sim::SimTime::from_ps(123));
+  memo.insert_time("prefill-chunk:bbbb", sim::SimTime::from_ps(456));
+  EXPECT_EQ(memo.save_times(path), 2u);
+
+  memo.clear();
+  memo.insert_time("decode-step:aaaa", sim::SimTime::from_ps(999));  // winner
+  EXPECT_EQ(memo.load_times(path), 2u);
+  sim::SimTime t{};
+  ASSERT_TRUE(memo.find_time("decode-step:aaaa", &t));
+  EXPECT_EQ(t.ps(), 999);  // resident entry beats the loaded one
+  ASSERT_TRUE(memo.find_time("prefill-chunk:bbbb", &t));
+  EXPECT_EQ(t.ps(), 456);
+  memo.clear();
+  std::remove(path.c_str());
+}
+
+TEST(MemoPersistence, RejectsDamageWithTypedCheckpointErrors) {
+  const std::string path = memo_path("memo_damage.txt");
+  TimingMemo& memo = TimingMemo::global();
+  memo.clear();
+  memo.insert_time("decode-step:cccc", sim::SimTime::from_ps(42));
+  ASSERT_EQ(memo.save_times(path), 1u);
+  const std::string good = read_file(path);
+
+  // Foreign magic: a file from some other tool (or a future format).
+  write_file(path, "gaudi-timing-memo v9\ncount 0\nchecksum 0\n");
+  EXPECT_THROW((void)memo.load_times(path), sim::CheckpointVersionSkew);
+
+  // Truncation: the checksum trailer (written last) is missing.
+  write_file(path, good.substr(0, good.rfind("checksum ")));
+  EXPECT_THROW((void)memo.load_times(path), sim::CheckpointTruncated);
+
+  // Bit rot: flip one digit inside an entry, trailer now disagrees.
+  std::string rotten = good;
+  rotten.replace(rotten.find(" 42"), 3, " 43");
+  write_file(path, rotten);
+  EXPECT_THROW((void)memo.load_times(path), sim::CheckpointChecksumMismatch);
+
+  // The pristine bytes still load after all that rejection.
+  write_file(path, good);
+  memo.clear();
+  EXPECT_EQ(memo.load_times(path), 1u);
+  memo.clear();
+  std::remove(path.c_str());
+}
+
+TEST(MemoPersistence, EnvHelperReflectsGaudiMemoFile) {
+  ASSERT_EQ(::unsetenv("GAUDI_MEMO_FILE"), 0);
+  EXPECT_TRUE(memo_file_from_env().empty());
+  EXPECT_EQ(save_memo_to_env_file(), 0u);  // unset: a quiet no-op
+  const std::string path = memo_path("memo_env.txt");
+  ASSERT_EQ(::setenv("GAUDI_MEMO_FILE", path.c_str(), 1), 0);
+  EXPECT_EQ(memo_file_from_env(), path);
+  TimingMemo& memo = TimingMemo::global();
+  memo.clear();
+  memo.insert_time("decode-step:dddd", sim::SimTime::from_ps(7));
+  EXPECT_EQ(save_memo_to_env_file(), 1u);
+  memo.clear();
+  EXPECT_EQ(memo.load_times(path), 1u);
+  ASSERT_EQ(::unsetenv("GAUDI_MEMO_FILE"), 0);
+  memo.clear();
+  std::remove(path.c_str());
 }
 
 }  // namespace
