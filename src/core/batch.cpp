@@ -314,6 +314,27 @@ Metrics run_serve_cluster_cell(const ParamView& p, std::uint64_t seed,
     ccfg.fault_profile = sim::FaultProfile::from_mtbf_steps(
         static_cast<double>(mtbf), /*chips=*/1);
   }
+
+  // Live migration & draining (serve/migration.*).
+  ccfg.migration.enabled = p.get_i64("migrate", 0) != 0;
+  ccfg.migration.chunk_blocks =
+      p.get_i64("migration-chunk-blocks", ccfg.migration.chunk_blocks);
+  GAUDI_CHECK(ccfg.migration.chunk_blocks >= 1,
+              "migration-chunk-blocks expects a positive block count");
+  ccfg.drain_replica = p.get_i64("drain-replica", ccfg.drain_replica);
+  GAUDI_CHECK(ccfg.drain_replica < ccfg.replicas,
+              "drain-replica expects an index below replicas");
+  const std::int64_t drain_at_ms = p.get_i64("drain-at-ms", 0);
+  GAUDI_CHECK(drain_at_ms >= 0, "drain-at-ms expects a non-negative time");
+  ccfg.drain_at = sim::SimTime::from_ms(static_cast<double>(drain_at_ms));
+  const std::int64_t health_window_ms = p.get_i64(
+      "health-window-ms", static_cast<std::int64_t>(ccfg.health_window.ms()));
+  GAUDI_CHECK(health_window_ms > 0, "health-window-ms expects a positive time");
+  ccfg.health_window =
+      sim::SimTime::from_ms(static_cast<double>(health_window_ms));
+  ccfg.degraded_after = p.get_i64("degraded-after", ccfg.degraded_after);
+  GAUDI_CHECK(ccfg.degraded_after >= 1,
+              "degraded-after expects a positive count");
   p.check_all_used();
 
   graph::Runtime rt(sim::ChipConfig::hls1());
@@ -322,21 +343,32 @@ Metrics run_serve_cluster_cell(const ParamView& p, std::uint64_t seed,
   const double availability = std::isfinite(r.summary.availability)
                                   ? r.summary.availability
                                   : 0.0;
-  return {{"throughput_tok_s", r.summary.throughput_tok_s},
-          {"goodput_tok_s", r.summary.goodput_tok_s},
-          {"ttft_p99_ms", r.summary.ttft_p99_ms},
-          {"itl_p99_ms", r.summary.itl_p99_ms},
-          {"completed", static_cast<double>(r.summary.completed)},
-          {"failed", static_cast<double>(r.summary.failed)},
-          {"timed_out", static_cast<double>(r.summary.timed_out)},
-          {"availability", availability},
-          {"chip_failures", static_cast<double>(r.chip_failures)},
-          {"failovers", static_cast<double>(r.failovers)},
-          {"hedges_launched", static_cast<double>(r.hedges_launched)},
-          {"hedge_wins", static_cast<double>(r.hedge_wins)},
-          {"breaker_opens", static_cast<double>(r.breaker_opens)},
-          {"wasted_tokens", static_cast<double>(r.summary.wasted_tokens)},
-          {"makespan_ms", r.summary.makespan.ms()}};
+  Metrics m = {{"throughput_tok_s", r.summary.throughput_tok_s},
+               {"goodput_tok_s", r.summary.goodput_tok_s},
+               {"ttft_p99_ms", r.summary.ttft_p99_ms},
+               {"itl_p99_ms", r.summary.itl_p99_ms},
+               {"completed", static_cast<double>(r.summary.completed)},
+               {"failed", static_cast<double>(r.summary.failed)},
+               {"timed_out", static_cast<double>(r.summary.timed_out)},
+               {"availability", availability},
+               {"chip_failures", static_cast<double>(r.chip_failures)},
+               {"failovers", static_cast<double>(r.failovers)},
+               {"hedges_launched", static_cast<double>(r.hedges_launched)},
+               {"hedge_wins", static_cast<double>(r.hedge_wins)},
+               {"breaker_opens", static_cast<double>(r.breaker_opens)},
+               {"wasted_tokens", static_cast<double>(r.summary.wasted_tokens)}};
+  // Migration/drain metrics render only when the feature ran — a
+  // migration-off cell stays byte-identical to the pre-migration CSV.
+  if (r.migration_enabled || r.drain_enabled) {
+    m.emplace_back("migrations", static_cast<double>(r.migrations_completed));
+    m.emplace_back("migrations_aborted",
+                   static_cast<double>(r.migrations_aborted));
+    m.emplace_back("migrated_rows", static_cast<double>(r.migrated_rows));
+    m.emplace_back("evac_requeues", static_cast<double>(r.evac_requeues));
+    m.emplace_back("drain_completed", r.drain_completed ? 1.0 : 0.0);
+  }
+  m.emplace_back("makespan_ms", r.summary.makespan.ms());
+  return m;
 }
 
 Metrics run_profile_layer_cell(const ParamView& p) {

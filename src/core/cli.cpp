@@ -122,7 +122,8 @@ commands:
                                  GAUDI_TIMING_ONLY; reports are identical)
   serve-cluster [options]        route one stream across N serving replicas:
                                  failover with KV re-prefill, hedged
-                                 requests, per-replica circuit breakers
+                                 requests, per-replica circuit breakers,
+                                 live KV migration and graceful draining
                                  (accepts every serve option above except
                                  --sdc-rate; --mtbf is per replica)
       --replicas N               serving replicas               (2)
@@ -136,6 +137,17 @@ commands:
       --breaker-min N            samples before the breaker may open (4)
       --breaker-threshold R      failure fraction that opens    (0.5)
       --breaker-cooldown-ms T    open -> half-open probe delay  (100)
+      --migrate                  live KV migration: evacuate degraded or
+                                 draining replicas by streaming paged KV
+                                 blocks over the fabric (no re-prefill)
+      --migration-chunk-blocks N paged KV blocks per migration chunk (4)
+      --drain-replica R          drain replica R: stop new dispatch, move
+                                 its work elsewhere, finish with no failures
+      --drain-at-ms T            simulated instant the drain starts  (0)
+      --health-window-ms T       sliding window for the replica health
+                                 score                          (50)
+      --degraded-after N         straggler/HBM-stall events inside the
+                                 window before a replica is degraded (3)
   batch FILE [options]           run a declarative experiment grid: FILE
                                  sweeps {command, axes, seeds, repeats}
                                  (see examples/serving_sweep.cfg); replicas
@@ -717,6 +729,37 @@ int cmd_serve_cluster(ArgParser& args, std::ostream& out) {
                        static_cast<double>(mtbf), /*chips=*/1)
                  : sim::FaultProfile::stress();
   }
+
+  // Live migration & draining (serve/migration.*).
+  ccfg.migration.enabled = args.has("migrate");
+  ccfg.migration.chunk_blocks =
+      args.get_int("migration-chunk-blocks", ccfg.migration.chunk_blocks);
+  GAUDI_CHECK(ccfg.migration.chunk_blocks >= 1,
+              "--migration-chunk-blocks expects a positive block count");
+  ccfg.drain_replica = args.get_int("drain-replica", ccfg.drain_replica);
+  if (args.has("drain-replica")) {
+    GAUDI_CHECK(ccfg.replicas >= 2,
+                "--drain-replica needs at least two replicas");
+    GAUDI_CHECK(ccfg.drain_replica >= 0 && ccfg.drain_replica < ccfg.replicas,
+                "--drain-replica expects an index below --replicas");
+  }
+  const std::int64_t drain_at_ms = args.get_int("drain-at-ms", 0);
+  if (args.has("drain-at-ms")) {
+    GAUDI_CHECK(ccfg.drain_replica >= 0,
+                "--drain-at-ms requires --drain-replica");
+  }
+  GAUDI_CHECK(drain_at_ms >= 0, "--drain-at-ms expects a non-negative time");
+  ccfg.drain_at = sim::SimTime::from_ms(static_cast<double>(drain_at_ms));
+  const std::int64_t health_window_ms =
+      args.get_int("health-window-ms",
+                   static_cast<std::int64_t>(ccfg.health_window.ms()));
+  GAUDI_CHECK(health_window_ms > 0,
+              "--health-window-ms expects a positive time");
+  ccfg.health_window =
+      sim::SimTime::from_ms(static_cast<double>(health_window_ms));
+  ccfg.degraded_after = args.get_int("degraded-after", ccfg.degraded_after);
+  GAUDI_CHECK(ccfg.degraded_after >= 1,
+              "--degraded-after expects a positive count");
   check_unused(args);
 
   const std::vector<serve::Request> stream = build_serve_stream(s);

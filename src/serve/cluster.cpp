@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "sim/env.hpp"
 #include "sim/error.hpp"
 #include "sim/rng.hpp"
 
@@ -64,7 +65,33 @@ ClusterRouter::ClusterRouter(const graph::Runtime& rt, ClusterConfig cfg)
     GAUDI_CHECK(cfg_.breaker_cooldown > sim::SimTime::zero(),
                 "breaker_cooldown must be positive");
   }
+  if (cfg_.migration.enabled) {
+    GAUDI_CHECK(cfg_.migration.chunk_blocks >= 1,
+                "migration chunk_blocks must be >= 1");
+  }
+  if (cfg_.drain_replica >= 0) {
+    GAUDI_CHECK(cfg_.replicas >= 2,
+                "draining a replica needs at least two replicas");
+    GAUDI_CHECK(cfg_.drain_replica < cfg_.replicas,
+                "drain_replica must index a configured replica");
+    GAUDI_CHECK(cfg_.drain_at >= sim::SimTime::zero(),
+                "drain_at must be >= 0");
+  }
+  health_on_ = cfg_.health_enabled();
+  if (health_on_) {
+    GAUDI_CHECK(cfg_.health_window > sim::SimTime::zero(),
+                "health_window must be positive");
+    GAUDI_CHECK(cfg_.degraded_after >= 1, "degraded_after must be >= 1");
+    validate_ = sim::env_flag("GAUDI_VALIDATE", false);
+  }
   const bool faults_on = cfg_.fault_profile.any_rate_positive();
+  if (faults_on && cfg_.migration.enabled) {
+    // The migration path's fabric link draws from its own decorrelated
+    // stream: seed ^ salt so it never collides with a replica's
+    // splitmix64(seed + r + 1) iteration stream.
+    link_faults_ = sim::FaultInjector{
+        sim::splitmix64(cfg_.fault_seed ^ 0x4B56ACEull), cfg_.fault_profile};
+  }
   replicas_.resize(static_cast<std::size_t>(cfg_.replicas));
   for (std::int64_t r = 0; r < cfg_.replicas; ++r) {
     ServeConfig rcfg = cfg_.replica;
@@ -78,7 +105,18 @@ ClusterRouter::ClusterRouter(const graph::Runtime& rt, ClusterConfig cfg)
     Replica& rep = replicas_[static_cast<std::size_t>(r)];
     rep.sched = std::make_unique<ContinuousBatchScheduler>(rt_, rcfg);
     rep.sched->bind_cluster();
+    if (health_on_) {
+      rep.health = HealthTracker{cfg_.health_window, cfg_.degraded_after};
+    }
   }
+}
+
+bool ClusterRouter::evacuating(const Replica& rep, sim::SimTime now) const {
+  if (rep.draining) return true;
+  // Degraded health evacuates proactively only when migration can actually
+  // move the work; a drain-only configuration leaves sick-but-alive
+  // replicas in rotation exactly as before.
+  return cfg_.migration.enabled && rep.health.degraded(now);
 }
 
 sim::SimTime ClusterRouter::heartbeat_ceil(sim::SimTime t) const {
@@ -159,7 +197,11 @@ std::int64_t ClusterRouter::pick_replica(sim::SimTime now,
     Replica& rep = replicas_[static_cast<std::size_t>(idx)];
     // An undetected-dead replica is still believed up: dispatches to it
     // strand until the suspicion timeout — the cost of slow detection.
-    return idx != exclude && !rep.suspected && breaker_allows(rep, now);
+    // The evacuation check precedes breaker_allows so a draining replica
+    // never consumes the open->half-open transition or hosts a probe.
+    if (idx == exclude || rep.suspected) return false;
+    if (health_on_ && evacuating(rep, now)) return false;
+    return breaker_allows(rep, now);
   };
   switch (cfg_.policy) {
     case LoadBalancePolicy::kRoundRobin: {
@@ -307,6 +349,21 @@ void ClusterRouter::process_death(std::int64_t r, sim::SimTime now) {
   ++chip_failures_;
   rep.stats.chip_failures += 1;
   rep.stats.down_time += cfg_.replica.chip_restart;
+  if (!migrations_.empty()) {
+    // A migration interrupted by the chip loss aborts on either end.  A
+    // dead source drained the side into dead_work, so the existing
+    // re-prefill failover re-queues it exactly like today — no request
+    // lost, no tokens double-billed; a dead destination leaves the side
+    // running at the source, and evacuation retries toward a survivor.
+    migrations_.erase(
+        std::remove_if(migrations_.begin(), migrations_.end(),
+                       [&](const Migration& m) {
+                         if (m.src != r && m.dst != r) return false;
+                         ++migrations_aborted_;
+                         return true;
+                       }),
+        migrations_.end());
+  }
 }
 
 void ClusterRouter::process_detection(std::int64_t r, sim::SimTime now) {
@@ -468,6 +525,16 @@ void ClusterRouter::process_hedges(sim::SimTime now) {
     if (t.started || t.hedged) continue;
     if (t.dispatch_time != timer.armed_at) continue;  // re-armed since
     if (t.sides.size() != 1) continue;  // back in the router queue
+    if (!migrations_.empty() &&
+        std::any_of(migrations_.begin(), migrations_.end(),
+                    [&](const Migration& m) { return m.orig == timer.orig; })) {
+      // A live migration already has a second copy of this request's state
+      // in flight; adopt it as the hedge instead of launching a third copy
+      // — exactly one duplicate ever exists, so no double completion and
+      // no double-billed KV.
+      t.hedged = true;
+      continue;
+    }
     const std::int64_t primary = t.sides.begin()->second;
     t.hedged = true;  // one duplicate per request, launched or not
     const std::int64_t r = pick_replica(now, primary);
@@ -477,6 +544,234 @@ void ClusterRouter::process_hedges(sim::SimTime now) {
     copy.req.id = t.req.id + kHedgeIdBase;
     ++hedges_launched_;
     place(copy, r, now);
+  }
+}
+
+void ClusterRouter::start_migration(std::int64_t sid, std::int64_t orig,
+                                    std::int64_t src, std::int64_t dst,
+                                    std::int64_t rows, sim::SimTime now) {
+  const TransferPlan plan = plan_kv_transfer(
+      cfg_.migration, link_faults_, migration_seq_++, rows,
+      cfg_.replica.block_tokens, kv_bytes_per_token(cfg_.replica.model));
+  Migration m;
+  m.sid = sid;
+  m.orig = orig;
+  m.src = src;
+  m.dst = dst;
+  m.phase = 0;
+  m.for_drain = replicas_[static_cast<std::size_t>(src)].draining;
+  m.rows_synced = rows;
+  m.done_at = now + plan.duration;
+  migrations_.push_back(m);
+  ++migrations_started_;
+  migrated_blocks_ += plan.blocks;
+  migration_link_retries_ += plan.link_retries;
+  migration_time_ += plan.duration;
+}
+
+void ClusterRouter::process_migrations(sim::SimTime now) {
+  for (std::size_t i = 0; i < migrations_.size();) {
+    Migration& m = migrations_[i];
+    const auto abort = [&] {
+      ++migrations_aborted_;
+      migrations_.erase(migrations_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    };
+    // Stale: the side completed, was cancelled, or was failed over (its
+    // mapping died with the track or moved replicas).  The re-prefill
+    // failover path already owns the request; nothing to cut over.
+    const auto sit = side_to_orig_.find(m.sid);
+    bool stale = sit == side_to_orig_.end();
+    if (!stale) {
+      const Track& t = tracks_.at(m.orig);
+      const auto side_it = t.sides.find(m.sid);
+      stale = side_it == t.sides.end() || side_it->second != m.src;
+    }
+    if (stale) {
+      abort();
+      continue;
+    }
+    if (m.done_at > now) {
+      ++i;
+      continue;
+    }
+    Replica& src = replicas_[static_cast<std::size_t>(m.src)];
+    // The source keeps decoding while a leg flies; its scheduler state is
+    // consistent only at iteration boundaries, so a leg that lands while
+    // the source is mid-iteration settles when that iteration does.
+    if (src.busy) {
+      ++i;
+      continue;
+    }
+    const auto prog = src.sched->running_progress(m.sid);
+    if (!prog) {
+      // No longer running at the source (preempted back to its queue
+      // between legs): evacuation re-routes the queued copy instead.
+      abort();
+      continue;
+    }
+    const std::int64_t delta = prog->rows - m.rows_synced;
+    if (m.phase == 0 && delta > 0) {
+      // Delta sync: one extra leg for the rows generated while the base
+      // copy was on the wire.  Rows generated during *this* leg ride the
+      // cutover message itself — the transfer converges in two legs.
+      const TransferPlan plan = plan_kv_transfer(
+          cfg_.migration, link_faults_, migration_seq_++, delta,
+          cfg_.replica.block_tokens, kv_bytes_per_token(cfg_.replica.model));
+      m.phase = 1;
+      m.rows_synced = prog->rows;
+      m.done_at = now + plan.duration;
+      migrated_blocks_ += plan.blocks;
+      migration_link_retries_ += plan.link_retries;
+      migration_time_ += plan.duration;
+      ++i;
+      continue;
+    }
+    Replica& dst = replicas_[static_cast<std::size_t>(m.dst)];
+    if (!dst.up || dst.suspected || evacuating(dst, now)) {
+      // The destination got sick while the KV flew: abort, leave the side
+      // running at the source, and let evacuation retry toward a healthy
+      // peer.
+      abort();
+      continue;
+    }
+    // --- Atomic cutover. ---
+    const auto d = src.sched->extract(m.sid);
+    GAUDI_ASSERT(d.has_value(), "cutover extract after running_progress");
+    Track& t = tracks_.at(m.orig);
+    t.sides[m.sid] = m.dst;
+    if (!m.for_drain) t.health_migrated = true;
+    dst.sched->enqueue_migrated(d->req, d->generated, d->last_token,
+                                d->lost_rows, now);
+    sink_.on_migrated(m.orig, d->lost_rows);
+    src.stats.migrated_out += 1;
+    dst.stats.migrated_in += 1;
+    ++migrations_completed_;
+    migrated_rows_ += d->lost_rows;
+    // A migrated-away probe proves nothing about the source: free the
+    // half-open slot or the breaker wedges shut (mirrors cancel_side).
+    if (cfg_.breaker_enabled && src.breaker == BreakerState::kHalfOpen &&
+        src.probe_live && src.probe_id == m.orig) {
+      src.probe_live = false;
+      src.probe_id = -1;
+    }
+    if (validate_) {
+      // Kill-and-migrate invariant: after cutover no KV block is owned by
+      // two replicas — the source released the blocks before the
+      // destination admits (and re-reserves) the request.
+      src.sched->audit_kv();
+      dst.sched->audit_kv();
+      GAUDI_ASSERT(!src.sched->holds_kv(m.sid),
+                   "source still holds KV after cutover");
+    }
+    migrations_.erase(migrations_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+}
+
+void ClusterRouter::evacuation_round(sim::SimTime now) {
+  for (std::int64_t r = 0; r < cfg_.replicas; ++r) {
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    if (!rep.up || rep.suspected) continue;
+    if (!evacuating(rep, now)) continue;
+    // Snapshot this replica's sides in ascending side-id order (std::map)
+    // so evacuation decisions are deterministic; each entry is re-validated
+    // against the live maps because earlier moves mutate them.
+    std::vector<std::pair<std::int64_t, std::int64_t>> sides;  // (sid, orig)
+    for (const auto& [sid, orig] : side_to_orig_) {
+      const Track& t = tracks_.at(orig);
+      const auto it = t.sides.find(sid);
+      if (it != t.sides.end() && it->second == r) sides.push_back({sid, orig});
+    }
+    for (const auto& [sid, orig] : sides) {
+      const auto sit = side_to_orig_.find(sid);
+      if (sit == side_to_orig_.end()) continue;
+      Track& t = tracks_.at(orig);
+      const auto side_it = t.sides.find(sid);
+      if (side_it == t.sides.end() || side_it->second != r) continue;
+      if (std::any_of(migrations_.begin(), migrations_.end(),
+                      [&](const Migration& m) { return m.sid == sid; })) {
+        continue;  // already on the wire
+      }
+      // Twin rule: if another side of this request lives on a healthy
+      // replica, the local copy is redundant — cancel it instead of
+      // spending fabric time on it.  Never cancel the side streaming
+      // tokens to the client.
+      if (t.sides.size() > 1 && !(t.started && t.winner == sid)) {
+        bool twin_ok = false;
+        for (const auto& [osid, orep] : t.sides) {
+          if (osid == sid) continue;
+          const Replica& other = replicas_[static_cast<std::size_t>(orep)];
+          if (other.up && !other.suspected && !evacuating(other, now)) {
+            twin_ok = true;
+            break;
+          }
+        }
+        if (twin_ok) {
+          cancel_side(sid, r);
+          continue;
+        }
+      }
+      const auto prog = rep.sched->running_progress(sid);
+      if (prog && prog->rows > 0 && cfg_.migration.enabled) {
+        // Damping: degraded-health evacuation moves a request at most once
+        // (drains always may) — without this, fleet-wide degradation would
+        // ping-pong the same KV across the fabric indefinitely.
+        if (!rep.draining && t.health_migrated) continue;
+        const std::int64_t dst = pick_replica(now, r);
+        if (dst < 0) continue;  // no healthy target yet; retry next round
+        start_migration(sid, orig, r, dst, prog->rows, now);
+        continue;
+      }
+      // Queued work (waiting / requeued / zero-row running / stranded)
+      // holds no KV worth streaming: re-route it for free — no retry
+      // budget consumed, no rows billed.  Running work evacuated without
+      // migration (a drain on the pre-migration path) is preempted
+      // instead: its KV releases here and the full context re-prefills on
+      // a peer — lossless, but the recomputed rows are the price live
+      // migration exists to avoid.
+      std::int64_t gen = 0;
+      sim::SimTime last{};
+      if (const auto d = rep.sched->extract(sid)) {
+        gen = d->generated;
+        last = d->last_token;
+        if (d->lost_rows > 0) sink_.on_preempt(orig, d->lost_rows);
+      } else {
+        const auto qit = std::find_if(
+            rep.stranded.begin(), rep.stranded.end(),
+            [&](const Routed& q) { return q.req.id == sid; });
+        if (qit == rep.stranded.end()) continue;
+        gen = qit->generated;
+        last = qit->last_token;
+        rep.stranded.erase(qit);
+      }
+      std::int64_t dropped_orig = 0;
+      Track* dt = drop_side(sid, &dropped_orig);
+      GAUDI_ASSERT(dt != nullptr, "evacuating an unmapped side");
+      // The re-routed side re-dispatches under the original id; if this
+      // side was the winner, the successor must inherit that role.
+      if (dt->started && dt->winner == sid) dt->winner = dropped_orig;
+      Routed resume;
+      resume.req = dt->req;
+      resume.generated = gen;
+      resume.last_token = last;
+      queue_.push_back({resume, now});
+      ++evac_requeues_;
+    }
+  }
+}
+
+void ClusterRouter::process_drain(sim::SimTime now) {
+  if (cfg_.drain_replica >= 0 && !drain_fired_ && cfg_.drain_at <= now) {
+    drain_fired_ = true;
+    replicas_[static_cast<std::size_t>(cfg_.drain_replica)].draining = true;
+  }
+  for (Replica& rep : replicas_) {
+    if (!rep.draining || rep.drain_done) continue;
+    if (rep.up && !rep.busy && !rep.sched->has_work() &&
+        rep.stranded.empty()) {
+      rep.drain_done = true;
+      if (validate_) rep.sched->audit_kv();
+    }
   }
 }
 
@@ -548,8 +843,19 @@ ClusterReport ClusterRouter::run(const std::vector<Request>& stream) {
       const ContinuousBatchScheduler::StepResult result =
           std::move(rep.pending);
       rep.pending = {};
+      if (health_on_ && (result.straggled || result.hbm_stalled)) {
+        // A fault-stretched iteration delays this replica's heartbeats —
+        // the router-visible health signal (serve/migration.*).
+        rep.health.record(result.end);
+      }
       apply_events(r, result.events);
       if (result.chip_failed) process_death(r, result.end);
+    }
+    if (health_on_) {
+      process_drain(now);
+      process_migrations(now);
+      evacuation_round(now);
+      process_drain(now);
     }
     process_hedges(now);
     dispatch_round(now);
@@ -604,6 +910,19 @@ ClusterReport ClusterRouter::run(const std::vector<Request>& stream) {
     }
     for (const QueueEntry& q : queue_) consider(q.eligible_at);
     for (const HedgeTimer& h : hedges_) consider(h.fire);
+    if (health_on_) {
+      if (cfg_.drain_replica >= 0 && !drain_fired_) consider(cfg_.drain_at);
+      for (const Migration& m : migrations_) consider(m.done_at);
+      if (cfg_.migration.enabled) {
+        // A degraded replica re-enters rotation when enough health events
+        // age out of the window; without this instant on the horizon a
+        // fleet that is all-degraded would stall instead of recovering.
+        for (const Replica& rep : replicas_) {
+          if (!rep.health.degraded(now)) continue;
+          if (const auto decay = rep.health.next_decay(now)) consider(*decay);
+        }
+      }
+    }
     if (!have) {
       std::ostringstream dump;
       dump << "cluster stalled with " << tracks_.size()
@@ -649,6 +968,20 @@ ClusterReport ClusterRouter::run(const std::vector<Request>& stream) {
   report.hedge_wasted_tokens = hedge_wasted_;
   report.breaker_opens = breaker_opens_;
   report.deadline_drops = deadline_drops_;
+  report.migration_enabled = cfg_.migration.enabled;
+  report.drain_enabled = cfg_.drain_replica >= 0;
+  report.drain_replica = cfg_.drain_replica;
+  report.drain_completed =
+      report.drain_enabled &&
+      replicas_[static_cast<std::size_t>(cfg_.drain_replica)].drain_done;
+  report.migrations_started = migrations_started_;
+  report.migrations_completed = migrations_completed_;
+  report.migrations_aborted = migrations_aborted_;
+  report.migrated_rows = migrated_rows_;
+  report.migrated_blocks = migrated_blocks_;
+  report.migration_link_retries = migration_link_retries_;
+  report.migration_time = migration_time_;
+  report.evac_requeues = evac_requeues_;
   report.per_replica.reserve(replicas_.size());
   for (Replica& rep : replicas_) {
     rep.stats.iterations = rep.sched->iterations();
@@ -677,6 +1010,22 @@ std::string ClusterReport::to_report() const {
     // stays byte-identical to a fault-free configuration.
     os << "faults:   " << chip_failures << " chip failures across the fleet\n";
   }
+  if (migration_enabled) {
+    os << "migrate:  " << migrations_started << " started, "
+       << migrations_completed << " cut over, " << migrations_aborted
+       << " aborted; " << migrated_rows << " rows kept ("
+       << migrated_blocks << " blocks, " << migration_link_retries
+       << " link retries, " << sim::to_string(migration_time)
+       << " on the wire), " << evac_requeues << " queue evacuations\n";
+  }
+  if (drain_enabled) {
+    os << "drain:    replica " << drain_replica << " "
+       << (drain_completed ? "drained cleanly" : "still draining at end");
+    if (!migration_enabled) {
+      os << ", " << evac_requeues << " queue evacuations";
+    }
+    os << "\n";
+  }
   for (std::size_t r = 0; r < per_replica.size(); ++r) {
     const ReplicaStats& s = per_replica[r];
     const double avail =
@@ -686,7 +1035,12 @@ std::string ClusterReport::to_report() const {
     os << "replica " << r << ": " << s.dispatched << " dispatched, "
        << s.completed << " completed, " << s.chip_failures
        << " chip failures, " << s.failed_over
-       << " failed over, availability " << pct(avail) << "\n";
+       << " failed over, availability " << pct(avail);
+    if (migration_enabled || drain_enabled) {
+      os << ", " << s.migrated_in << " migrated in, " << s.migrated_out
+         << " out";
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "graph/runtime.hpp"
+#include "serve/migration.hpp"
 #include "serve/scheduler.hpp"
 
 namespace gaudi::serve {
@@ -94,6 +95,32 @@ struct ClusterConfig {
   std::int64_t breaker_min_samples = 4;
   double breaker_threshold = 0.5;
   sim::SimTime breaker_cooldown = sim::SimTime::from_ms(100.0);
+
+  /// Live KV migration over the scaleout fabric (serve/migration.*): an
+  /// evacuating replica streams each running request's paged KV blocks to a
+  /// healthy peer, delta-syncs the rows generated in flight, and cuts over
+  /// with zero re-prefill.  Disabled (with no drain scheduled) the cluster
+  /// is byte-identical to the pre-migration path.
+  MigrationConfig migration{};
+  /// Administrative drain for planned maintenance: at `drain_at` the named
+  /// replica stops taking dispatches and evacuates — running work migrates
+  /// (or, without migration, completes in place), queued work re-routes —
+  /// with zero request failures.  -1 disables.
+  std::int64_t drain_replica = -1;
+  sim::SimTime drain_at{};
+  /// Health scoring (migration runs only): a replica whose fault-stretched
+  /// iterations — the straggler/HBM-pressure signals that delay its
+  /// heartbeats — reach `degraded_after` within a sliding `health_window`
+  /// reads degraded and is proactively evacuated before the chip dies.
+  sim::SimTime health_window = sim::SimTime::from_ms(50.0);
+  std::int64_t degraded_after = 3;
+
+  /// Any of the new health-driven machinery active?  False keeps every new
+  /// code path (health recording, evacuation, report lines, extra event
+  /// horizons) dormant for byte-identity with the pre-migration cluster.
+  [[nodiscard]] bool health_enabled() const {
+    return migration.enabled || drain_replica >= 0;
+  }
 };
 
 /// Per-replica slice of the fleet report.
@@ -104,6 +131,8 @@ struct ReplicaStats {
   std::int64_t failed_over = 0;  ///< requests stripped off this replica
   std::int64_t iterations = 0;
   std::int64_t breaker_opens = 0;
+  std::int64_t migrated_out = 0;  ///< requests live-migrated off this replica
+  std::int64_t migrated_in = 0;   ///< requests live-migrated onto it
   sim::SimTime down_time{};  ///< chip_failures x chip_restart
 };
 
@@ -129,6 +158,24 @@ struct ClusterReport {
   std::int64_t hedge_wasted_tokens = 0;
   std::int64_t breaker_opens = 0;
   std::int64_t deadline_drops = 0;
+  /// Live migration & draining (serve/migration.*).  The "migrate:" /
+  /// "drain:" report lines render only when the feature is enabled.
+  bool migration_enabled = false;
+  bool drain_enabled = false;
+  std::int64_t drain_replica = -1;
+  bool drain_completed = false;
+  std::int64_t migrations_started = 0;
+  std::int64_t migrations_completed = 0;  ///< cut over with zero re-prefill
+  std::int64_t migrations_aborted = 0;    ///< fell back to re-prefill failover
+  /// KV rows that cut over instead of re-prefilling: the prefill work the
+  /// migration path saved versus the wasted_tokens a failover would bill.
+  std::int64_t migrated_rows = 0;
+  std::int64_t migrated_blocks = 0;        ///< paged blocks on the wire
+  std::int64_t migration_link_retries = 0; ///< transient link drops retried
+  sim::SimTime migration_time{};           ///< total fabric time, all legs
+  /// Queued (no-KV) requests re-routed off evacuating replicas — free moves
+  /// that consume no retry budget and waste no rows.
+  std::int64_t evac_requeues = 0;
   std::vector<ReplicaStats> per_replica;
 
   /// Deterministic multi-line rendering (the byte-comparable artifact).
@@ -181,6 +228,12 @@ class ClusterRouter {
     sim::SimTime open_until{};
     bool probe_live = false;
     std::int64_t probe_id = -1;
+    /// Administrative drain (sticky: survives a death/rejoin cycle).
+    bool draining = false;
+    bool drain_done = false;
+    /// Sliding window of fault-stretched iterations (serve/migration.*);
+    /// only consulted when ClusterConfig::health_enabled().
+    HealthTracker health;
     ReplicaStats stats;
   };
 
@@ -190,6 +243,10 @@ class ClusterRouter {
     std::int32_t attempts = 0;  ///< failovers consumed (vs retry_max)
     bool started = false;       ///< first token delivered to the client
     bool hedged = false;        ///< a duplicate was (or will never be) sent
+    /// Migration damping: a request moves off a *degraded* (not draining)
+    /// replica at most once, so fleet-wide degradation cannot ping-pong the
+    /// same KV across the fabric forever.
+    bool health_migrated = false;
     std::int64_t winner = -1;   ///< side id that produced the first token
     sim::SimTime dispatch_time{};  ///< latest primary dispatch (hedge base)
     std::map<std::int64_t, std::int64_t> sides;  ///< side id -> replica
@@ -199,6 +256,21 @@ class ClusterRouter {
     sim::SimTime fire{};
     std::int64_t orig = 0;
     sim::SimTime armed_at{};  ///< stale once the primary re-dispatches
+  };
+
+  /// One in-flight live migration of side `sid` from `src` to `dst`.  The
+  /// source keeps decoding while a leg is on the wire; the delta-sync leg
+  /// carries the rows generated meanwhile, and the last few in-flight
+  /// tokens ride the cutover message itself.
+  struct Migration {
+    std::int64_t sid = 0;
+    std::int64_t orig = 0;
+    std::int64_t src = 0;
+    std::int64_t dst = 0;
+    int phase = 0;                 ///< 0 = base copy, 1 = delta sync
+    bool for_drain = false;        ///< triggered by a drain, not health
+    sim::SimTime done_at{};        ///< current leg lands
+    std::int64_t rows_synced = 0;  ///< rows covered by the legs sent so far
   };
 
   [[nodiscard]] sim::SimTime heartbeat_ceil(sim::SimTime t) const;
@@ -220,6 +292,24 @@ class ClusterRouter {
   void finish_track(std::int64_t orig);
   void dispatch_round(sim::SimTime now);
   void process_hedges(sim::SimTime now);
+  /// Is this replica shedding its work (admin drain, or degraded health
+  /// with migration enabled)?  Evacuating replicas take no new dispatches
+  /// — in particular no half-open breaker probes.
+  [[nodiscard]] bool evacuating(const Replica& rep, sim::SimTime now) const;
+  /// Launches the base-copy leg of a live migration for `rows` KV rows.
+  void start_migration(std::int64_t sid, std::int64_t orig, std::int64_t src,
+                       std::int64_t dst, std::int64_t rows, sim::SimTime now);
+  /// Advances in-flight migrations whose current leg has landed: delta-sync
+  /// legs launch, finished transfers cut over, stale ones abort (the side
+  /// completed, was cancelled, or lost its replica — the existing re-prefill
+  /// failover owns those paths).
+  void process_migrations(sim::SimTime now);
+  /// Walks evacuating replicas and moves their work off: redundant hedge
+  /// twins cancel, running requests migrate (or finish in place without
+  /// migration), queued requests re-route for free.
+  void evacuation_round(sim::SimTime now);
+  /// Fires the administrative drain and detects drain completion.
+  void process_drain(sim::SimTime now);
 
   graph::Runtime rt_;
   ClusterConfig cfg_;
@@ -229,6 +319,14 @@ class ClusterRouter {
   std::map<std::int64_t, Track> tracks_;
   std::map<std::int64_t, std::int64_t> side_to_orig_;
   std::vector<HedgeTimer> hedges_;
+  std::vector<Migration> migrations_;
+  /// Deterministic fault stream for the migration path's fabric link,
+  /// decorrelated from every replica's iteration stream.
+  sim::FaultInjector link_faults_{};
+  std::uint64_t migration_seq_ = 0;  ///< transfer-leg counter (fault sites)
+  bool health_on_ = false;           ///< cached cfg_.health_enabled()
+  bool drain_fired_ = false;
+  bool validate_ = false;  ///< GAUDI_VALIDATE: audit allocators at cutover
   std::int64_t rr_cursor_ = 0;
   std::int64_t chip_failures_ = 0;
   std::int64_t failovers_ = 0;
@@ -237,6 +335,14 @@ class ClusterRouter {
   std::int64_t hedge_wasted_ = 0;
   std::int64_t breaker_opens_ = 0;
   std::int64_t deadline_drops_ = 0;
+  std::int64_t migrations_started_ = 0;
+  std::int64_t migrations_completed_ = 0;
+  std::int64_t migrations_aborted_ = 0;
+  std::int64_t migrated_rows_ = 0;
+  std::int64_t migrated_blocks_ = 0;
+  std::int64_t migration_link_retries_ = 0;
+  sim::SimTime migration_time_{};
+  std::int64_t evac_requeues_ = 0;
   bool ran_ = false;
 };
 

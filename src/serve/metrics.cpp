@@ -147,6 +147,12 @@ void MetricsSink::on_fail(std::int64_t id, sim::SimTime now,
 
 void MetricsSink::on_wasted(std::int64_t rows) { wasted_tokens_ += rows; }
 
+void MetricsSink::on_migrated(std::int64_t id, std::int64_t rows) {
+  slot(id).migrations += 1;
+  migrations_ += 1;
+  migrated_rows_ += rows;
+}
+
 ServeSummary MetricsSink::summary(sim::SimTime makespan) const {
   ServeSummary s;
   s.offered = static_cast<std::int64_t>(records_.size());
@@ -154,6 +160,8 @@ ServeSummary MetricsSink::summary(sim::SimTime makespan) const {
   s.recomputed_tokens = recomputed_tokens_;
   s.fault_retries = fault_retries_;
   s.wasted_tokens = wasted_tokens_;
+  s.migrations = migrations_;
+  s.migrated_rows = migrated_rows_;
   s.makespan = makespan;
   std::int64_t good_tokens = 0;
   // Percentiles reduce the samples of completed requests only: a request

@@ -34,6 +34,7 @@ struct RequestMetrics {
   std::int64_t tokens_out = 0;
   std::int64_t preemptions = 0;
   std::int64_t fault_retries = 0;  ///< chip-failure re-queues survived
+  std::int64_t migrations = 0;     ///< live KV migrations survived (cluster)
   bool met_deadline = false;  ///< completed within its budget (or no budget)
 };
 
@@ -54,6 +55,12 @@ struct ServeSummary {
   /// KV rows computed and then invalidated by chip failures (in-flight work
   /// thrown away, whether or not the request later completed).
   std::int64_t wasted_tokens = 0;
+  /// Live KV migrations across requests, and the KV rows they carried over
+  /// the fabric instead of re-prefilling (cluster mode; see
+  /// serve/migration.*).  Not rendered by to_report() — the cluster report
+  /// owns the migration lines — so single-replica bytes are unchanged.
+  std::int64_t migrations = 0;
+  std::int64_t migrated_rows = 0;
   std::int64_t deadline_met = 0;   ///< completed requests inside their budget
   /// completed / (offered - rejected): the fraction of admissible requests
   /// the service answered.  NaN (rendered "n/a") when nothing was admissible.
@@ -101,6 +108,9 @@ class MetricsSink {
   /// cancelled hedge loser, or a dead hedge sibling whose twin carries on
   /// (cluster mode).  Aggregate-only: no per-request record changes.
   void on_wasted(std::int64_t rows);
+  /// The request's `rows` computed KV rows moved to another replica over
+  /// the fabric (live migration): re-prefill work saved, nothing wasted.
+  void on_migrated(std::int64_t id, std::int64_t rows);
 
   [[nodiscard]] ServeSummary summary(sim::SimTime makespan) const;
   /// Per-request records sorted by id (terminal states only).
@@ -124,6 +134,8 @@ class MetricsSink {
   std::int64_t recomputed_tokens_ = 0;
   std::int64_t fault_retries_ = 0;
   std::int64_t wasted_tokens_ = 0;
+  std::int64_t migrations_ = 0;
+  std::int64_t migrated_rows_ = 0;
 };
 
 }  // namespace gaudi::serve

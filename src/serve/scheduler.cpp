@@ -253,6 +253,15 @@ void ContinuousBatchScheduler::admit(sim::SimTime now) {
       GAUDI_ASSERT(reserved, "reserve after can_reserve");
       a.prefill_needed = rows;
       a.prefilled = 0;
+      if (a.migrated_rows > 0) {
+        // Live-migrated rows arrived over the fabric and skip re-prefill.
+        // A request that has not yet emitted its first token keeps one row
+        // to prefill so the first-token path still fires here; a fully
+        // synced decode-phase request resumes with zero prefill chunks.
+        const std::int64_t cap = a.generated >= 1 ? rows : rows - 1;
+        a.prefilled = std::clamp<std::int64_t>(a.migrated_rows, 0, cap);
+        a.migrated_rows = 0;
+      }
       requeued_.erase(rq);
       running_.push_back(a);
       continue;
@@ -404,6 +413,61 @@ void ContinuousBatchScheduler::enqueue_resume(const Request& r,
   a.prefill_needed = 0;  // recomputed (prompt + generated prefix) at admission
   a.eligible_at = now;
   requeued_.push_back(a);
+}
+
+void ContinuousBatchScheduler::enqueue_migrated(const Request& r,
+                                                std::int64_t generated,
+                                                sim::SimTime last_token,
+                                                std::int64_t rows_ready,
+                                                sim::SimTime now) {
+  GAUDI_ASSERT(cluster_, "enqueue_migrated is cluster-mode only");
+  GAUDI_ASSERT(generated >= 0 && rows_ready >= 0,
+               "migrated progress cannot be negative");
+  Active a;
+  a.req = r;
+  a.generated = generated;
+  a.last_token = last_token;
+  a.prefilled = 0;
+  a.prefill_needed = 0;  // recomputed at admission; migrated rows skip it
+  a.migrated_rows = rows_ready;
+  a.eligible_at = now;
+  requeued_.push_back(a);
+}
+
+std::optional<ContinuousBatchScheduler::Progress>
+ContinuousBatchScheduler::running_progress(std::int64_t id) const {
+  for (const Active& a : running_) {
+    if (a.req.id != id) continue;
+    return Progress{a.generated, a.last_token, computed_rows(a)};
+  }
+  return std::nullopt;
+}
+
+std::optional<ContinuousBatchScheduler::DrainedRequest>
+ContinuousBatchScheduler::extract(std::int64_t id) {
+  for (std::size_t i = 0; i < running_.size(); ++i) {
+    Active& a = running_[i];
+    if (a.req.id != id) continue;
+    DrainedRequest out{a.req, a.generated, a.last_token, computed_rows(a)};
+    kv_.release(id);
+    running_.erase(running_.begin() + static_cast<std::ptrdiff_t>(i));
+    return out;
+  }
+  // Queued entries hold no KV (preempted requests surrendered theirs at
+  // preemption; waiting ones never reserved any), so they carry zero rows.
+  for (auto it = requeued_.begin(); it != requeued_.end(); ++it) {
+    if (it->req.id != id) continue;
+    DrainedRequest out{it->req, it->generated, it->last_token, 0};
+    requeued_.erase(it);
+    return out;
+  }
+  for (auto it = waiting_.begin(); it != waiting_.end(); ++it) {
+    if (it->id != id) continue;
+    DrainedRequest out{*it, 0, sim::SimTime::zero(), 0};
+    waiting_.erase(it);
+    return out;
+  }
+  return std::nullopt;
 }
 
 bool ContinuousBatchScheduler::has_work() const {
@@ -578,12 +642,14 @@ ContinuousBatchScheduler::StepResult ContinuousBatchScheduler::step(
       const sim::FaultProfile& prof = cfg_.faults.profile();
       if (cfg_.faults.fires(sim::FaultKind::kTpcStraggler, site)) {
         ++tpc_stragglers_;
+        out.straggled = true;
         iter_time = sim::SimTime::from_ps(static_cast<std::int64_t>(
             static_cast<double>(iter_time.ps()) * prof.straggler_slowdown +
             0.5));
       }
       if (cfg_.faults.fires(sim::FaultKind::kHbmPressure, site)) {
         ++hbm_stalls_;
+        out.hbm_stalled = true;
         iter_time += prof.hbm_pressure_stall;
       }
       chip_died = cfg_.faults.fires(sim::FaultKind::kChipFailure, site);

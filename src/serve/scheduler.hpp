@@ -196,6 +196,11 @@ class ContinuousBatchScheduler {
   struct StepResult {
     bool worked = false;
     bool chip_failed = false;  ///< cluster mode only: this replica just died
+    /// Fault-stretched iteration signals (kTpcStraggler / kHbmPressure) —
+    /// the router's heartbeat-latency proxy for per-replica health scoring
+    /// (serve/migration.*).  Both false on a clean iteration.
+    bool straggled = false;
+    bool hbm_stalled = false;
     sim::SimTime end{};        ///< simulated instant the results landed
     std::vector<ReplicaEvent> events;
   };
@@ -218,6 +223,31 @@ class ContinuousBatchScheduler {
   /// prefix) re-prefills from scratch on this replica's cold KV pool.
   void enqueue_resume(const Request& r, std::int64_t generated,
                       sim::SimTime last_token, sim::SimTime now);
+  /// Admits a live-migrated request whose first `rows_ready` KV rows arrive
+  /// with it over the fabric (serve/migration.*): admission reserves the
+  /// full context as usual but skips re-prefilling the migrated rows — a
+  /// fully synced decode-phase request resumes decoding with zero prefill
+  /// chunks.  Unlike enqueue_resume, `generated == 0` (a request migrated
+  /// mid-prefill) is legal.
+  void enqueue_migrated(const Request& r, std::int64_t generated,
+                        sim::SimTime last_token, std::int64_t rows_ready,
+                        sim::SimTime now);
+  /// Migration progress snapshot of one *running* request.
+  struct Progress {
+    std::int64_t generated = 0;
+    sim::SimTime last_token{};
+    std::int64_t rows = 0;  ///< KV rows computed so far (the migratable state)
+  };
+  /// Snapshot of a running request's progress (nullopt when `id` is not
+  /// running here — waiting/requeued requests hold no KV worth streaming).
+  [[nodiscard]] std::optional<Progress> running_progress(std::int64_t id) const;
+  /// Removes one request wherever it sits (running, requeued, or waiting)
+  /// and returns its progress state, releasing any KV *without* billing the
+  /// rows as wasted.  Running extraction is the migration cutover (the
+  /// caller moved the rows over the fabric); queued extraction carries zero
+  /// rows (no KV held) and backs queue evacuation off a draining replica.
+  /// Returns nullopt when `id` is not here (died / completed since).
+  [[nodiscard]] std::optional<DrainedRequest> extract(std::int64_t id);
   /// Runs one iteration at `now` (admission, overload control, prefill +
   /// decode, fault oracle, token emission, watchdog).
   [[nodiscard]] StepResult step(sim::SimTime now);
@@ -236,6 +266,10 @@ class ContinuousBatchScheduler {
   [[nodiscard]] std::int64_t load() const;
   [[nodiscard]] std::int64_t free_kv_blocks() const;
   [[nodiscard]] std::int64_t iterations() const { return iterations_; }
+  /// Allocator ownership-invariant check (router-side GAUDI_VALIDATE after a
+  /// migration cutover: no KV block owned by two replicas).
+  void audit_kv() const { kv_.audit(); }
+  [[nodiscard]] bool holds_kv(std::int64_t id) const { return kv_.holds(id); }
 
  private:
   struct Active {
@@ -246,6 +280,9 @@ class ContinuousBatchScheduler {
     sim::SimTime last_token{};
     std::int32_t fault_retries = 0;  ///< chip-failure re-queues so far
     sim::SimTime eligible_at{};      ///< earliest re-admission (retry backoff)
+    /// KV rows that arrived via live migration and skip re-prefill at the
+    /// next admission (serve/migration.*); zero on every other path.
+    std::int64_t migrated_rows = 0;
 
     /// KV rows the request occupies right now.  The first output token
     /// falls out of prefill's last logits without a cache append, so `g`

@@ -275,6 +275,290 @@ TEST(Cluster, RejectsBadConfigs) {
   }
 }
 
+// ------------------------------------------- live migration & draining
+
+sim::FaultProfile degrading_profile(double straggler, double hbm,
+                                    double chip = 0.0) {
+  sim::FaultProfile p;
+  p.tpc_straggler_rate = straggler;
+  p.hbm_pressure_rate = hbm;
+  p.chip_failure_rate = chip;
+  p.transient_link_rate = 0.2;
+  p.link_degradation_rate = 0.1;
+  return p;
+}
+
+TEST(Migration, DisabledIsByteIdenticalEvenWithHealthKnobsSet) {
+  // The health knobs are inert while migration and draining are both off:
+  // no extra draws, no report lines, byte-identical output.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  serve::ClusterConfig plain = tiny_cluster(3);
+  plain.fault_profile = chip_killer_profile(0.1);
+  serve::ClusterConfig knobbed = plain;
+  knobbed.health_window = sim::SimTime::from_ms(1.0);
+  knobbed.degraded_after = 1;
+  serve::ClusterRouter a(rt, plain);
+  serve::ClusterRouter b(rt, knobbed);
+  const std::string ra = a.run(stream).to_report();
+  const std::string rb = b.run(stream).to_report();
+  EXPECT_EQ(ra, rb);
+  EXPECT_EQ(ra.find("migrate:"), std::string::npos);
+  EXPECT_EQ(ra.find("drain:"), std::string::npos);
+}
+
+TEST(Migration, AdminDrainCompletesWithoutFailures) {
+  // Planned maintenance: drain a replica mid-run with migration on.  Every
+  // request completes — running work streams its KV to a peer, queued work
+  // re-routes — and the drained replica ends empty.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::StreamConfig scfg = tiny_stream(16, 400.0);
+  scfg.output = {6, 10};
+  const auto stream = serve::poisson_stream(scfg);
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.replica.kv_budget_bytes = 16384;
+  cfg.migration.enabled = true;
+  cfg.drain_replica = 0;
+  cfg.drain_at = sim::SimTime::from_ms(3.0);
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  ::unsetenv("GAUDI_VALIDATE");
+
+  EXPECT_EQ(r.summary.completed, r.summary.offered);
+  EXPECT_EQ(r.summary.failed, 0);
+  EXPECT_TRUE(r.drain_completed);
+  const std::string report = r.to_report();
+  EXPECT_NE(report.find("migrate:"), std::string::npos);
+  EXPECT_NE(report.find("drain:    replica 0 drained cleanly"),
+            std::string::npos);
+}
+
+TEST(Migration, DrainWithoutMigrationEvacuatesTheQueueLosslessly) {
+  // Migration off, drain on: the pre-migration path evacuates by
+  // preempt-and-requeue — running work re-prefills on a peer, queued work
+  // re-routes for free.  Nothing fails; only recompute is billed.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16, 800.0));
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.drain_replica = 1;
+  cfg.drain_at = sim::SimTime::zero();
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  EXPECT_EQ(r.summary.completed, r.summary.offered);
+  EXPECT_EQ(r.summary.failed, 0);
+  EXPECT_EQ(r.migrations_started, 0);
+  EXPECT_TRUE(r.drain_completed);
+  // Drained from the first instant: replica 1 never hosts a dispatch.
+  EXPECT_EQ(r.per_replica[1].dispatched, 0);
+  const std::string report = r.to_report();
+  EXPECT_EQ(report.find("migrate:"), std::string::npos);
+  EXPECT_NE(report.find("drain:"), std::string::npos);
+}
+
+TEST(Migration, DrainMigratesKvInsteadOfReprefilling) {
+  // The tentpole claim: a drained replica's in-flight decodes move with
+  // their KV — rows kept, zero re-prefill, zero preemption billing.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::StreamConfig scfg = tiny_stream(12, 2000.0);
+  scfg.prompt = {4, 6};   // context stays under tiny()'s max_seq of 16
+  scfg.output = {6, 9};
+  const auto stream = serve::poisson_stream(scfg);
+  serve::ClusterConfig cfg = tiny_cluster(2);
+  cfg.replica.max_batch = 4;
+  cfg.replica.kv_budget_bytes = 65536;
+  cfg.migration.enabled = true;
+  cfg.drain_replica = 0;
+  cfg.drain_at = sim::SimTime::from_ms(2.0);
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  ::unsetenv("GAUDI_VALIDATE");
+
+  EXPECT_EQ(r.summary.completed, r.summary.offered);
+  EXPECT_EQ(r.summary.failed, 0);
+  EXPECT_GT(r.migrations_completed, 0);
+  EXPECT_GT(r.migrated_rows, 0);
+  EXPECT_EQ(r.summary.recomputed_tokens, 0);
+  EXPECT_EQ(r.summary.wasted_tokens, 0);
+  EXPECT_EQ(r.summary.migrated_rows, r.migrated_rows);
+  std::int64_t per_request_migrations = 0;
+  for (const serve::RequestMetrics& m : r.requests) {
+    per_request_migrations += m.migrations;
+  }
+  EXPECT_EQ(per_request_migrations, r.migrations_completed);
+}
+
+TEST(Migration, FaultedMigrationRunsAreByteIdentical) {
+  // Stragglers drive the health score, link faults stretch the KV stream,
+  // chips die mid-migration: two runs of it all are still byte-identical.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.fault_profile = degrading_profile(0.3, 0.2, 0.1);
+  cfg.migration.enabled = true;
+  cfg.degraded_after = 2;
+  cfg.hedge_budget = sim::SimTime::from_ms(2.0);
+  serve::ClusterRouter a(rt, cfg);
+  serve::ClusterRouter b(rt, cfg);
+  const serve::ClusterReport ra = a.run(stream);
+  const std::string rb = b.run(stream).to_report();
+  EXPECT_EQ(ra.to_report(), rb);
+  EXPECT_GT(ra.migrations_started, 0);
+}
+
+TEST(Migration, KillAndMigrateResolvesEveryRequestAcrossSeeds) {
+  // Chips die before, during, and after migrations; hedges race the lot.
+  // Hammer fault seeds under a validating allocator: every request must
+  // end in exactly one typed outcome and no KV block may leak or double.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16, 400.0));
+  for (std::uint64_t fault_seed = 1; fault_seed <= 8; ++fault_seed) {
+    serve::ClusterConfig cfg = tiny_cluster(3);
+    cfg.fault_profile = degrading_profile(0.25, 0.15, 0.3);
+    cfg.fault_seed = fault_seed;
+    cfg.migration.enabled = true;
+    cfg.degraded_after = 2;
+    cfg.hedge_budget = sim::SimTime::from_ms(1.0);
+    cfg.replica.retry_max = 4;
+    cfg.breaker_min_samples = 2;
+    cfg.breaker_window = 4;
+    serve::ClusterRouter router(rt, cfg);
+    const serve::ClusterReport r = router.run(stream);
+    EXPECT_EQ(outcome_total(r.summary), r.summary.offered)
+        << "fault_seed " << fault_seed;
+    EXPECT_EQ(r.migrations_started,
+              r.migrations_completed + r.migrations_aborted)
+        << "fault_seed " << fault_seed;
+  }
+  ::unsetenv("GAUDI_VALIDATE");
+}
+
+TEST(Migration, HedgeDuringMigrationKeepsExactlyOneCopy) {
+  // Satellite: when a request is mid-migration as its hedge budget expires,
+  // the router adopts the migration as the duplicate instead of launching a
+  // second compute copy — one terminal outcome, no double-billed tokens.
+  ::setenv("GAUDI_VALIDATE", "1", 1);
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  serve::StreamConfig scfg = tiny_stream(12, 2000.0);
+  scfg.output = {8, 12};
+  const auto stream = serve::poisson_stream(scfg);
+  for (const double hedge_ms : {0.5, 1.0, 2.0, 4.0}) {
+    serve::ClusterConfig cfg = tiny_cluster(2);
+    cfg.replica.kv_budget_bytes = 16384;
+    cfg.migration.enabled = true;
+    cfg.drain_replica = 0;
+    cfg.drain_at = sim::SimTime::from_ms(2.0);
+    cfg.hedge_budget = sim::SimTime::from_ms(hedge_ms);
+    serve::ClusterRouter router(rt, cfg);
+    const serve::ClusterReport r = router.run(stream);
+    EXPECT_EQ(outcome_total(r.summary), r.summary.offered)
+        << "hedge_ms " << hedge_ms;
+    EXPECT_EQ(r.summary.failed, 0) << "hedge_ms " << hedge_ms;
+    for (const serve::RequestMetrics& m : r.requests) {
+      if (m.outcome == serve::RequestOutcome::kCompleted) {
+        // Output length is an exact function of the request: a double copy
+        // would overshoot it through the shared metrics sink.
+        EXPECT_GT(m.tokens_out, 0) << "request " << m.id;
+      }
+    }
+  }
+  ::unsetenv("GAUDI_VALIDATE");
+}
+
+TEST(Migration, BreakerDoesNotProbeADrainingReplica) {
+  // Satellite: the half-open probe must not route work onto a replica being
+  // evacuated, and completing a drain must not reset breaker counters.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16, 800.0));
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.migration.enabled = true;
+  cfg.drain_replica = 2;
+  cfg.drain_at = sim::SimTime::zero();
+  cfg.breaker_min_samples = 1;
+  cfg.breaker_window = 2;
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  // Draining from t=0: replica 2 never receives a dispatch — not even a
+  // breaker probe — yet the drain completes and nothing fails.
+  EXPECT_EQ(r.per_replica[2].dispatched, 0);
+  EXPECT_EQ(r.summary.failed, 0);
+  EXPECT_TRUE(r.drain_completed);
+  EXPECT_EQ(r.summary.completed, r.summary.offered);
+}
+
+TEST(Migration, DrainDoesNotResetBreakerCounters) {
+  // Satellite: a drain is an evacuation, not an absolution.  Replica 0's
+  // breaker opens under chip-failure flapping before the drain lands; the
+  // final report must still carry that open — a drain that zeroed the
+  // outcome window would erase it.
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  const auto stream = serve::poisson_stream(tiny_stream(16));
+  serve::ClusterConfig cfg = tiny_cluster(3);
+  cfg.fault_profile = chip_killer_profile(0.5);
+  cfg.replica.retry_max = 6;
+  cfg.breaker_min_samples = 2;
+  cfg.breaker_window = 4;
+  cfg.migration.enabled = true;
+  cfg.drain_replica = 0;
+  cfg.drain_at = sim::SimTime::from_ms(20.0);
+  serve::ClusterRouter router(rt, cfg);
+  const serve::ClusterReport r = router.run(stream);
+  EXPECT_TRUE(r.drain_completed);
+  EXPECT_GT(r.per_replica[0].breaker_opens, 0);
+  std::int64_t per_replica_opens = 0;
+  for (const serve::ReplicaStats& s : r.per_replica) {
+    per_replica_opens += s.breaker_opens;
+  }
+  EXPECT_EQ(per_replica_opens, r.breaker_opens);
+  EXPECT_EQ(outcome_total(r.summary), r.summary.offered);
+}
+
+TEST(Migration, RejectsBadConfigs) {
+  const graph::Runtime rt(sim::ChipConfig::hls1());
+  {
+    serve::ClusterConfig cfg = tiny_cluster();
+    cfg.migration.enabled = true;
+    cfg.migration.chunk_blocks = 0;
+    try {
+      serve::ClusterRouter router(rt, cfg);
+      FAIL() << "expected InvalidArgument";
+    } catch (const sim::InvalidArgument& e) {
+      EXPECT_NE(std::string(e.what()).find("chunk_blocks"),
+                std::string::npos);
+    }
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster(2);
+    cfg.drain_replica = 2;  // out of range
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster(1);
+    cfg.drain_replica = 0;  // nowhere to move the work
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster(2);
+    cfg.drain_replica = 0;
+    cfg.drain_at = sim::SimTime::from_ms(-1.0);
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster(2);
+    cfg.migration.enabled = true;
+    cfg.health_window = sim::SimTime::zero();
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+  {
+    serve::ClusterConfig cfg = tiny_cluster(2);
+    cfg.migration.enabled = true;
+    cfg.degraded_after = 0;
+    EXPECT_THROW(serve::ClusterRouter(rt, cfg), sim::InvalidArgument);
+  }
+}
+
 TEST(RetryBackoff, DoublesPerAttemptAndSaturatesAtTheCap) {
   const sim::SimTime base = sim::SimTime::from_ms(5.0);
   const sim::SimTime cap = sim::SimTime::from_ms(40.0);
@@ -331,6 +615,63 @@ TEST(CliServeCluster, ValidatesItsFlags) {
   EXPECT_EQ(run({"serve-cluster", "--retry-backoff-max-ms", "0"}, &out), 1);
   EXPECT_NE(out.find("--retry-backoff-max-ms"), std::string::npos);
   EXPECT_EQ(run({"serve-cluster", "--nonsense", "1"}, &out), 1);
+  // Satellite: every migration/drain flag rejects bad values by name.
+  EXPECT_EQ(run({"serve-cluster", "--migration-chunk-blocks", "0"}, &out), 1);
+  EXPECT_NE(out.find("--migration-chunk-blocks"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--replicas", "1", "--drain-replica", "0"},
+                &out),
+            1);
+  EXPECT_NE(out.find("--drain-replica"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--replicas", "3", "--drain-replica", "3"},
+                &out),
+            1);
+  EXPECT_NE(out.find("--drain-replica"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--drain-at-ms", "5"}, &out), 1);
+  EXPECT_NE(out.find("--drain-at-ms requires --drain-replica"),
+            std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--replicas", "2", "--drain-replica", "0",
+                 "--drain-at-ms", "-1"},
+                &out),
+            1);
+  EXPECT_NE(out.find("--drain-at-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--migrate", "--health-window-ms", "0"},
+                &out),
+            1);
+  EXPECT_NE(out.find("--health-window-ms"), std::string::npos);
+  EXPECT_EQ(run({"serve-cluster", "--migrate", "--degraded-after", "0"}, &out),
+            1);
+  EXPECT_NE(out.find("--degraded-after"), std::string::npos);
+}
+
+TEST(CliServeCluster, MigrationSmokeRunIsDeterministic) {
+  std::string a;
+  std::string b;
+  const std::initializer_list<const char*> cmd = {
+      "serve-cluster", "--requests", "12",          "--rate",
+      "60",            "--replicas", "3",           "--faults",
+      "--mtbf",        "30",         "--migrate",   "--timing-only",
+      "on",            "--hedge-ms", "6"};
+  ASSERT_EQ(run(cmd, &a), 0);
+  ASSERT_EQ(run(cmd, &b), 0);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("migrate:"), std::string::npos);
+  EXPECT_NE(a.find("migrated in"), std::string::npos);
+}
+
+TEST(CliServeCluster, DrainQuickstartDrainsCleanly) {
+  // The README quickstart: drain replica 0 twenty simulated ms in, with
+  // live migration carrying its KV to the survivors — the migrate line
+  // must show actual rows on the wire, not a trivially empty drain.
+  std::string out;
+  ASSERT_EQ(run({"serve-cluster", "--requests", "24", "--rate", "120",
+                 "--replicas", "3", "--migrate", "--drain-replica", "0",
+                 "--drain-at-ms", "20", "--timing-only", "on"},
+                &out),
+            0);
+  EXPECT_NE(out.find("drain:    replica 0 drained cleanly"),
+            std::string::npos);
+  EXPECT_NE(out.find(" 0 failed"), std::string::npos);
+  EXPECT_EQ(out.find("migrate:  0 started"), std::string::npos);
 }
 
 }  // namespace
